@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark suite.
+
+Every figure bench runs its experiment once (``benchmark.pedantic``
+with a single round - these are simulations, not microbenchmarks),
+prints the paper-style series table, and asserts the figure's
+qualitative shape so a green benchmark run doubles as a reproduction
+check.  ``pytest benchmarks/ --benchmark-only -s`` shows the tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def reward_series(sweep, algorithm):
+    """Mean total-reward series of one algorithm."""
+    _xs, means, _stds = sweep.series(algorithm, "total_reward")
+    return means
+
+
+def latency_series(sweep, algorithm):
+    """Mean average-latency series of one algorithm."""
+    _xs, means, _stds = sweep.series(algorithm, "avg_latency_ms")
+    return means
+
+
+def series_sum(sweep, algorithm, metric="total_reward"):
+    """Sum of an algorithm's mean series (a scalar ordering proxy)."""
+    _xs, means, _stds = sweep.series(algorithm, metric)
+    return sum(means)

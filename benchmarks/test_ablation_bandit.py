@@ -1,0 +1,52 @@
+"""Ablation: successive elimination vs UCB1 as the threshold learner.
+
+Algorithm 3 uses successive elimination; UCB1 is the classical
+alternative.  Both drive the same LP-PT + rounding machinery, so the
+difference isolates the arm-selection rule.  The paper's choice should
+be competitive (within a modest band) - and the bench prints both so
+regressions in either learner are visible.
+"""
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.core.dynamic_rr import DynamicRR
+from repro.core.instance import ProblemInstance
+from repro.sim.online_engine import OnlineEngine
+
+SEEDS = (0, 1)
+HORIZON = 80
+NUM_REQUESTS = 250
+
+
+def total_reward(bandit_policy: str) -> float:
+    total = 0.0
+    for seed in SEEDS:
+        instance = ProblemInstance.build(SimulationConfig(seed=seed))
+        workload = instance.new_workload(NUM_REQUESTS, seed=seed,
+                                         horizon_slots=HORIZON)
+        engine = OnlineEngine(instance, workload, horizon_slots=HORIZON,
+                              rng=seed)
+        policy = DynamicRR(bandit_policy=bandit_policy, rng=seed)
+        total += engine.run(policy).total_reward
+    return total
+
+
+def test_bandit_policy_ablation(benchmark):
+    out = {}
+
+    def run():
+        out["se"] = total_reward("se")
+        out["ucb1"] = total_reward("ucb1")
+        return out
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("Threshold learner ablation (total reward over "
+          f"{len(SEEDS)} seeds, T={HORIZON}):")
+    print(f"  successive elimination: {out['se']:12.1f}")
+    print(f"  UCB1                  : {out['ucb1']:12.1f}")
+
+    # The paper's learner must be competitive with UCB1.
+    assert out["se"] >= 0.8 * out["ucb1"]
+    assert out["ucb1"] >= 0.8 * out["se"]

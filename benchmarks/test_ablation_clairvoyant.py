@@ -1,0 +1,60 @@
+"""Ablation: DynamicRR vs the clairvoyant offline bound.
+
+Theorem 3 bounds regret against the best *fixed threshold*; here the
+comparator is much stronger - a clairvoyant scheduler knowing every
+arrival and realized rate, relaxed to a pooled capacity timeline.
+The measured competitive ratio contextualizes the online rewards; the
+baselines trail further behind the bound.
+"""
+
+import pytest
+
+from repro.baselines import HeuKktOnline, OcorpOnline
+from repro.config import SimulationConfig
+from repro.core.clairvoyant import clairvoyant_bound, competitive_ratio
+from repro.core.dynamic_rr import DynamicRR
+from repro.core.instance import ProblemInstance
+from repro.sim.online_engine import OnlineEngine
+
+SEEDS = (0, 1)
+HORIZON = 80
+NUM_REQUESTS = 250
+
+
+def measure(factory):
+    ratios = []
+    for seed in SEEDS:
+        instance = ProblemInstance.build(SimulationConfig(seed=seed))
+        workload = instance.new_workload(NUM_REQUESTS, seed=seed,
+                                         horizon_slots=HORIZON)
+        engine = OnlineEngine(instance, workload, horizon_slots=HORIZON,
+                              rng=seed)
+        result = engine.run(factory())
+        bound = clairvoyant_bound(instance, workload,
+                                  horizon_slots=HORIZON, rng=seed)
+        ratios.append(competitive_ratio(result.total_reward, bound))
+    return sum(ratios) / len(ratios)
+
+
+def test_competitive_ratio_vs_clairvoyant(benchmark):
+    out = {}
+
+    def run():
+        out["DynamicRR"] = measure(DynamicRR)
+        out["OCORP"] = measure(OcorpOnline)
+        out["HeuKKT"] = measure(HeuKktOnline)
+        return out
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("Empirical competitive ratio vs clairvoyant pooled bound:")
+    for name, ratio in out.items():
+        print(f"  {name:10s} {ratio:.3f}")
+
+    # Ratios are genuine fractions of a strictly stronger comparator.
+    assert 0.0 < out["DynamicRR"] <= 1.0 + 1e-9
+    # DynamicRR must be the closest online policy to the bound.
+    assert out["DynamicRR"] >= out["OCORP"]
+    assert out["DynamicRR"] >= out["HeuKKT"]
+    # And not embarrassingly far from it at saturation.
+    assert out["DynamicRR"] >= 0.35

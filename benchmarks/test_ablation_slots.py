@@ -1,0 +1,79 @@
+"""Ablation: the design constants of the LP rounding.
+
+1. **Rounding scale** - the paper rounds with probability ``y/4``;
+   the 4 buys Lemma 2's 1/2 failure bound.  Sweeping the scale shows
+   the admission/feasibility trade-off (smaller scale = more tentative
+   assignments but more prefix-test rejections).
+2. **Slot size C_l** - the paper uses 1000 MHz; smaller slots track
+   occupancy more finely (more admission opportunities), bigger slots
+   are coarser.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.core.appro import Appro
+from repro.core.instance import ProblemInstance
+from repro.sim.engine import run_offline
+
+SEEDS = (0, 1)
+NUM_REQUESTS = 120
+
+
+def reward_with(rounding_scale=4.0, slot_size=1000.0,
+                max_rounds=1) -> float:
+    total = 0.0
+    for seed in SEEDS:
+        config = SimulationConfig(seed=seed)
+        config = replace(config, network=replace(
+            config.network, slot_size_mhz=slot_size)).validate()
+        instance = ProblemInstance.build(config, seed=seed)
+        workload = instance.new_workload(NUM_REQUESTS, seed=seed)
+        algo = Appro(rounding_scale=rounding_scale,
+                     max_rounds=max_rounds)
+        total += run_offline(algo, instance, workload,
+                             seed=seed).total_reward
+    return total
+
+
+def test_rounding_scale_sweep(benchmark):
+    out = {}
+
+    def run():
+        out["rows"] = [(scale, reward_with(rounding_scale=scale))
+                       for scale in (1.0, 2.0, 4.0, 8.0)]
+        return out
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("Rounding scale sweep (single pass, total reward over "
+          f"{len(SEEDS)} seeds)")
+    for scale, reward in out["rows"]:
+        print(f"  y/{scale:<4g} reward={reward:10.1f}")
+    rewards = dict(out["rows"])
+    # A single y/8 pass assigns half as much as y/4: it must earn less.
+    assert rewards[8.0] < rewards[1.0]
+    assert all(r > 0 for r in rewards.values())
+
+
+def test_slot_size_sweep(benchmark):
+    out = {}
+
+    def run():
+        out["rows"] = [(size, reward_with(slot_size=size,
+                                          max_rounds=24))
+                       for size in (500.0, 1000.0, 1500.0)]
+        return out
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("Slot size C_l sweep (repeated passes, total reward over "
+          f"{len(SEEDS)} seeds)")
+    for size, reward in out["rows"]:
+        print(f"  C_l={size:6.0f} MHz  reward={reward:10.1f}")
+    rewards = dict(out["rows"])
+    # Finer slots expose more admission opportunities than very coarse
+    # ones on the same capacity.
+    assert rewards[500.0] >= 0.8 * rewards[1500.0]

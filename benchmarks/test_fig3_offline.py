@@ -1,0 +1,68 @@
+"""Figure 3: offline algorithms vs number of requests.
+
+Panels: (a) total reward, (b) average latency of a request,
+(c) running time - for Appro, Heu, Greedy, OCORP, HeuKKT.
+
+Paper shapes asserted here:
+
+* Heu earns the most reward; Appro beats the latency-greedy baselines
+  (OCORP, Greedy) by a wide margin (paper: +50% / +80%).
+* Greedy and OCORP have the lowest average latencies (they trade
+  reward for latency); HeuKKT has the highest (cloud spillover).
+* Appro/Heu carry the highest running times (they solve an LP).
+"""
+
+import pytest
+
+from conftest import latency_series, reward_series, series_sum
+from repro.experiments import bench_scale, figure3, render_figure
+
+_CACHE = {}
+
+
+def run_figure3():
+    if "sweep" not in _CACHE:
+        _CACHE["sweep"] = figure3(bench_scale())
+    return _CACHE["sweep"]
+
+
+def test_fig3a_total_reward(benchmark):
+    sweep = benchmark.pedantic(run_figure3, rounds=1, iterations=1)
+    print()
+    print(render_figure(sweep, ("total_reward",), "Figure 3"))
+
+    heu = series_sum(sweep, "Heu")
+    appro = series_sum(sweep, "Appro")
+    assert heu > series_sum(sweep, "OCORP")
+    assert heu > series_sum(sweep, "Greedy")
+    assert heu > series_sum(sweep, "HeuKKT")
+    assert appro > 1.3 * series_sum(sweep, "OCORP")
+    assert appro > 1.5 * series_sum(sweep, "Greedy")
+    # Rewards are non-decreasing-ish in |R| for the reward-aware
+    # algorithms (saturation, not decline).
+    heu_series = reward_series(sweep, "Heu")
+    assert heu_series[-1] >= 0.9 * max(heu_series)
+
+
+def test_fig3b_avg_latency(benchmark):
+    sweep = benchmark.pedantic(run_figure3, rounds=1, iterations=1)
+    print()
+    print(render_figure(sweep, ("avg_latency_ms",), "Figure 3"))
+
+    assert (series_sum(sweep, "Greedy", "avg_latency_ms")
+            < series_sum(sweep, "Heu", "avg_latency_ms"))
+    assert (series_sum(sweep, "OCORP", "avg_latency_ms")
+            < series_sum(sweep, "Heu", "avg_latency_ms"))
+    assert (series_sum(sweep, "HeuKKT", "avg_latency_ms")
+            > series_sum(sweep, "Appro", "avg_latency_ms"))
+
+
+def test_fig3c_running_time(benchmark):
+    sweep = benchmark.pedantic(run_figure3, rounds=1, iterations=1)
+    print()
+    print(render_figure(sweep, ("runtime_s",), "Figure 3"))
+
+    assert (series_sum(sweep, "Appro", "runtime_s")
+            > series_sum(sweep, "Greedy", "runtime_s"))
+    assert (series_sum(sweep, "Heu", "runtime_s")
+            > series_sum(sweep, "OCORP", "runtime_s"))

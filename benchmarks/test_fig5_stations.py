@@ -1,0 +1,50 @@
+"""Figure 5: all algorithms vs number of base stations (|R| fixed).
+
+Panels: (a) total reward, (b) average latency.
+
+Paper shapes asserted here:
+
+* Total reward increases with |BS| (more stations host more requests,
+  and requests reach higher-reward placements).
+* Average latency decreases (or at least does not increase) with |BS|
+  for the proposed algorithms (closer, faster placements become
+  available).
+"""
+
+import pytest
+
+from conftest import latency_series, reward_series, series_sum
+from repro.experiments import bench_scale, figure5, render_figure
+
+_CACHE = {}
+
+
+def run_figure5():
+    if "sweep" not in _CACHE:
+        _CACHE["sweep"] = figure5(bench_scale())
+    return _CACHE["sweep"]
+
+
+def test_fig5a_total_reward(benchmark):
+    sweep = benchmark.pedantic(run_figure5, rounds=1, iterations=1)
+    print()
+    print(render_figure(sweep, ("total_reward",), "Figure 5"))
+
+    for algorithm in ("Appro", "Heu", "DynamicRR"):
+        series = reward_series(sweep, algorithm)
+        assert series[-1] > series[0], (
+            f"{algorithm} reward should grow with |BS|: {series}")
+    # The proposed algorithms keep their lead over the local baselines.
+    assert series_sum(sweep, "Heu") > series_sum(sweep, "OCORP")
+    assert series_sum(sweep, "Heu") > series_sum(sweep, "Greedy")
+
+
+def test_fig5b_avg_latency(benchmark):
+    sweep = benchmark.pedantic(run_figure5, rounds=1, iterations=1)
+    print()
+    print(render_figure(sweep, ("avg_latency_ms",), "Figure 5"))
+
+    for algorithm in ("Appro", "Heu"):
+        series = latency_series(sweep, algorithm)
+        assert series[-1] <= series[0] * 1.05, (
+            f"{algorithm} latency should shrink with |BS|: {series}")

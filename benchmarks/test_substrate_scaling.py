@@ -1,0 +1,59 @@
+"""Substrate benchmark: LP build+solve scaling with problem size.
+
+Verifies the running-time claim behind Fig. 3(c): the Appro pipeline's
+cost is dominated by the LP whose size grows as |R| x |BS| x L, while
+the baselines stay near-linear.  Prints the measured build/solve times
+so performance regressions in the LP layer are visible.
+"""
+
+import time
+from dataclasses import replace
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.core.instance import ProblemInstance
+from repro.core.lp_relaxation import build_lp_relaxation
+from repro.solver.interface import solve_lp
+
+
+def measure(num_requests: int, num_stations: int):
+    config = SimulationConfig(seed=0)
+    config = replace(config, network=replace(
+        config.network, num_base_stations=num_stations)).validate()
+    instance = ProblemInstance.build(config, seed=0)
+    workload = instance.new_workload(num_requests, seed=0)
+    t0 = time.perf_counter()
+    lp, _ = build_lp_relaxation(instance, workload)
+    build_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    solve_lp(lp, backend="scipy")
+    solve_s = time.perf_counter() - t0
+    return lp.num_variables, build_s, solve_s
+
+
+def test_lp_scaling(benchmark):
+    out = {}
+
+    def run():
+        out["rows"] = [
+            (n, bs) + measure(n, bs)
+            for n, bs in ((50, 10), (100, 20), (200, 20))
+        ]
+        return out
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("LP size and time vs problem size:")
+    print(f"{'|R|':>6} {'|BS|':>6} {'vars':>8} {'build s':>9} "
+          f"{'solve s':>9}")
+    for n, bs, nvars, build_s, solve_s in out["rows"]:
+        print(f"{n:>6} {bs:>6} {nvars:>8} {build_s:>9.3f} "
+              f"{solve_s:>9.3f}")
+
+    rows = out["rows"]
+    # Variable count tracks |R| x |BS| x L.
+    assert rows[-1][2] > rows[0][2]
+    # The whole pipeline stays tractable at paper scale.
+    total = sum(b + s for *_x, b, s in rows)
+    assert total < 30.0

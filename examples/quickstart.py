@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Quickstart: place a batch of AR requests and compare algorithms.
+
+Builds the paper's default MEC network (20 base stations, Section VI-A
+parameters), draws a 150-request workload with uncertain data rates,
+and runs the two proposed offline algorithms against the three
+baselines on the *same* realizations.
+
+Run:
+    python examples/quickstart.py [seed]
+"""
+
+import sys
+
+from repro import (Appro, GreedyOffline, Heu, HeuKktOffline,
+                   OcorpOffline, ProblemInstance, SimulationConfig,
+                   run_offline)
+
+
+def main(seed: int = 7) -> None:
+    config = SimulationConfig(seed=seed)
+    instance = ProblemInstance.build(config)
+    print(f"MEC network: {len(instance.network)} base stations, "
+          f"{instance.network.total_capacity_mhz():.0f} MHz total, "
+          f"slot size C_l = {instance.slot_size_mhz:.0f} MHz")
+
+    algorithms = [Appro(), Heu(), GreedyOffline(), OcorpOffline(),
+                  HeuKktOffline()]
+    print(f"\nPlacing {config.requests.num_requests} AR requests "
+          f"(data rates {config.requests.data_rate_range_mbps} MB/s, "
+          f"revealed only at scheduling time):\n")
+    header = (f"{'algorithm':>10} {'reward $':>10} {'admitted':>9} "
+              f"{'rewarded':>9} {'avg latency':>12} {'runtime':>9}")
+    print(header)
+    print("-" * len(header))
+    for algorithm in algorithms:
+        workload = instance.new_workload(seed=seed)
+        result = run_offline(algorithm, instance, workload, seed=seed)
+        print(f"{result.algorithm:>10} {result.total_reward:>10.0f} "
+              f"{result.num_admitted:>9} {result.num_rewarded:>9} "
+              f"{result.average_latency_ms():>9.1f} ms "
+              f"{result.runtime_s:>7.3f} s")
+
+    print("\nThe proposed algorithms (Appro, Heu) hedge against the "
+          "data-rate uncertainty\nwith resource-slot-indexed placement "
+          "and expected-reward-aware selection;\nthe baselines pack by "
+          "point estimates and pay for it in forfeited rewards.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 7)

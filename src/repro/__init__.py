@@ -1,0 +1,87 @@
+"""repro - reproduction of "Online Learning Algorithms for Offloading
+Augmented Reality Requests with Uncertain Demands in MECs" (ICDCS 2021).
+
+Public API tour::
+
+    from repro import (SimulationConfig, ProblemInstance,
+                       Appro, Heu, DynamicRR,
+                       OnlineEngine, run_offline)
+
+    instance = ProblemInstance.build(SimulationConfig(seed=7))
+    requests = instance.new_workload(num_requests=120)
+    result = run_offline(Appro(), instance, requests, seed=7)
+    print(result.total_reward, result.average_latency_ms())
+
+Subpackages:
+
+* :mod:`repro.network` - MEC topology, paths, resource slots.
+* :mod:`repro.requests` - AR pipelines, uncertain (rate, reward)
+  distributions, workload generators, synthetic traces.
+* :mod:`repro.solver` - LP/ILP substrate (from-scratch simplex and
+  branch-and-bound, plus a HiGHS backend).
+* :mod:`repro.bandits` - successive elimination / UCB1 / Lipschitz
+  bandits and regret tracking.
+* :mod:`repro.core` - the paper's algorithms: ILP-RM, LP, Appro, Heu,
+  DynamicRR.
+* :mod:`repro.baselines` - OCORP, Greedy, HeuKKT.
+* :mod:`repro.sim` - offline executor and the slotted online engine.
+* :mod:`repro.experiments` - drivers that regenerate Figures 3-6.
+"""
+
+from .config import (NetworkConfig, OnlineConfig, RequestConfig,
+                     SimulationConfig, paper_default_config)
+from .core import Appro, DynamicRR, Heu, ProblemInstance, solve_ilp_rm
+from .core.assignment import OffloadDecision, ScheduleResult
+from .baselines import (GreedyOffline, GreedyOnline, HeuKktOffline,
+                        HeuKktOnline, OcorpOffline, OcorpOnline)
+from .sim import OnlineEngine, run_offline
+from .io import (load_instance, load_result, save_instance,
+                 save_result)
+from .exceptions import (BanditError, CapacityError, ConfigurationError,
+                         InfeasibleProblemError, ReproError,
+                         SchedulingError, SolverError,
+                         UnboundedProblemError)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # configuration
+    "SimulationConfig",
+    "NetworkConfig",
+    "RequestConfig",
+    "OnlineConfig",
+    "paper_default_config",
+    # core algorithms
+    "ProblemInstance",
+    "Appro",
+    "Heu",
+    "DynamicRR",
+    "solve_ilp_rm",
+    "OffloadDecision",
+    "ScheduleResult",
+    # baselines
+    "GreedyOffline",
+    "GreedyOnline",
+    "OcorpOffline",
+    "OcorpOnline",
+    "HeuKktOffline",
+    "HeuKktOnline",
+    # engines
+    "OnlineEngine",
+    "run_offline",
+    # persistence
+    "save_instance",
+    "load_instance",
+    "save_result",
+    "load_result",
+    # exceptions
+    "ReproError",
+    "ConfigurationError",
+    "InfeasibleProblemError",
+    "UnboundedProblemError",
+    "SolverError",
+    "CapacityError",
+    "SchedulingError",
+    "BanditError",
+]

@@ -1,0 +1,35 @@
+"""Multi-armed bandit substrate for the online learning algorithm.
+
+Algorithm 3 (DynamicRR) tunes the per-request resource threshold
+``C^th`` with a *discretized Lipschitz bandit*: the continuous interval
+``Z = [C^th_min, C^th_max]`` is cut into ``kappa`` arms of spacing
+``epsilon`` and a **successive elimination** policy keeps only arms
+whose upper confidence bound is not dominated by another arm's lower
+confidence bound.  This subpackage provides:
+
+* :class:`~repro.bandits.arms.ArmGrid` - the discretization,
+* :class:`~repro.bandits.successive_elimination.SuccessiveElimination` -
+  the policy of Algorithm 3 lines 5-9,
+* :class:`~repro.bandits.ucb.UCB1` - a classical comparison policy,
+* :class:`~repro.bandits.lipschitz.LipschitzBandit` - glue composing a
+  grid with any finite-arm policy, with the discretization-error bound
+  of Theorem 3,
+* :class:`~repro.bandits.regret.RegretTracker` - empirical regret
+  accounting against the best fixed arm.
+"""
+
+from .arms import ArmGrid
+from .successive_elimination import SuccessiveElimination
+from .ucb import UCB1
+from .epsilon_greedy import EpsilonGreedy
+from .lipschitz import LipschitzBandit
+from .regret import RegretTracker
+
+__all__ = [
+    "ArmGrid",
+    "SuccessiveElimination",
+    "UCB1",
+    "EpsilonGreedy",
+    "LipschitzBandit",
+    "RegretTracker",
+]

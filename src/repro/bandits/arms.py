@@ -1,0 +1,99 @@
+"""Discretization of a continuous arm interval into a finite grid.
+
+Algorithm 3 line 1: "Divide the interval Z into kappa intervals with
+fixed length epsilon = (C^th_max - C^th_min) / (kappa - 1)", producing
+the discrete arm set ``Z'``.  Under the Lipschitz condition of Eq. (21)
+the best arm of ``Z'`` is within ``eta * epsilon`` of the best point of
+``Z`` (Eq. 25) - :meth:`ArmGrid.discretization_error_bound`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+
+class ArmGrid:
+    """An evenly spaced grid of arm values over a closed interval.
+
+    Args:
+        low: ``C^th_min`` - left endpoint of ``Z``.
+        high: ``C^th_max`` - right endpoint of ``Z``.
+        num_arms: ``kappa`` - number of grid points (>= 1).  With one
+            arm the grid degenerates to the interval midpoint.
+    """
+
+    def __init__(self, low: float, high: float, num_arms: int) -> None:
+        if not low <= high:
+            raise ConfigurationError(
+                f"need low <= high, got [{low}, {high}]")
+        if num_arms < 1:
+            raise ConfigurationError(
+                f"need at least one arm, got {num_arms}")
+        self._low = float(low)
+        self._high = float(high)
+        self._num_arms = int(num_arms)
+        if num_arms == 1:
+            self._values = np.array([(low + high) / 2.0])
+        else:
+            self._values = np.linspace(low, high, num_arms)
+
+    @property
+    def num_arms(self) -> int:
+        """``kappa``."""
+        return self._num_arms
+
+    @property
+    def values(self) -> np.ndarray:
+        """Grid values (read-only view)."""
+        view = self._values.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def epsilon(self) -> float:
+        """Grid spacing ``epsilon = (high - low) / (kappa - 1)``."""
+        if self._num_arms == 1:
+            return self._high - self._low
+        return (self._high - self._low) / (self._num_arms - 1)
+
+    @property
+    def interval(self) -> Tuple[float, float]:
+        """The continuous interval ``Z``."""
+        return (self._low, self._high)
+
+    def value(self, arm: int) -> float:
+        """Value of the arm with index `arm`."""
+        if not 0 <= arm < self._num_arms:
+            raise ConfigurationError(
+                f"arm index {arm} out of range [0, {self._num_arms})")
+        return float(self._values[arm])
+
+    def nearest_arm(self, x: float) -> int:
+        """Index of the grid point closest to a continuous value."""
+        return int(np.argmin(np.abs(self._values - x)))
+
+    def discretization_error_bound(self, lipschitz_eta: float) -> float:
+        """``DE(Z') <= eta * epsilon`` (Eq. 25).
+
+        Args:
+            lipschitz_eta: the constant ``eta`` of Eq. (21).
+        """
+        if lipschitz_eta < 0:
+            raise ConfigurationError(
+                f"eta must be >= 0, got {lipschitz_eta}")
+        return lipschitz_eta * self.epsilon
+
+    def indices(self) -> List[int]:
+        """All arm indices, ascending."""
+        return list(range(self._num_arms))
+
+    def __len__(self) -> int:
+        return self._num_arms
+
+    def __repr__(self) -> str:
+        return (f"ArmGrid([{self._low}, {self._high}], "
+                f"kappa={self._num_arms}, eps={self.epsilon:.4g})")

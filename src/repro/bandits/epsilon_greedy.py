@@ -1,0 +1,105 @@
+"""Epsilon-greedy - the simplest exploration baseline.
+
+Included to complete the ablation family around Algorithm 3's
+successive elimination: with probability ``epsilon_t`` explore a
+uniformly random arm, otherwise exploit the best empirical mean.  The
+default schedule decays ``epsilon_t = min(1, c / t)``, which achieves
+logarithmic regret when tuned but - unlike successive elimination -
+never *stops* sampling provably bad arms, which is exactly the
+behaviour the threshold bandit exists to avoid.
+
+Exposes the same ``select_arm`` / ``best_active_arm`` / ``record`` /
+``mean`` surface as the other policies so it slots straight into
+:class:`~repro.bandits.lipschitz.LipschitzBandit` and DynamicRR.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..rng import RngLike, ensure_rng
+
+
+class EpsilonGreedy:
+    """Decaying epsilon-greedy over a finite arm set.
+
+    Args:
+        num_arms: size of the arm set.
+        epsilon_scale: the ``c`` of ``epsilon_t = min(1, c / t)``.
+        rng: randomness for the exploration coin and arm draw.
+    """
+
+    def __init__(self, num_arms: int, epsilon_scale: float = 5.0,
+                 rng: RngLike = None) -> None:
+        if num_arms < 1:
+            raise ConfigurationError(
+                f"need at least one arm, got {num_arms}")
+        if epsilon_scale <= 0:
+            raise ConfigurationError(
+                f"epsilon_scale must be positive, got {epsilon_scale}")
+        self._num_arms = num_arms
+        self._scale = epsilon_scale
+        self._rng = ensure_rng(rng)
+        self._counts = np.zeros(num_arms, dtype=int)
+        self._sums = np.zeros(num_arms, dtype=float)
+        self._total_plays = 0
+
+    @property
+    def num_arms(self) -> int:
+        """Size of the arm set."""
+        return self._num_arms
+
+    @property
+    def total_plays(self) -> int:
+        """Total rewards recorded."""
+        return self._total_plays
+
+    def epsilon(self) -> float:
+        """Current exploration probability."""
+        return min(1.0, self._scale / max(self._total_plays, 1))
+
+    def active_arms(self) -> List[int]:
+        """Epsilon-greedy never eliminates arms."""
+        return list(range(self._num_arms))
+
+    def count(self, arm: int) -> int:
+        """Times an arm has been played."""
+        self._check_arm(arm)
+        return int(self._counts[arm])
+
+    def mean(self, arm: int) -> float:
+        """Empirical mean reward (0.0 before any play)."""
+        self._check_arm(arm)
+        if self._counts[arm] == 0:
+            return 0.0
+        return float(self._sums[arm] / self._counts[arm])
+
+    def select_arm(self) -> int:
+        """Explore with probability epsilon, else exploit."""
+        if self._rng.random() < self.epsilon():
+            return int(self._rng.integers(self._num_arms))
+        return self.best_active_arm()
+
+    def best_active_arm(self) -> int:
+        """The arm with the best empirical mean (ties: lowest index)."""
+        return max(range(self._num_arms),
+                   key=lambda a: (self.mean(a), -a))
+
+    def record(self, arm: int, reward: float) -> None:
+        """Record an observed reward."""
+        self._check_arm(arm)
+        self._counts[arm] += 1
+        self._sums[arm] += float(reward)
+        self._total_plays += 1
+
+    def _check_arm(self, arm: int) -> None:
+        if not 0 <= arm < self._num_arms:
+            raise ConfigurationError(
+                f"arm index {arm} out of range [0, {self._num_arms})")
+
+    def __repr__(self) -> str:
+        return (f"EpsilonGreedy(arms={self._num_arms}, "
+                f"eps={self.epsilon():.3f}, plays={self._total_plays})")

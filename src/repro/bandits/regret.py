@@ -1,0 +1,104 @@
+"""Empirical regret accounting against the best fixed arm.
+
+Theorem 3 bounds the *expected* regret
+``E[R(T)] = T * ER^*(Z) - W(DynamicRR)``.  Empirically we estimate
+``ER^*`` by the best per-step mean reward among the arms actually
+played (or a caller-supplied oracle value) and track the cumulative
+difference, which the ablation benchmark plots against the
+``sqrt(kappa T log T)`` shape.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+
+class RegretTracker:
+    """Accumulates per-step (arm, reward) plays and computes regret.
+
+    Args:
+        oracle_mean: known per-step expected reward of the best arm;
+            when ``None`` the tracker falls back to the best empirical
+            per-arm mean observed over the whole run (a standard
+            offline estimate).
+    """
+
+    def __init__(self, oracle_mean: Optional[float] = None) -> None:
+        if oracle_mean is not None and oracle_mean < 0:
+            raise ConfigurationError(
+                f"oracle mean must be >= 0, got {oracle_mean}")
+        self._oracle_mean = oracle_mean
+        self._arms: List[int] = []
+        self._rewards: List[float] = []
+
+    def record(self, arm: int, reward: float) -> None:
+        """Record one play."""
+        self._arms.append(int(arm))
+        self._rewards.append(float(reward))
+
+    @property
+    def num_steps(self) -> int:
+        """Number of recorded plays ``T``."""
+        return len(self._rewards)
+
+    @property
+    def total_reward(self) -> float:
+        """``W`` - total collected reward."""
+        return float(sum(self._rewards))
+
+    def per_arm_means(self) -> Dict[int, float]:
+        """Empirical mean reward of every arm played at least once."""
+        sums: Dict[int, float] = {}
+        counts: Dict[int, int] = {}
+        for arm, reward in zip(self._arms, self._rewards):
+            sums[arm] = sums.get(arm, 0.0) + reward
+            counts[arm] = counts.get(arm, 0) + 1
+        return {arm: sums[arm] / counts[arm] for arm in sums}
+
+    def benchmark_mean(self) -> float:
+        """Per-step reward of the comparator (oracle or best empirical)."""
+        if self._oracle_mean is not None:
+            return self._oracle_mean
+        means = self.per_arm_means()
+        if not means:
+            return 0.0
+        return max(means.values())
+
+    def cumulative_regret(self) -> float:
+        """``T * ER^* - W`` at the current step."""
+        return self.benchmark_mean() * self.num_steps - self.total_reward
+
+    def regret_curve(self) -> np.ndarray:
+        """Regret after each step (length ``T``)."""
+        if not self._rewards:
+            return np.zeros(0)
+        best = self.benchmark_mean()
+        rewards = np.asarray(self._rewards)
+        steps = np.arange(1, rewards.size + 1)
+        return best * steps - np.cumsum(rewards)
+
+    def average_regret(self) -> float:
+        """Per-step regret ``R(T) / T`` (0 when no plays)."""
+        if not self._rewards:
+            return 0.0
+        return self.cumulative_regret() / self.num_steps
+
+    def is_sublinear(self, window: int = 10) -> bool:
+        """Heuristic check that regret growth is slowing.
+
+        Compares the average per-step regret over the first `window`
+        plays with the last `window` plays; sub-linear regret means the
+        tail increments are smaller.  Used by property tests - with
+        stochastic rewards this is a statistical statement, so the test
+        suite averages over seeds.
+        """
+        if self.num_steps < 2 * window:
+            return True
+        curve = self.regret_curve()
+        head = (curve[window - 1] - 0.0) / window
+        tail = (curve[-1] - curve[-1 - window]) / window
+        return tail <= head + 1e-9

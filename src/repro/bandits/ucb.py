@@ -1,0 +1,102 @@
+"""UCB1 - the classical optimism-in-face-of-uncertainty policy.
+
+Included as a drop-in comparison/ablation for the successive
+elimination policy of Algorithm 3: both expose the same
+``select_arm`` / ``record`` / ``best_active_arm`` surface, so
+:class:`~repro.bandits.lipschitz.LipschitzBandit` and DynamicRR can run
+on either.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+
+class UCB1:
+    """UCB1 of Auer et al.; plays ``argmax_a mean(a) + sqrt(2 ln t / n_a)``.
+
+    Args:
+        num_arms: size of the arm set.
+        confidence_scale: multiplier on the exploration bonus.
+    """
+
+    def __init__(self, num_arms: int,
+                 confidence_scale: float = 1.0) -> None:
+        if num_arms < 1:
+            raise ConfigurationError(
+                f"need at least one arm, got {num_arms}")
+        if confidence_scale <= 0:
+            raise ConfigurationError(
+                f"confidence_scale must be positive, got {confidence_scale}")
+        self._num_arms = num_arms
+        self._scale = confidence_scale
+        self._counts = np.zeros(num_arms, dtype=int)
+        self._sums = np.zeros(num_arms, dtype=float)
+        self._total_plays = 0
+
+    @property
+    def num_arms(self) -> int:
+        """Size of the arm set."""
+        return self._num_arms
+
+    @property
+    def total_plays(self) -> int:
+        """Total rewards recorded."""
+        return self._total_plays
+
+    def active_arms(self) -> List[int]:
+        """UCB1 never eliminates arms; all arms stay active."""
+        return list(range(self._num_arms))
+
+    def count(self, arm: int) -> int:
+        """Times an arm has been played."""
+        self._check_arm(arm)
+        return int(self._counts[arm])
+
+    def mean(self, arm: int) -> float:
+        """Empirical mean reward (0.0 before any play)."""
+        self._check_arm(arm)
+        if self._counts[arm] == 0:
+            return 0.0
+        return float(self._sums[arm] / self._counts[arm])
+
+    def ucb(self, arm: int) -> float:
+        """The UCB1 index; infinite for unplayed arms."""
+        self._check_arm(arm)
+        if self._counts[arm] == 0:
+            return math.inf
+        bonus = self._scale * math.sqrt(
+            2.0 * math.log(max(self._total_plays, 2)) / self._counts[arm])
+        return self.mean(arm) + bonus
+
+    def select_arm(self) -> int:
+        """The arm with the largest UCB index (unplayed arms first)."""
+        return max(range(self._num_arms),
+                   key=lambda a: (self.ucb(a), -a))
+
+    def best_active_arm(self) -> int:
+        """The arm with the best empirical mean (exploitation choice)."""
+        if self._total_plays == 0:
+            return 0
+        return max(range(self._num_arms),
+                   key=lambda a: (self.mean(a), -a))
+
+    def record(self, arm: int, reward: float) -> None:
+        """Record an observed reward."""
+        self._check_arm(arm)
+        self._counts[arm] += 1
+        self._sums[arm] += float(reward)
+        self._total_plays += 1
+
+    def _check_arm(self, arm: int) -> None:
+        if not 0 <= arm < self._num_arms:
+            raise ConfigurationError(
+                f"arm index {arm} out of range [0, {self._num_arms})")
+
+    def __repr__(self) -> str:
+        return f"UCB1(arms={self._num_arms}, plays={self._total_plays})"

@@ -1,0 +1,39 @@
+"""Reimplementations of the paper's comparison algorithms.
+
+Section VI-A compares against three prior algorithms, each implemented
+in offline (batch) and online (slotted) versions, exactly as the paper
+does:
+
+* **OCORP** (Liu et al. [20]) - online-convex-optimization-flavoured
+  job scheduling: sort by arrival time and remaining to-be-processed
+  data, then best-fit packing onto edge servers.
+* **Greedy** (Yang et al. [32]) - sort tasks by execution time in
+  decreasing order and assign each to its optimal (lowest-latency)
+  edge server one by one.
+* **HeuKKT** (Ma et al. [21]) - drop the capacity constraints to find
+  the workload offloaded to the remote cloud, then schedule the edge
+  share by the KKT conditions (load proportional to capacity).
+
+All three are *reward-oblivious* and *uncertainty-oblivious*: they
+pack by expected demand and never look at the (rate, reward)
+distribution - which is precisely the behaviour the paper's evaluation
+contrasts with Appro/Heu/DynamicRR.
+"""
+
+from .base import admit_sequential
+from .greedy import GreedyOffline, GreedyOnline
+from .ocorp import OcorpOffline, OcorpOnline
+from .heukkt import HeuKktOffline, HeuKktOnline
+from .random_placement import RandomOffline, RandomOnline
+
+__all__ = [
+    "admit_sequential",
+    "GreedyOffline",
+    "GreedyOnline",
+    "OcorpOffline",
+    "OcorpOnline",
+    "HeuKktOffline",
+    "HeuKktOnline",
+    "RandomOffline",
+    "RandomOnline",
+]

@@ -1,0 +1,227 @@
+"""Algorithm **DynamicRR** (Algorithm 3): online learning of ``C^th``.
+
+Per time slot:
+
+1. The Lipschitz bandit (successive elimination over the discretized
+   threshold grid ``Z'``) proposes the minimum per-request share
+   ``C^th_t`` (lines 1-9).
+2. ``R_t`` is built by sorting pending requests by expected data rate
+   and filling while the average round-robin share stays above
+   ``C^th_t`` (lines 10-11).
+3. **LP-PT** (Eqs. 22-23) is solved over ``R_t``, rounded with the
+   ``y/4`` rule, and admitted slot-by-slot - the Heu machinery with LP
+   replaced by LP-PT (line 12).  Requests that fail remain pending and
+   retry in later slots (preemptive waiting).
+4. The slot's settled reward is fed back to the bandit as that arm's
+   sample.
+
+Reward attribution is exact: the engine settles a request's reward in
+the very slot it starts (its responsiveness ``D_j`` is known after its
+first served share), which is the slot whose arm admitted it.
+
+Bandit reward normalization: arm samples are the slot reward divided by
+a fixed scale (an estimate of the maximum achievable per-slot reward),
+clipped to [0, 1] so the confidence radius calibration applies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..bandits.lipschitz import LipschitzBandit
+from ..bandits.regret import RegretTracker
+from ..config import OnlineConfig
+from ..requests.request import ARRequest
+from ..rng import RngLike, ensure_rng
+from ..solver.interface import solve_lp
+from .lp_relaxation import build_lp_pt
+from .rounding import DEFAULT_ROUNDING_SCALE, admit_slot_by_slot, \
+    randomized_round
+
+
+class DynamicRR:
+    """The online learning policy for the dynamic problem.
+
+    Implements the :class:`~repro.sim.online_engine.OnlinePolicy`
+    surface; run it with :class:`~repro.sim.online_engine.OnlineEngine`.
+
+    Args:
+        online_config: bandit/threshold parameters (paper defaults when
+            None).
+        lp_backend: LP solver backend for LP-PT.
+        rounding_scale: the ``y/4`` divisor.
+        rng: randomness for rounding and realization order.
+    """
+
+    name = "DynamicRR"
+
+    def __init__(self, online_config: Optional[OnlineConfig] = None,
+                 lp_backend: str = "scipy",
+                 rounding_scale: float = DEFAULT_ROUNDING_SCALE,
+                 max_rounds: int = 24,
+                 bandit_policy: str = "se",
+                 rng: RngLike = None) -> None:
+        if bandit_policy not in ("se", "ucb1", "egreedy"):
+            raise ValueError(
+                f"bandit_policy must be 'se', 'ucb1' or 'egreedy', got "
+                f"{bandit_policy!r}")
+        self.config = online_config or OnlineConfig()
+        self.config.validate()
+        self.lp_backend = lp_backend
+        self.rounding_scale = rounding_scale
+        self.max_rounds = max_rounds
+        #: Which finite-arm learner drives the threshold: the paper's
+        #: successive elimination ("se"), UCB1 ("ucb1"), or
+        #: epsilon-greedy ("egreedy") - the latter two for ablations.
+        self.bandit_policy = bandit_policy
+        self._rng = ensure_rng(rng)
+        self._engine = None
+        self._bandit: Optional[LipschitzBandit] = None
+        self._reward_scale = 1.0
+        self._selected_this_slot = False
+        self._last_arm_value: Optional[float] = None
+        #: Regret accounting of the latest run (for the Theorem 3 bench).
+        self.tracker = RegretTracker()
+
+    # ------------------------------------------------------------------
+    # OnlinePolicy surface
+    # ------------------------------------------------------------------
+    def begin(self, engine) -> None:
+        """Set up the bandit against the engine's horizon."""
+        self._engine = engine
+        lo, hi = self.config.threshold_range_mhz
+        policy = None
+        if self.bandit_policy == "ucb1":
+            from ..bandits.ucb import UCB1
+            policy = UCB1(num_arms=self.config.num_arms,
+                          confidence_scale=self.config.confidence_scale)
+        elif self.bandit_policy == "egreedy":
+            from ..bandits.epsilon_greedy import EpsilonGreedy
+            policy = EpsilonGreedy(num_arms=self.config.num_arms,
+                                   rng=self._rng)
+        self._bandit = LipschitzBandit(
+            low=lo, high=hi, num_arms=self.config.num_arms,
+            horizon=engine.clock.horizon_slots,
+            policy=policy,
+            explore_fraction=0.2,
+            confidence_scale=self.config.confidence_scale)
+        self.tracker = RegretTracker()
+        self._reward_scale = self._estimate_reward_scale(engine)
+
+    def schedule(self, slot: int,
+                 pending: Sequence[ARRequest]) -> List:
+        """Pick ``R_t``, solve LP-PT, round, and admit."""
+        from ..sim.online_engine import Placement  # local: avoid cycle
+
+        engine = self._engine
+        assert engine is not None and self._bandit is not None
+        self._selected_this_slot = False
+        if not pending:
+            return []
+
+        threshold = self._bandit.select_value()
+        self._selected_this_slot = True
+        self._last_arm_value = threshold
+
+        from .threshold import select_slot_requests
+        r_t = select_slot_requests(pending, engine.total_free_mhz(),
+                                   threshold)
+        if not r_t:
+            return []
+
+        waiting = {r.request_id: engine.waiting_ms(r, slot) for r in r_t}
+        lp, index = build_lp_pt(engine.instance, r_t, waiting)
+        if lp.num_variables == 0:
+            return []
+        solution = solve_lp(lp, backend=self.lp_backend)
+        ledger = self._seeded_ledger(engine, threshold)
+        placements: List = []
+        remaining = list(r_t)
+        stalled_rounds = 0
+        for _ in range(self.max_rounds):
+            if not remaining or stalled_rounds >= 4:
+                break
+            assignments = randomized_round(index, solution.values,
+                                           remaining, rng=self._rng,
+                                           scale=self.rounding_scale)
+            outcomes = admit_slot_by_slot(engine.instance, remaining,
+                                          assignments, ledger,
+                                          rng=self._rng,
+                                          reserve_cap_mhz=threshold)
+            admitted_ids = set()
+            for outcome in outcomes:
+                if outcome.admitted:
+                    admitted_ids.add(outcome.request.request_id)
+                    placements.append(Placement(
+                        request_id=outcome.request.request_id,
+                        station_id=outcome.assignment.station_id))
+            remaining = [r for r in remaining
+                         if r.request_id not in admitted_ids]
+            stalled_rounds = 0 if admitted_ids else stalled_rounds + 1
+        return placements
+
+    def observe(self, slot: int, slot_reward: float) -> None:
+        """Feed the slot's settled reward back to the bandit."""
+        if not self._selected_this_slot or self._bandit is None:
+            return
+        normalized = min(1.0, max(0.0, slot_reward / self._reward_scale))
+        self._bandit.record(normalized)
+        arm = self._bandit.grid.nearest_arm(self._last_arm_value)
+        self.tracker.record(arm, normalized)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _seeded_ledger(self, engine, threshold_mhz: float):
+        """A ledger pre-loaded with the *guaranteed shares* of running
+        requests.
+
+        In the round-robin setting a running request is guaranteed
+        ``min(demand, C^th)`` - not its full demand - so the prefix
+        test of the admission step charges each active request that
+        amount.  Capacity beyond the guarantees is elastically shared
+        (the engine's RR model stretches processing when shares shrink);
+        ``C^th`` is exactly the knob that trades admission count
+        against congestion slowdown, which is what the bandit tunes.
+        """
+        ledger = engine.instance.new_ledger()
+        sentinel = 10 ** 9
+        for sid in engine.instance.network.station_ids:
+            capacity = engine.instance.network.station(sid).capacity_mhz
+            if getattr(engine, "is_down", None) and engine.is_down(sid):
+                # Injected outage: block the station entirely.
+                ledger.reserve(sentinel, sid, capacity)
+                continue
+            count = engine.active_count(sid)
+            reserved = min(count * threshold_mhz, capacity)
+            if reserved > 0:
+                ledger.reserve(sentinel, sid, reserved)
+        return ledger
+
+    def _estimate_reward_scale(self, engine) -> float:
+        """A fixed per-slot reward scale for bandit normalization.
+
+        Upper-bounds the sustainable completion rate: the network can
+        host at most ``capacity / min_demand`` concurrent requests, each
+        completing once per ``stream_duration`` slots.
+        """
+        cfg_req = engine.instance.config.requests
+        min_rate = cfg_req.data_rate_range_mbps[0]
+        min_demand = max(min_rate * engine.instance.c_unit, 1e-9)
+        concurrent = engine.instance.network.total_capacity_mhz() / min_demand
+        per_slot = max(concurrent / cfg_req.stream_duration_slots, 1e-9)
+        max_reward = (cfg_req.reward_unit_range[1]
+                      * cfg_req.data_rate_range_mbps[1])
+        return max(per_slot * max_reward, 1e-9)
+
+    # Introspection -----------------------------------------------------
+    @property
+    def bandit(self) -> Optional[LipschitzBandit]:
+        """The threshold bandit of the current/most recent run."""
+        return self._bandit
+
+    def current_threshold_mhz(self) -> Optional[float]:
+        """The bandit's current exploitation choice."""
+        if self._bandit is None:
+            return None
+        return self._bandit.best_value()

@@ -1,0 +1,116 @@
+"""The exact **ILP-RM** formulation (Eqs. 3-6).
+
+The paper's exact solution for small instances: binary variables
+``x_{ji}`` assign each request's consolidated task set to at most one
+base station; expected demands respect station capacities; the delay
+requirement prunes infeasible pairs (constraint (5) is linear in
+``x_{ji}`` given the waiting time, so pruning is exact for binary
+solutions).
+
+The objective maximizes expected reward.  Consistent with the paper's
+uncertainty model, a request placed on station ``bs_i`` can never earn
+the reward of a realization whose demand exceeds the *whole station*,
+so the objective coefficient is ``ER_{ji}`` = the expected reward
+truncated at the station capacity - for stations large enough to host
+every support rate this reduces to the plain ``sum_rho pi RD`` of the
+paper's objective.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from ..requests.request import ARRequest
+from ..solver.interface import Solution, solve_ilp
+from ..solver.model import LinearProgram
+from .instance import ProblemInstance
+
+
+def _var_name(request_id: int, station_id: int) -> str:
+    return f"x_{request_id}_{station_id}"
+
+
+def build_ilp_rm(instance: ProblemInstance,
+                 requests: Sequence[ARRequest],
+                 waiting_ms: Optional[Mapping[int, float]] = None
+                 ) -> Tuple[LinearProgram,
+                            Dict[str, Tuple[int, int]]]:
+    """Build the ILP-RM model.
+
+    Args:
+        instance: the problem instance.
+        requests: the workload.
+        waiting_ms: per-request waiting already incurred (0 offline).
+
+    Returns:
+        ``(ilp, index)`` where ``index`` maps variable names to
+        (request_id, station_id) pairs.
+    """
+    waiting = dict(waiting_ms or {})
+    ilp = LinearProgram(name="ILP-RM", maximize=True)
+    index: Dict[str, Tuple[int, int]] = {}
+    by_request: Dict[int, list] = {}
+    by_station: Dict[int, list] = {sid: []
+                                   for sid in instance.network.station_ids}
+
+    for request in requests:
+        wait = waiting.get(request.request_id, 0.0)
+        names = []
+        for station_id in instance.latency.feasible_stations(request, wait):
+            capacity = instance.network.station(station_id).capacity_mhz
+            max_rate = capacity / instance.c_unit
+            er = request.distribution.expected_reward_within(max_rate)
+            name = _var_name(request.request_id, station_id)
+            ilp.add_variable(name, low=0.0, high=1.0, objective=er,
+                             integer=True)
+            index[name] = (request.request_id, station_id)
+            names.append(name)
+            by_station[station_id].append((name, request))
+        by_request[request.request_id] = names
+
+    # Constraint (3): each request assigned to at most one station.
+    for request_id, names in by_request.items():
+        if names:
+            ilp.add_constraint({n: 1.0 for n in names}, "<=", 1.0,
+                               name=f"assign_{request_id}")
+
+    # Constraint (4): expected demand within station capacity.
+    for station_id, entries in by_station.items():
+        if not entries:
+            continue
+        coeffs = {
+            name: request.expected_demand_mhz
+            for name, request in entries
+        }
+        capacity = instance.network.station(station_id).capacity_mhz
+        ilp.add_constraint(coeffs, "<=", capacity,
+                           name=f"capacity_{station_id}")
+    return ilp, index
+
+
+def solve_ilp_rm(instance: ProblemInstance,
+                 requests: Sequence[ARRequest],
+                 backend: str = "scipy",
+                 waiting_ms: Optional[Mapping[int, float]] = None
+                 ) -> Tuple[Solution, Dict[int, int]]:
+    """Solve ILP-RM exactly and decode the assignment.
+
+    Args:
+        instance: the problem instance.
+        requests: the workload (keep it small - this is the exact
+            solver the paper reserves for "small problem sizes").
+        backend: ``"scipy"`` or ``"bnb"``.
+        waiting_ms: per-request waiting already incurred.
+
+    Returns:
+        ``(solution, assignment)`` where ``assignment`` maps
+        request_id -> station_id for every assigned request.
+    """
+    ilp, index = build_ilp_rm(instance, requests, waiting_ms)
+    solution = solve_ilp(ilp, backend=backend)
+    assignment: Dict[int, int] = {}
+    for name, value in solution.values.items():
+        if value > 0.5 and name in index:
+            request_id, station_id = index[name]
+            assignment[request_id] = station_id
+    return solution, assignment

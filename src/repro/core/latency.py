@@ -1,0 +1,145 @@
+"""The latency model of Eq. (2).
+
+The experienced latency of request ``r_j`` assigned to station
+``bs_i`` is::
+
+    D_j = (b_j - a_j)                                # scheduling wait
+        + sum_{e in p_ji} 2 * d^trans_je             # round trip
+        + sum_k d^pro_{jki}                          # pipeline processing
+
+Per-task processing delays ``d^pro_{jki}`` "vary between base stations"
+(Section III-D): we draw a base per-``rho_unit`` task delay for every
+station and scale it by each task's compute weight, so rendering
+dominates and fast stations are consistently fast.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..exceptions import ConfigurationError
+from ..network.paths import PathTable
+from ..network.topology import MECNetwork
+from ..requests.request import ARRequest
+from ..rng import RngLike, ensure_rng
+
+
+class LatencyModel:
+    """Evaluates Eq. (2) for any (request, station) pair.
+
+    Args:
+        network: the MEC network.
+        path_table: shortest paths by transmission delay.
+        proc_delay_range_ms: uniform range for each station's base
+            per-task processing delay of one ``rho_unit``.
+        rng: randomness for the per-station base delays.
+    """
+
+    def __init__(self, network: MECNetwork, path_table: PathTable,
+                 proc_delay_range_ms: Tuple[float, float] = (5.0, 15.0),
+                 rng: RngLike = None) -> None:
+        lo, hi = proc_delay_range_ms
+        if not 0 <= lo <= hi:
+            raise ConfigurationError(
+                f"invalid processing delay range {proc_delay_range_ms}")
+        if path_table.network is not network:
+            raise ConfigurationError(
+                "path table was built from a different network")
+        rng = ensure_rng(rng)
+        self._network = network
+        self._paths = path_table
+        self._base_delay_ms: Dict[int, float] = {
+            sid: float(rng.uniform(lo, hi))
+            for sid in network.station_ids
+        }
+
+    @property
+    def network(self) -> MECNetwork:
+        """The underlying network."""
+        return self._network
+
+    @property
+    def paths(self) -> PathTable:
+        """The underlying path table."""
+        return self._paths
+
+    def station_base_delay_ms(self, station_id: int) -> float:
+        """Base per-task processing delay of one station."""
+        try:
+            return self._base_delay_ms[station_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown station id {station_id}") from None
+
+    def task_proc_delay_ms(self, request: ARRequest, task_index: int,
+                           station_id: int) -> float:
+        """``d^pro_{jki}`` for one task of a request at one station."""
+        task = request.pipeline[task_index]
+        return self.station_base_delay_ms(station_id) * task.compute_weight
+
+    def proc_delay_ms(self, request: ARRequest, station_id: int) -> float:
+        """``sum_k d^pro_{jki}`` - whole pipeline at one station."""
+        return (self.station_base_delay_ms(station_id)
+                * request.pipeline.total_compute_weight)
+
+    def transfer_delay_ms(self, request: ARRequest,
+                          station_id: int) -> float:
+        """Round-trip transmission delay ``sum_e 2 * d^trans_je``."""
+        return self._paths.round_trip_delay_ms(request.serving_station,
+                                               station_id)
+
+    def placement_delay_ms(self, request: ARRequest,
+                           station_id: int) -> float:
+        """Transmission + processing part of Eq. (2) (no waiting)."""
+        return (self.transfer_delay_ms(request, station_id)
+                + self.proc_delay_ms(request, station_id))
+
+    def total_delay_ms(self, request: ARRequest, station_id: int,
+                       waiting_ms: float = 0.0) -> float:
+        """Full Eq. (2): waiting + transmission + processing."""
+        if waiting_ms < 0:
+            raise ConfigurationError(
+                f"waiting must be >= 0, got {waiting_ms}")
+        return waiting_ms + self.placement_delay_ms(request, station_id)
+
+    def split_delay_ms(self, request: ARRequest, primary: int,
+                       migrated_tasks: Dict[int, int],
+                       waiting_ms: float = 0.0) -> float:
+        """Latency when some tasks run on other stations (Heu).
+
+        Each migrated task adds a round trip between the primary and
+        its host (intermediate matrices travel there and back) and is
+        processed at the host's speed.
+
+        Args:
+            request: the request.
+            primary: primary station id.
+            migrated_tasks: task index -> hosting station id.
+            waiting_ms: scheduling wait.
+        """
+        total = waiting_ms + self.transfer_delay_ms(request, primary)
+        for k in range(len(request.pipeline)):
+            host = migrated_tasks.get(k, primary)
+            total += self.task_proc_delay_ms(request, k, host)
+            if host != primary:
+                total += self._paths.round_trip_delay_ms(primary, host)
+        return total
+
+    def is_feasible(self, request: ARRequest, station_id: int,
+                    waiting_ms: float = 0.0) -> bool:
+        """Whether Eq. (1) ``D_j <= D_hat_j`` holds for a placement."""
+        return (self.total_delay_ms(request, station_id, waiting_ms)
+                <= request.deadline_ms + 1e-9)
+
+    def feasible_stations(self, request: ARRequest,
+                          waiting_ms: float = 0.0) -> List[int]:
+        """Stations meeting the deadline, sorted by placement delay.
+
+        This is the pruning that enforces constraint (11) inside the LP
+        (a binary solution satisfies Eq. (11) iff every selected station
+        is in this list).
+        """
+        feasible = [sid for sid in self._network.station_ids
+                    if self.is_feasible(request, sid, waiting_ms)]
+        return sorted(feasible, key=lambda sid: (
+            self.placement_delay_ms(request, sid), sid))

@@ -1,0 +1,260 @@
+"""The resource-slot-indexed LP relaxation (Eqs. 8-12) and LP-PT (22-23).
+
+The novelty of the paper's relaxation is indexing assignments by the
+*starting resource slot*: variable ``y_{jil}`` says request ``r_j``
+starts at slot ``l`` of station ``bs_i``.  Two consequences:
+
+* the objective coefficient ``ER_{jil}`` (Eq. 8) only counts reward
+  from realizations whose demand fits into the capacity remaining
+  *after* the slot offset ``l * C_l`` - large-rate realizations earn
+  nothing from deep slots, which kills the incentive to chase rare
+  high-reward rates;
+* the prefix constraint (Eq. 10) bounds the *truncated* expected demand
+  of everything starting at-or-before a slot by twice the slot offset,
+  which is exactly what Lemma 2's Markov argument needs.
+
+The delay requirement (Eq. 11) is linear in ``y`` given the waiting
+time, so we enforce it by pruning: ``y_{jil}`` is only created when the
+placement delay of (j, i) meets the deadline - equivalent for any
+binary solution, and tighter for fractional ones.
+
+``LP-PT`` (Eqs. 22-23) is the per-time-slot variant used by DynamicRR:
+identical shape, with the truncation additionally capped by the fair
+share ``C(bs_i) / |R_t|``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..requests.request import ARRequest
+from ..solver.model import LinearProgram
+from .instance import ProblemInstance
+
+#: Slack factor on the prefix-demand constraint (the ``2`` in Eq. 10).
+PREFIX_SLACK = 2.0
+
+
+def _var_name(request_id: int, station_id: int, slot: int) -> str:
+    return f"y_{request_id}_{station_id}_{slot}"
+
+
+@dataclass(frozen=True)
+class LpIndex:
+    """Maps LP variables back to (request, station, slot) triples.
+
+    Attributes:
+        triples: variable name -> (request_id, station_id, slot).
+        by_request: request_id -> list of its variable names.
+    """
+
+    triples: Mapping[str, Tuple[int, int, int]]
+    by_request: Mapping[int, Tuple[str, ...]]
+
+    def assignment_options(self, values: Mapping[str, float],
+                           request_id: int,
+                           tol: float = 1e-9
+                           ) -> List[Tuple[int, int, float]]:
+        """Positive-mass (station, slot, probability) options of a request.
+
+        Args:
+            values: an LP solution.
+            request_id: the request.
+            tol: drop options below this mass.
+        """
+        options: List[Tuple[int, int, float]] = []
+        for name in self.by_request.get(request_id, ()):
+            mass = float(values.get(name, 0.0))
+            if mass > tol:
+                _, station_id, slot = self.triples[name]
+                options.append((station_id, slot, mass))
+        return options
+
+
+def expected_reward_coefficient(instance: ProblemInstance,
+                                request: ARRequest, station_id: int,
+                                slot: int) -> float:
+    """``ER_{jil}`` of Eq. (8).
+
+    The reward counts only realizations whose demand fits into the
+    capacity remaining after the slot offset:
+    ``sum_{rho : rho * C_unit <= C(bs_i) - l * C_l} pi_rho * RD_rho``.
+    """
+    remaining_mhz = instance.slots_of(station_id).remaining_after_mhz(slot)
+    max_rate = remaining_mhz / instance.c_unit
+    return request.distribution.expected_reward_within(max_rate)
+
+
+def _add_variables(lp: LinearProgram, instance: ProblemInstance,
+                   requests: Sequence[ARRequest],
+                   waiting_ms: Mapping[int, float]
+                   ) -> Tuple[Dict[str, Tuple[int, int, int]],
+                              Dict[int, List[str]]]:
+    """Create the pruned y_{jil} columns; returns the index maps."""
+    triples: Dict[str, Tuple[int, int, int]] = {}
+    by_request: Dict[int, List[str]] = {}
+    for request in requests:
+        wait = waiting_ms.get(request.request_id, 0.0)
+        names: List[str] = []
+        for station_id in instance.latency.feasible_stations(request, wait):
+            num_slots = instance.network.num_slots(station_id)
+            for slot in range(num_slots):
+                er = expected_reward_coefficient(
+                    instance, request, station_id, slot)
+                name = _var_name(request.request_id, station_id, slot)
+                lp.add_variable(name, low=0.0, high=1.0, objective=er)
+                triples[name] = (request.request_id, station_id, slot)
+                names.append(name)
+        by_request[request.request_id] = names
+    return triples, by_request
+
+
+def _add_choice_constraints(lp: LinearProgram,
+                            by_request: Mapping[int, List[str]]) -> None:
+    """Constraint (9): each request starts in at most one slot."""
+    for request_id, names in by_request.items():
+        if names:
+            lp.add_constraint({name: 1.0 for name in names}, "<=", 1.0,
+                              name=f"choice_{request_id}")
+
+
+def _add_prefix_constraints(lp: LinearProgram, instance: ProblemInstance,
+                            requests: Sequence[ARRequest],
+                            by_request: Mapping[int, List[str]],
+                            triples: Mapping[str, Tuple[int, int, int]],
+                            fair_share_count: Optional[int]) -> None:
+    """Constraint (10) / (23): truncated prefix demand per (i, m).
+
+    For every station ``i`` and threshold index ``m`` (capacity offset
+    ``m * C_l``), the truncated expected rates of requests starting in
+    slots ``l' < m`` sum to at most ``2 * m * C_l / C_unit``.
+
+    Args:
+        fair_share_count: ``|R_t|`` for LP-PT's extra truncation by the
+            fair share ``C(bs_i) / |R_t|`` (converted to rate space via
+            ``C_unit``); None for the plain LP.
+    """
+    request_by_id = {r.request_id: r for r in requests}
+    slot_size = instance.slot_size_mhz
+    c_unit = instance.c_unit
+    for station_id in instance.network.station_ids:
+        num_slots = instance.network.num_slots(station_id)
+        share_rate = None
+        if fair_share_count is not None:
+            capacity = instance.network.station(station_id).capacity_mhz
+            share_rate = capacity / (max(fair_share_count, 1) * c_unit)
+        for m in range(1, num_slots + 1):
+            threshold_rate = m * slot_size / c_unit
+            coeffs: Dict[str, float] = {}
+            for request_id, names in by_request.items():
+                request = request_by_id[request_id]
+                cap = threshold_rate
+                if share_rate is not None:
+                    cap = min(cap, share_rate)
+                truncated = request.distribution.expected_truncated_rate(cap)
+                if truncated <= 0:
+                    continue
+                for name in names:
+                    _, sid, slot = triples[name]
+                    if sid == station_id and slot < m:
+                        coeffs[name] = truncated
+            if coeffs:
+                lp.add_constraint(
+                    coeffs, "<=", PREFIX_SLACK * threshold_rate,
+                    name=f"prefix_{station_id}_{m}")
+        _add_station_capacity_row(lp, instance, requests, by_request,
+                                  triples, station_id, share_rate)
+
+
+def _add_station_capacity_row(lp: LinearProgram, instance: ProblemInstance,
+                              requests: Sequence[ARRequest],
+                              by_request: Mapping[int, List[str]],
+                              triples: Mapping[str, Tuple[int, int, int]],
+                              station_id: int,
+                              share_rate: Optional[float]) -> None:
+    """Valid per-station expected-capacity row (no slack factor).
+
+    Any admission policy keeps the realized (capacity-truncated)
+    occupancy of a station within ``C(bs_i)`` in every run, hence in
+    expectation: ``sum_j x_ji * E[min(rho_j, C_i/C_unit)] <= C_i/C_unit``.
+    This is the LP image of ILP-RM's constraint (4); the optimal policy
+    satisfies it, so adding it preserves Lemma 1 (``LPOpt >= Opt``)
+    while forcing the fractional solution to *choose* which requests to
+    carry when the workload exceeds capacity - which is where the
+    expected-reward awareness of the objective actually bites.
+    """
+    request_by_id = {r.request_id: r for r in requests}
+    capacity_rate = (instance.network.station(station_id).capacity_mhz
+                     / instance.c_unit)
+    coeffs: Dict[str, float] = {}
+    for request_id, names in by_request.items():
+        request = request_by_id[request_id]
+        cap = capacity_rate if share_rate is None else min(capacity_rate,
+                                                           share_rate)
+        truncated = request.distribution.expected_truncated_rate(cap)
+        if truncated <= 0:
+            continue
+        for name in names:
+            _, sid, _slot = triples[name]
+            if sid == station_id:
+                coeffs[name] = truncated
+    if coeffs:
+        lp.add_constraint(coeffs, "<=", capacity_rate,
+                          name=f"capacity_{station_id}")
+
+
+def build_lp_relaxation(instance: ProblemInstance,
+                        requests: Sequence[ARRequest],
+                        waiting_ms: Optional[Mapping[int, float]] = None
+                        ) -> Tuple[LinearProgram, LpIndex]:
+    """Build the slot-indexed **LP** (Eqs. 8-12).
+
+    Args:
+        instance: the problem instance.
+        requests: the workload to place.
+        waiting_ms: per-request waiting time already incurred (the
+            ``b_j - a_j`` part of Eq. (2)); defaults to 0 for the
+            offline batch problem.
+
+    Returns:
+        ``(lp, index)`` - the model and the variable index maps.
+    """
+    waiting = dict(waiting_ms or {})
+    lp = LinearProgram(name="LP", maximize=True)
+    triples, by_request = _add_variables(lp, instance, requests, waiting)
+    _add_choice_constraints(lp, by_request)
+    _add_prefix_constraints(lp, instance, requests, by_request, triples,
+                            fair_share_count=None)
+    index = LpIndex(
+        triples=dict(triples),
+        by_request={rid: tuple(names) for rid, names in by_request.items()})
+    return lp, index
+
+
+def build_lp_pt(instance: ProblemInstance,
+                requests: Sequence[ARRequest],
+                waiting_ms: Optional[Mapping[int, float]] = None
+                ) -> Tuple[LinearProgram, LpIndex]:
+    """Build **LP-PT** (Eqs. 22-23) for one time slot of DynamicRR.
+
+    Identical to the plain LP except that constraint (23) additionally
+    truncates each request's expected rate by the fair round-robin
+    share ``C(bs_i) / |R_t|`` (expressed in rate space through
+    ``C_unit``).  With ``|R_t| = 0`` the model is empty.
+
+    Args:
+        instance: the problem instance.
+        requests: the slot's selected set ``R_t``.
+        waiting_ms: accumulated waiting of each request in ``R_t``.
+    """
+    waiting = dict(waiting_ms or {})
+    lp = LinearProgram(name="LP-PT", maximize=True)
+    triples, by_request = _add_variables(lp, instance, requests, waiting)
+    _add_choice_constraints(lp, by_request)
+    _add_prefix_constraints(lp, instance, requests, by_request, triples,
+                            fair_share_count=max(len(requests), 1))
+    index = LpIndex(
+        triples=dict(triples),
+        by_request={rid: tuple(names) for rid, names in by_request.items()})
+    return lp, index

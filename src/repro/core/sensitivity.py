@@ -1,0 +1,98 @@
+"""Capacity sensitivity analysis on top of the slot-indexed LP.
+
+Where should a provider add computing capacity?  The dual price of a
+station's expected-capacity row in the slot-indexed LP is the marginal
+expected reward of one more MB/s of servable rate at that station; a
+zero price marks a station that is not a bottleneck for the current
+workload.  :func:`capacity_value_per_station` ranks stations by that
+price, turning the reproduction's LP into the planning tool the paper's
+provider-revenue framing motivates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..requests.request import ARRequest
+from ..solver.duals import solve_lp_with_duals
+from .instance import ProblemInstance
+from .lp_relaxation import build_lp_relaxation
+
+
+@dataclass(frozen=True)
+class StationValue:
+    """Marginal value of capacity at one station.
+
+    Attributes:
+        station_id: the station.
+        shadow_price: expected dollars per extra MB/s of servable rate
+            (the capacity row's dual).
+        utilization_bound: whether the station's capacity row binds at
+            the LP optimum.
+    """
+
+    station_id: int
+    shadow_price: float
+    utilization_bound: bool
+
+
+def capacity_value_per_station(instance: ProblemInstance,
+                               requests: Sequence[ARRequest]
+                               ) -> List[StationValue]:
+    """Rank stations by the marginal value of extra capacity.
+
+    Args:
+        instance: the problem instance.
+        requests: the workload the provider expects.
+
+    Returns:
+        One :class:`StationValue` per station, sorted by decreasing
+        shadow price (ties by station id).
+    """
+    lp, _index = build_lp_relaxation(instance, requests)
+    if lp.num_variables == 0:
+        return [StationValue(station_id=sid, shadow_price=0.0,
+                             utilization_bound=False)
+                for sid in instance.network.station_ids]
+    dual = solve_lp_with_duals(lp)
+    binding = set(dual.binding())
+    values = []
+    for sid in instance.network.station_ids:
+        name = f"capacity_{sid}"
+        values.append(StationValue(
+            station_id=sid,
+            shadow_price=dual.shadow_price(name),
+            utilization_bound=name in binding))
+    values.sort(key=lambda v: (-v.shadow_price, v.station_id))
+    return values
+
+
+def bottleneck_stations(instance: ProblemInstance,
+                        requests: Sequence[ARRequest],
+                        top_k: int = 5) -> List[int]:
+    """The `top_k` stations where extra capacity pays the most."""
+    ranked = capacity_value_per_station(instance, requests)
+    return [v.station_id for v in ranked[:top_k]
+            if v.shadow_price > 0.0]
+
+
+def expansion_gain_estimate(instance: ProblemInstance,
+                            requests: Sequence[ARRequest],
+                            station_id: int,
+                            extra_mhz: float) -> float:
+    """First-order estimate of reward gained by adding capacity.
+
+    ``shadow price x extra servable rate`` - valid for small additions
+    (duals are local derivatives; a big expansion changes the basis).
+
+    Args:
+        instance: the problem instance.
+        requests: the workload.
+        station_id: where the capacity is added.
+        extra_mhz: how much (converted to rate via ``C_unit``).
+    """
+    ranked = {v.station_id: v
+              for v in capacity_value_per_station(instance, requests)}
+    price = ranked[station_id].shadow_price
+    return price * (extra_mhz / instance.c_unit)

@@ -1,0 +1,61 @@
+"""The per-slot request selection rule of Algorithm 3 (lines 10-11).
+
+Given the bandit-chosen threshold ``C^th``, DynamicRR sorts the arrived
+(pending) requests by increasing expected data rate and keeps adding
+them to the slot's working set ``R_t`` while the average computing
+resource each would receive under round-robin sharing stays at least
+``C^th``.  Equivalently, at most ``floor(free_capacity / C^th)``
+requests are selected - enough parallelism to use the network, few
+enough that nobody's share collapses.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from ..exceptions import ConfigurationError
+from ..requests.request import ARRequest
+
+
+def max_parallel_requests(free_capacity_mhz: float,
+                          threshold_mhz: float) -> int:
+    """Largest ``|R_t|`` keeping the average RR share at least ``C^th``.
+
+    Args:
+        free_capacity_mhz: computing resource currently unclaimed.
+        threshold_mhz: the chosen ``C^th``.
+
+    Returns:
+        ``floor(free / C^th)`` (0 when the threshold exceeds the free
+        capacity - the slot is skipped and requests keep waiting).
+    """
+    if free_capacity_mhz < 0:
+        raise ConfigurationError(
+            f"free capacity must be >= 0, got {free_capacity_mhz}")
+    if threshold_mhz <= 0:
+        raise ConfigurationError(
+            f"threshold must be positive, got {threshold_mhz}")
+    return int(math.floor(free_capacity_mhz / threshold_mhz))
+
+
+def select_slot_requests(pending: Sequence[ARRequest],
+                         free_capacity_mhz: float,
+                         threshold_mhz: float) -> List[ARRequest]:
+    """Build ``R_t``: smallest expected rates first, capped by ``C^th``.
+
+    Args:
+        pending: requests waiting to be scheduled.
+        free_capacity_mhz: unclaimed computing resource this slot.
+        threshold_mhz: the bandit's current ``C^th``.
+
+    Returns:
+        The selected subset, in increasing expected data rate (ties
+        break by request id for determinism).
+    """
+    limit = max_parallel_requests(free_capacity_mhz, threshold_mhz)
+    if limit <= 0:
+        return []
+    ordered = sorted(pending, key=lambda r: (r.expected_rate_mbps,
+                                             r.request_id))
+    return ordered[:limit]

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch a single base class.  The
+sub-classes separate the three broad failure domains: bad user input,
+solver-level failures, and simulation/scheduling inconsistencies.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is out of range or inconsistent.
+
+    Raised eagerly at object construction time so that a bad parameter
+    never propagates into a long-running simulation.
+    """
+
+
+class InfeasibleProblemError(ReproError):
+    """A linear or integer program has no feasible solution."""
+
+
+class UnboundedProblemError(ReproError):
+    """A linear program is unbounded in the optimization direction."""
+
+
+class SolverError(ReproError):
+    """The solver failed for a reason other than infeasibility.
+
+    Examples: iteration limit exceeded, numerical breakdown, or an
+    unknown backend name.
+    """
+
+
+class CapacityError(ReproError):
+    """An assignment would exceed a base station's computing capacity."""
+
+
+class SchedulingError(ReproError):
+    """The simulation engine detected an inconsistent scheduling state.
+
+    For example: completing a request twice, or admitting a request
+    before its arrival slot.
+    """
+
+
+class BanditError(ReproError):
+    """A multi-armed bandit policy was used incorrectly.
+
+    For example: recording a reward for an arm that was never selected,
+    or asking for an arm after every arm has been eliminated.
+    """

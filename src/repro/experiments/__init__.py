@@ -1,0 +1,39 @@
+"""Experiment drivers that regenerate the paper's figures.
+
+Each ``figure*`` function in :mod:`~repro.experiments.figures` runs the
+sweep behind one figure of Section VI and returns a
+:class:`~repro.sim.results.SweepResult` whose series have the same
+shape as the paper's plots.  :mod:`~repro.experiments.reporting`
+renders them as ASCII tables (the benches print those), and
+:mod:`~repro.experiments.settings` holds the paper-scale and
+bench-scale parameter presets.
+"""
+
+from .settings import ExperimentScale, bench_scale, paper_scale
+from .runner import run_offline_sweep, run_online_sweep
+from .figures import figure3, figure4, figure5, figure6
+from .validation import (ShapeCheck, check_dominates, check_monotone,
+                         check_saturates, check_winner_everywhere,
+                         validate_all)
+from .reporting import render_ascii_plot, render_figure, render_table
+
+__all__ = [
+    "ExperimentScale",
+    "paper_scale",
+    "bench_scale",
+    "run_offline_sweep",
+    "run_online_sweep",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "render_table",
+    "render_ascii_plot",
+    "render_figure",
+    "ShapeCheck",
+    "check_dominates",
+    "check_monotone",
+    "check_saturates",
+    "check_winner_everywhere",
+    "validate_all",
+]

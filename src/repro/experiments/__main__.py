@@ -1,0 +1,75 @@
+"""Command-line driver: ``python -m repro.experiments``.
+
+Runs the Section VI figures and prints the paper-style tables, with
+optional CSV export::
+
+    python -m repro.experiments --figures 3 4 --scale bench
+    python -m repro.experiments --figures all --scale paper --out results/
+
+The bench scale finishes in about a minute; the paper scale runs the
+full Section VI sweeps (several minutes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from .export import export_figure
+from .figures import figure3, figure4, figure5, figure6
+from .reporting import render_ascii_plot, render_figure
+from .settings import bench_scale, paper_scale
+
+_FIGURES = {
+    "3": (figure3, ("total_reward", "avg_latency_ms", "runtime_s")),
+    "4": (figure4, ("total_reward", "avg_latency_ms")),
+    "5": (figure5, ("total_reward", "avg_latency_ms")),
+    "6": (figure6, ("total_reward", "avg_latency_ms")),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's figures (ICDCS 2021 MEC/AR "
+                    "offloading reproduction).")
+    parser.add_argument("--figures", nargs="+", default=["all"],
+                        choices=["3", "4", "5", "6", "all"],
+                        help="which figures to run (default: all)")
+    parser.add_argument("--scale", choices=["bench", "paper"],
+                        default="bench",
+                        help="sweep size preset (default: bench)")
+    parser.add_argument("--out", default=None, metavar="DIR",
+                        help="directory for CSV export (optional)")
+    parser.add_argument("--plot", action="store_true",
+                        help="also render ASCII line plots")
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    args = build_parser().parse_args(argv)
+    wanted = list(_FIGURES) if "all" in args.figures else args.figures
+    scale = paper_scale() if args.scale == "paper" else bench_scale()
+
+    for fig_id in wanted:
+        driver, panels = _FIGURES[fig_id]
+        sweep = driver(scale)
+        print(render_figure(sweep, panels, f"Figure {fig_id}"))
+        print()
+        if args.plot:
+            for metric in panels:
+                print(render_ascii_plot(
+                    sweep, metric,
+                    title=f"Figure {fig_id}: {metric}"))
+                print()
+        if args.out:
+            paths = export_figure(sweep, args.out, f"fig{fig_id}")
+            for path in paths:
+                print(f"  wrote {path}")
+            print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,94 @@
+"""CSV export of sweep results.
+
+Writes the long-form records (one row per algorithm x swept value x
+seed) and the wide-form mean tables the figures plot, so downstream
+plotting (matplotlib, gnuplot, a spreadsheet) needs no Python.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from ..exceptions import ConfigurationError
+from ..sim.results import SweepResult
+
+PathLike = Union[str, Path]
+
+#: Metrics exported by default (the figures' panels plus diagnostics).
+DEFAULT_METRICS = ("total_reward", "avg_latency_ms", "runtime_s",
+                   "num_admitted", "num_rewarded")
+
+
+def write_records_csv(sweep: SweepResult, path: PathLike) -> Path:
+    """Write the long-form records: one row per (algorithm, x, seed).
+
+    Returns the written path.
+    """
+    path = Path(path)
+    metrics: List[str] = []
+    for record in sweep.records:
+        for name in record.metrics:
+            if name not in metrics:
+                metrics.append(name)
+    if not sweep.records:
+        raise ConfigurationError("nothing to export: sweep is empty")
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["algorithm", sweep.x_label, "seed"] + metrics)
+        for record in sweep.records:
+            writer.writerow(
+                [record.algorithm, record.x, record.seed]
+                + [record.metrics.get(name, "") for name in metrics])
+    return path
+
+
+def write_series_csv(sweep: SweepResult, metric: str,
+                     path: PathLike) -> Path:
+    """Write one metric's wide-form mean table (one row per algorithm).
+
+    Columns are the swept values; cells are means over seeds (blank
+    when an algorithm has no record at that value).
+    """
+    path = Path(path)
+    xs = sweep.x_values()
+    if not xs:
+        raise ConfigurationError("nothing to export: sweep is empty")
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["algorithm"] + [str(x) for x in xs])
+        for algorithm in sweep.algorithms():
+            xs_a, means, _stds = sweep.series(algorithm, metric)
+            by_x = dict(zip(xs_a, means))
+            writer.writerow([algorithm]
+                            + [by_x.get(x, "") for x in xs])
+    return path
+
+
+def export_figure(sweep: SweepResult, out_dir: PathLike,
+                  figure_name: str,
+                  metrics: Iterable[str] = DEFAULT_METRICS
+                  ) -> List[Path]:
+    """Export one figure's records plus a wide table per metric.
+
+    Args:
+        sweep: the experiment results.
+        out_dir: directory to create files in (created if missing).
+        figure_name: filename stem, e.g. ``"fig3"``.
+        metrics: which metric tables to write.
+
+    Returns:
+        The written paths (records first).
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written = [write_records_csv(sweep,
+                                 out_dir / f"{figure_name}_records.csv")]
+    available = {name for record in sweep.records
+                 for name in record.metrics}
+    for metric in metrics:
+        if metric in available:
+            written.append(write_series_csv(
+                sweep, metric, out_dir / f"{figure_name}_{metric}.csv"))
+    return written

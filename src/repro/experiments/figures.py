@@ -1,0 +1,114 @@
+"""Drivers for Figures 3-6 of the paper.
+
+Each function reproduces one figure's sweep and returns the
+:class:`~repro.sim.results.SweepResult` holding every algorithm's
+reward / latency / runtime series.  Pass ``scale=paper_scale()`` for
+the full Section VI configuration or ``scale=bench_scale()`` (default)
+for a fast run with the same qualitative shapes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..baselines import (GreedyOffline, GreedyOnline, HeuKktOffline,
+                         HeuKktOnline, OcorpOffline, OcorpOnline)
+from ..core.appro import Appro
+from ..core.dynamic_rr import DynamicRR
+from ..core.heu import Heu
+from ..sim.results import SweepResult
+from .runner import run_offline_sweep, run_online_sweep
+from .settings import (ExperimentScale, base_config, bench_scale,
+                       config_with_max_rate, config_with_stations)
+
+#: Offline comparison set of Fig. 3 / Fig. 5.
+OFFLINE_ALGORITHMS = (Appro, Heu, GreedyOffline, OcorpOffline,
+                      HeuKktOffline)
+#: Online comparison set of Fig. 4 / Fig. 6.
+ONLINE_POLICIES = (DynamicRR, GreedyOnline, OcorpOnline, HeuKktOnline)
+
+
+def figure3(scale: Optional[ExperimentScale] = None) -> SweepResult:
+    """Fig. 3: offline algorithms vs number of requests.
+
+    Series: total reward (a), average latency (b), running time (c),
+    for Appro, Heu, Greedy, OCORP, HeuKKT over |R| = 100..300
+    (bench scale: 60..180).
+    """
+    scale = (scale or bench_scale()).validate()
+    return run_offline_sweep(
+        algorithm_factories=[cls for cls in OFFLINE_ALGORITHMS],
+        x_values=list(scale.request_counts),
+        make_config=lambda x, seed: base_config(seed),
+        num_requests_of=lambda x: int(x),
+        num_seeds=scale.num_seeds,
+        x_label="num_requests",
+    )
+
+
+def figure4(scale: Optional[ExperimentScale] = None) -> SweepResult:
+    """Fig. 4: online algorithms vs number of requests.
+
+    Series: total reward (a) and average latency (b) for DynamicRR,
+    Greedy, OCORP, HeuKKT with slotted arrivals over the horizon.
+    """
+    scale = (scale or bench_scale()).validate()
+    return run_online_sweep(
+        policy_factories=[cls for cls in ONLINE_POLICIES],
+        x_values=list(scale.request_counts),
+        make_config=lambda x, seed: base_config(seed),
+        num_requests_of=lambda x: int(x),
+        horizon_slots=scale.horizon_slots,
+        num_seeds=scale.num_seeds,
+        x_label="num_requests",
+    )
+
+
+def figure5(scale: Optional[ExperimentScale] = None,
+            include_online: bool = True) -> SweepResult:
+    """Fig. 5: all algorithms vs number of base stations.
+
+    The paper plots Appro, Heu, DynamicRR, Greedy, OCORP and HeuKKT
+    with |R| fixed (150) while |BS| varies from 10 to 50.  The offline
+    algorithms run on the batch problem; DynamicRR runs on the slotted
+    problem with the same per-seed workload size.
+    """
+    scale = (scale or bench_scale()).validate()
+    sweep = run_offline_sweep(
+        algorithm_factories=[cls for cls in OFFLINE_ALGORITHMS],
+        x_values=list(scale.station_counts),
+        make_config=lambda x, seed: config_with_stations(int(x), seed),
+        num_requests_of=lambda x: scale.fig5_num_requests,
+        num_seeds=scale.num_seeds,
+        x_label="num_stations",
+    )
+    if include_online:
+        online = run_online_sweep(
+            policy_factories=[DynamicRR],
+            x_values=list(scale.station_counts),
+            make_config=lambda x, seed: config_with_stations(int(x), seed),
+            num_requests_of=lambda x: scale.fig5_num_requests,
+            horizon_slots=scale.horizon_slots,
+            num_seeds=scale.num_seeds,
+            x_label="num_stations",
+        )
+        sweep.extend(online.records)
+    return sweep
+
+
+def figure6(scale: Optional[ExperimentScale] = None) -> SweepResult:
+    """Fig. 6: online algorithms vs the maximum data rate of a request.
+
+    The max rate sweeps 15..35 MB/s (support minimum scales along);
+    both reward and latency should increase with the maximum rate.
+    """
+    scale = (scale or bench_scale()).validate()
+    return run_online_sweep(
+        policy_factories=[cls for cls in ONLINE_POLICIES],
+        x_values=list(scale.max_rates_mbps),
+        make_config=lambda x, seed: config_with_max_rate(float(x), seed),
+        num_requests_of=lambda x: scale.fig6_num_requests,
+        horizon_slots=scale.horizon_slots,
+        num_seeds=scale.num_seeds,
+        x_label="max_rate_mbps",
+    )

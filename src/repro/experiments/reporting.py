@@ -1,0 +1,162 @@
+"""ASCII rendering of sweep results, in the paper's figure layout.
+
+The benches print these tables so a reproduction run ends with the
+same rows/series the paper plots - one table per figure panel.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..sim.results import SweepResult
+
+#: Display order matching the paper's legends.
+_PREFERRED_ORDER = ("Appro", "Heu", "DynamicRR", "Greedy", "OCORP",
+                    "HeuKKT")
+
+
+def _ordered_algorithms(sweep: SweepResult) -> List[str]:
+    present = sweep.algorithms()
+    ordered = [name for name in _PREFERRED_ORDER if name in present]
+    ordered.extend(name for name in present if name not in ordered)
+    return ordered
+
+
+def render_table(sweep: SweepResult, metric: str,
+                 title: Optional[str] = None,
+                 fmt: str = "{:.1f}") -> str:
+    """Render one metric of a sweep as a fixed-width table.
+
+    Args:
+        sweep: the experiment results.
+        metric: which metric column to show.
+        title: optional heading line.
+        fmt: cell format for metric values.
+
+    Returns:
+        A multi-line string; one row per algorithm, one column per
+        swept value.
+    """
+    xs = sweep.x_values()
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_cells = [f"{sweep.x_label:>14}"] + [
+        f"{x:>12g}" for x in xs]
+    lines.append(" ".join(header_cells))
+    lines.append("-" * len(lines[-1]))
+    for algorithm in _ordered_algorithms(sweep):
+        xs_a, means, _ = sweep.series(algorithm, metric)
+        by_x = dict(zip(xs_a, means))
+        cells = [f"{algorithm:>14}"]
+        for x in xs:
+            if x in by_x:
+                cells.append(f"{fmt.format(by_x[x]):>12}")
+            else:
+                cells.append(f"{'-':>12}")
+        lines.append(" ".join(cells))
+    return "\n".join(lines)
+
+
+def render_ascii_plot(sweep: SweepResult, metric: str,
+                      height: int = 12, width: int = 60,
+                      title: Optional[str] = None) -> str:
+    """A terminal line plot of one metric's mean series.
+
+    Each algorithm gets a marker (its initial); markers share the
+    canvas so crossings are visible.  Y-axis labels show the value
+    range; the X-axis lists the swept values.
+
+    Args:
+        sweep: the experiment results.
+        metric: metric to plot.
+        height: canvas rows.
+        width: canvas columns.
+        title: optional heading.
+    """
+    if height < 2 or width < 2:
+        raise ValueError("canvas must be at least 2x2")
+    algorithms = _ordered_algorithms(sweep)
+    xs = sweep.x_values()
+    if not xs or not algorithms:
+        return "(empty sweep)"
+
+    series = {}
+    lo, hi = float("inf"), float("-inf")
+    for algorithm in algorithms:
+        xs_a, means, _ = sweep.series(algorithm, metric)
+        by_x = dict(zip(xs_a, means))
+        values = [by_x.get(x) for x in xs]
+        series[algorithm] = values
+        for value in values:
+            if value is not None:
+                lo, hi = min(lo, value), max(hi, value)
+    if hi <= lo:
+        hi = lo + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    markers = {}
+    used = set()
+    for algorithm in algorithms:
+        marker = algorithm[0].upper()
+        while marker in used:
+            marker = chr(ord(marker) + 1)
+        used.add(marker)
+        markers[algorithm] = marker
+
+    def col_of(i: int) -> int:
+        if len(xs) == 1:
+            return width // 2
+        return round(i * (width - 1) / (len(xs) - 1))
+
+    def row_of(value: float) -> int:
+        frac = (value - lo) / (hi - lo)
+        return (height - 1) - round(frac * (height - 1))
+
+    for algorithm in algorithms:
+        for i, value in enumerate(series[algorithm]):
+            if value is None:
+                continue
+            r, c = row_of(value), col_of(i)
+            cell = canvas[r][c]
+            canvas[r][c] = "*" if cell not in (" ", markers[algorithm]) \
+                else markers[algorithm]
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(canvas):
+        if r == 0:
+            label = f"{hi:>10.1f} |"
+        elif r == height - 1:
+            label = f"{lo:>10.1f} |"
+        else:
+            label = " " * 10 + " |"
+        lines.append(label + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(" " * 12 + f"{xs[0]:<10g}"
+                 + " " * max(0, width - 22) + f"{xs[-1]:>10g}")
+    legend = "  ".join(f"{markers[a]}={a}" for a in algorithms)
+    lines.append(" " * 12 + legend + "  (*=overlap)")
+    return "\n".join(lines)
+
+
+def render_figure(sweep: SweepResult, panels: Sequence[str],
+                  figure_name: str) -> str:
+    """Render several metric panels of one figure.
+
+    Args:
+        sweep: the experiment results.
+        panels: metric names, e.g. ``("total_reward",
+            "avg_latency_ms", "runtime_s")``.
+        figure_name: heading, e.g. ``"Figure 3"``.
+    """
+    blocks: List[str] = []
+    labels = "abcdefgh"
+    for i, metric in enumerate(panels):
+        fmt = "{:.4f}" if metric == "runtime_s" else "{:.1f}"
+        blocks.append(render_table(
+            sweep, metric,
+            title=f"{figure_name} ({labels[i]}): {metric}",
+            fmt=fmt))
+    return "\n\n".join(blocks)

@@ -1,0 +1,106 @@
+"""Seed-replicated sweep runners for offline and online experiments.
+
+Both runners follow the same shape: for every swept value, build the
+configuration, instantiate a fresh problem instance and workload per
+seed, run every algorithm on identical copies, and collect
+:class:`~repro.sim.results.RunRecord` rows into a
+:class:`~repro.sim.results.SweepResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+from ..config import SimulationConfig
+from ..core.instance import ProblemInstance
+from ..sim.engine import OfflineAlgorithm, run_offline
+from ..sim.online_engine import OnlineEngine, OnlinePolicy
+from ..sim.results import RunRecord, SweepResult
+
+#: Builds the configuration for one swept value and seed.
+ConfigFactory = Callable[[float, int], SimulationConfig]
+#: Builds a fresh offline algorithm (stateless reuse is fine too).
+OfflineFactory = Callable[[], OfflineAlgorithm]
+#: Builds a fresh online policy (must be fresh per run - policies carry
+#: bandit state).
+OnlineFactory = Callable[[], OnlinePolicy]
+
+
+def _metrics_of(result) -> Dict[str, float]:
+    return {
+        "total_reward": result.total_reward,
+        "avg_latency_ms": result.average_latency_ms(),
+        "runtime_s": result.runtime_s,
+        "num_admitted": float(result.num_admitted),
+        "num_rewarded": float(result.num_rewarded),
+    }
+
+
+def run_offline_sweep(algorithm_factories: Sequence[OfflineFactory],
+                      x_values: Sequence[float],
+                      make_config: ConfigFactory,
+                      num_requests_of: Callable[[float], int],
+                      num_seeds: int = 3,
+                      x_label: str = "x") -> SweepResult:
+    """Run a batch-algorithm sweep (Figs. 3 and 5).
+
+    Args:
+        algorithm_factories: one factory per algorithm.
+        x_values: swept parameter values.
+        make_config: (x, seed) -> configuration.
+        num_requests_of: x -> workload size |R| for that point.
+        num_seeds: replications per point.
+        x_label: axis label for the result.
+
+    Returns:
+        A populated :class:`SweepResult`.
+    """
+    sweep = SweepResult(x_label)
+    for x in x_values:
+        for seed in range(num_seeds):
+            config = make_config(x, seed)
+            instance = ProblemInstance.build(config, seed=seed)
+            for factory in algorithm_factories:
+                algorithm = factory()
+                workload = instance.new_workload(
+                    num_requests=num_requests_of(x), seed=seed)
+                result = run_offline(algorithm, instance, workload,
+                                     seed=seed)
+                sweep.add(RunRecord(algorithm=result.algorithm, x=x,
+                                    seed=seed,
+                                    metrics=_metrics_of(result)))
+    return sweep
+
+
+def run_online_sweep(policy_factories: Sequence[OnlineFactory],
+                     x_values: Sequence[float],
+                     make_config: ConfigFactory,
+                     num_requests_of: Callable[[float], int],
+                     horizon_slots: int,
+                     num_seeds: int = 3,
+                     x_label: str = "x") -> SweepResult:
+    """Run an online-policy sweep (Figs. 4 and 6).
+
+    Every policy sees the same arrival sequence per (x, seed); requests
+    are re-drawn fresh for each policy so realization state never leaks
+    between runs.
+    """
+    sweep = SweepResult(x_label)
+    for x in x_values:
+        for seed in range(num_seeds):
+            config = make_config(x, seed)
+            instance = ProblemInstance.build(config, seed=seed)
+            for factory in policy_factories:
+                policy = factory()
+                workload = instance.new_workload(
+                    num_requests=num_requests_of(x), seed=seed,
+                    horizon_slots=horizon_slots)
+                engine = OnlineEngine(
+                    instance, workload, horizon_slots=horizon_slots,
+                    slot_length_ms=config.online.slot_length_ms,
+                    rng=seed)
+                result = engine.run(policy)
+                sweep.add(RunRecord(algorithm=result.algorithm, x=x,
+                                    seed=seed,
+                                    metrics=_metrics_of(result)))
+    return sweep

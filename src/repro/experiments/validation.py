@@ -1,0 +1,134 @@
+"""Shape validation of sweep results.
+
+The reproduction target is the *shape* of each figure: who wins, which
+series are monotone, where curves saturate.  This module turns those
+informal statements into named, reusable predicates, so the benchmark
+suite, the CI, and a user validating a new parameter regime all check
+the same definitions.
+
+Each check returns a :class:`ShapeCheck` - a named pass/fail with the
+numbers behind it - and :func:`validate_all` aggregates them into a
+report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..exceptions import ConfigurationError
+from ..sim.results import SweepResult
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """One named shape assertion's outcome.
+
+    Attributes:
+        name: human-readable identifier.
+        passed: whether the shape holds.
+        detail: the numbers behind the verdict.
+    """
+
+    name: str
+    passed: bool
+    detail: str
+
+    def __str__(self) -> str:
+        mark = "PASS" if self.passed else "FAIL"
+        return f"[{mark}] {self.name}: {self.detail}"
+
+
+def _series_sum(sweep: SweepResult, algorithm: str, metric: str) -> float:
+    _xs, means, _stds = sweep.series(algorithm, metric)
+    return float(sum(means))
+
+
+def check_dominates(sweep: SweepResult, winner: str, loser: str,
+                    metric: str = "total_reward",
+                    margin: float = 1.0) -> ShapeCheck:
+    """``winner``'s summed series exceeds ``margin`` x ``loser``'s."""
+    w = _series_sum(sweep, winner, metric)
+    l = _series_sum(sweep, loser, metric)
+    passed = w > margin * l
+    return ShapeCheck(
+        name=f"{winner} > {margin:g}x {loser} on {metric}",
+        passed=passed,
+        detail=f"{winner}={w:.1f}, {loser}={l:.1f}")
+
+
+def check_monotone(sweep: SweepResult, algorithm: str, metric: str,
+                   increasing: bool = True,
+                   tolerance: float = 0.05) -> ShapeCheck:
+    """The mean series moves in one direction (with relative slack).
+
+    Args:
+        tolerance: allowed relative backtracking per step (noise).
+    """
+    if not 0 <= tolerance < 1:
+        raise ConfigurationError(
+            f"tolerance must lie in [0, 1), got {tolerance}")
+    _xs, means, _stds = sweep.series(algorithm, metric)
+    ok = True
+    for a, b in zip(means, means[1:]):
+        if increasing and b < a * (1.0 - tolerance):
+            ok = False
+        if not increasing and b > a * (1.0 + tolerance):
+            ok = False
+    direction = "increasing" if increasing else "decreasing"
+    return ShapeCheck(
+        name=f"{algorithm} {metric} {direction}",
+        passed=ok,
+        detail=f"series={['%.1f' % m for m in means]}")
+
+
+def check_saturates(sweep: SweepResult, algorithm: str,
+                    metric: str = "total_reward",
+                    knee_gain: float = 0.5) -> ShapeCheck:
+    """Marginal gains shrink along the sweep ("increase then stable").
+
+    Passes when the last step's gain is at most ``knee_gain`` of the
+    first step's gain (both measured on the mean series); degenerate
+    short series pass trivially.
+    """
+    _xs, means, _stds = sweep.series(algorithm, metric)
+    if len(means) < 3:
+        return ShapeCheck(
+            name=f"{algorithm} {metric} saturates",
+            passed=True, detail="series too short; trivially true")
+    first_gain = means[1] - means[0]
+    last_gain = means[-1] - means[-2]
+    passed = (first_gain <= 0) or (last_gain <= knee_gain * first_gain)
+    return ShapeCheck(
+        name=f"{algorithm} {metric} saturates",
+        passed=passed,
+        detail=f"first gain={first_gain:.1f}, last gain={last_gain:.1f}")
+
+
+def check_winner_everywhere(sweep: SweepResult, algorithm: str,
+                            metric: str = "total_reward",
+                            higher_is_better: bool = True) -> ShapeCheck:
+    """The algorithm wins the metric at every swept value."""
+    losses = []
+    for x in sweep.x_values():
+        winner = sweep.winner_at(x, metric,
+                                 higher_is_better=higher_is_better)
+        if winner != algorithm:
+            losses.append((x, winner))
+    return ShapeCheck(
+        name=f"{algorithm} best {metric} at every x",
+        passed=not losses,
+        detail=("wins everywhere" if not losses
+                else f"beaten at {losses}"))
+
+
+def validate_all(checks: Sequence[ShapeCheck]) -> str:
+    """Render a report; raises AssertionError if any check failed.
+
+    Returns:
+        The multi-line report (also embedded in the AssertionError).
+    """
+    report = "\n".join(str(check) for check in checks)
+    if any(not check.passed for check in checks):
+        raise AssertionError("shape validation failed:\n" + report)
+    return report

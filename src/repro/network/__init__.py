@@ -1,0 +1,29 @@
+"""MEC network substrate: base stations, backhaul topology, capacity.
+
+The paper models the MEC network as ``G = (BS, E)`` where ``BS`` is a
+set of 5G base stations interconnected by backhaul paths ``E``.  This
+subpackage provides:
+
+* :class:`~repro.network.topology.BaseStation` and
+  :class:`~repro.network.topology.MECNetwork` - the graph model,
+* :func:`~repro.network.topology.generate_topology` - a seeded
+  GT-ITM-style (Waxman) random topology generator,
+* :class:`~repro.network.paths.PathTable` - latency-weighted shortest
+  paths between stations (and from user attachment points),
+* :class:`~repro.network.capacity.ResourceSlots` and
+  :class:`~repro.network.capacity.CapacityLedger` - the resource-slot
+  partitioning that underpins the paper's LP relaxation.
+"""
+
+from .topology import BaseStation, MECNetwork, generate_topology
+from .paths import PathTable
+from .capacity import CapacityLedger, ResourceSlots
+
+__all__ = [
+    "BaseStation",
+    "MECNetwork",
+    "generate_topology",
+    "PathTable",
+    "ResourceSlots",
+    "CapacityLedger",
+]

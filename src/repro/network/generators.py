@@ -1,0 +1,170 @@
+"""Additional topology families beyond the flat Waxman default.
+
+GT-ITM [13] is best known for **transit-stub** topologies: a small
+transit core interconnecting stub domains that hang off transit nodes.
+:func:`generate_transit_stub` reproduces that structure at MEC scale
+(the transit core models metro aggregation sites; stubs model street-
+level base-station clusters).  Regular families (ring, star, grid) are
+included for controlled experiments where topology effects must be
+isolated from randomness.
+
+All generators return the same :class:`~repro.network.topology.MECNetwork`
+as the default generator, so every algorithm runs unchanged on any of
+them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import networkx as nx
+import numpy as np
+
+from ..config import NetworkConfig
+from ..exceptions import ConfigurationError
+from ..rng import RngLike, ensure_rng
+from .topology import BaseStation, MECNetwork
+
+
+def _finalize(graph: nx.Graph, positions: np.ndarray,
+              config: NetworkConfig,
+              rng: np.random.Generator) -> MECNetwork:
+    """Attach delays/capacities and wrap into an MECNetwork."""
+    lo_d, hi_d = config.link_delay_range_ms
+    for u, v in graph.edges:
+        graph[u][v]["delay_ms"] = float(rng.uniform(lo_d, hi_d))
+    lo_c, hi_c = config.capacity_range_mhz
+    stations = [
+        BaseStation(station_id=i,
+                    capacity_mhz=float(rng.uniform(lo_c, hi_c)),
+                    position=(float(positions[i, 0]),
+                              float(positions[i, 1])))
+        for i in range(graph.number_of_nodes())
+    ]
+    return MECNetwork(stations=stations, graph=graph,
+                      slot_size_mhz=config.slot_size_mhz)
+
+
+def generate_transit_stub(config: NetworkConfig,
+                          num_transit: int = 4,
+                          rng: RngLike = None) -> MECNetwork:
+    """A GT-ITM-style two-level transit-stub topology.
+
+    ``num_transit`` core nodes form a ring (metro aggregation); the
+    remaining ``num_base_stations - num_transit`` stations split into
+    one stub cluster per transit node, each stub wired as a star onto
+    its transit node with one random intra-stub chord for redundancy.
+
+    Args:
+        config: network parameters (count, capacities, delays).
+        num_transit: size of the transit core (>= 1, less than the
+            total station count).
+        rng: seed or generator.
+
+    Returns:
+        A connected :class:`MECNetwork`.
+    """
+    config.validate()
+    n = config.num_base_stations
+    if not 1 <= num_transit < max(n, 2):
+        raise ConfigurationError(
+            f"num_transit must be in [1, {n}), got {num_transit}")
+    if n == 1:
+        num_transit = 1
+    rng = ensure_rng(rng)
+
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    positions = np.zeros((n, 2))
+
+    # Transit core: ring around the unit-square centre.
+    for t in range(num_transit):
+        angle = 2.0 * math.pi * t / num_transit
+        positions[t] = (0.5 + 0.2 * math.cos(angle),
+                        0.5 + 0.2 * math.sin(angle))
+        if num_transit > 1:
+            graph.add_edge(t, (t + 1) % num_transit)
+
+    # Stub clusters: round-robin the remaining nodes over transit
+    # nodes, star-wired with a chord.
+    stubs: List[List[int]] = [[] for _ in range(num_transit)]
+    for i in range(num_transit, n):
+        stubs[(i - num_transit) % num_transit].append(i)
+    for t, members in enumerate(stubs):
+        centre = positions[t]
+        for k, node in enumerate(members):
+            angle = 2.0 * math.pi * k / max(len(members), 1)
+            radius = 0.12 + 0.08 * rng.random()
+            positions[node] = (
+                float(np.clip(centre[0] + radius * math.cos(angle),
+                              0.0, 1.0)),
+                float(np.clip(centre[1] + radius * math.sin(angle),
+                              0.0, 1.0)))
+            graph.add_edge(t, node)
+        if len(members) >= 2:
+            a, b = rng.choice(members, size=2, replace=False)
+            graph.add_edge(int(a), int(b))
+
+    return _finalize(graph, positions, config, rng)
+
+
+def generate_ring(config: NetworkConfig,
+                  rng: RngLike = None) -> MECNetwork:
+    """Stations on a ring (each wired to its two neighbours)."""
+    config.validate()
+    n = config.num_base_stations
+    rng = ensure_rng(rng)
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    positions = np.zeros((n, 2))
+    for i in range(n):
+        angle = 2.0 * math.pi * i / max(n, 1)
+        positions[i] = (0.5 + 0.4 * math.cos(angle),
+                        0.5 + 0.4 * math.sin(angle))
+        if n > 1:
+            graph.add_edge(i, (i + 1) % n)
+    return _finalize(graph, positions, config, rng)
+
+
+def generate_star(config: NetworkConfig,
+                  rng: RngLike = None) -> MECNetwork:
+    """A hub station (id 0) wired to every other station."""
+    config.validate()
+    n = config.num_base_stations
+    rng = ensure_rng(rng)
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    positions = np.zeros((n, 2))
+    positions[0] = (0.5, 0.5)
+    for i in range(1, n):
+        angle = 2.0 * math.pi * (i - 1) / max(n - 1, 1)
+        positions[i] = (0.5 + 0.4 * math.cos(angle),
+                        0.5 + 0.4 * math.sin(angle))
+        graph.add_edge(0, i)
+    return _finalize(graph, positions, config, rng)
+
+
+def generate_grid(config: NetworkConfig,
+                  rng: RngLike = None) -> MECNetwork:
+    """Stations on the tightest square-ish grid holding them all.
+
+    The grid has ``ceil(sqrt(n))`` columns; the last row may be
+    partial.  Neighbours are 4-connected.
+    """
+    config.validate()
+    n = config.num_base_stations
+    rng = ensure_rng(rng)
+    cols = int(math.ceil(math.sqrt(n)))
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    positions = np.zeros((n, 2))
+    for i in range(n):
+        row, col = divmod(i, cols)
+        positions[i] = ((col + 0.5) / cols,
+                        (row + 0.5) / cols)
+        if col > 0:
+            graph.add_edge(i, i - 1)
+        if row > 0:
+            graph.add_edge(i, i - cols)
+    return _finalize(graph, positions, config, rng)

@@ -1,0 +1,241 @@
+"""MEC network topology: base stations and the backhaul graph.
+
+The paper generates topologies with GT-ITM [13].  GT-ITM's flat random
+graphs use the Waxman model: nodes are placed uniformly in the unit
+square and an edge between nodes ``u`` and ``v`` appears with
+probability ``alpha * exp(-d(u, v) / (beta * d_max))``.  We reproduce
+that model (seeded, connectivity-repaired) on top of networkx.
+
+Each base station carries a computing capacity ``C(bs_i)`` drawn
+uniformly from the configured range, and each backhaul link carries a
+transmission delay for one ``rho_unit`` of data.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import networkx as nx
+import numpy as np
+
+from ..config import NetworkConfig
+from ..exceptions import ConfigurationError
+from ..rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class BaseStation:
+    """A 5G base station with co-located edge computing resources.
+
+    Attributes:
+        station_id: index of the station in the network (0-based).
+        capacity_mhz: computing capacity ``C(bs_i)`` in MHz.
+        position: (x, y) coordinates in the unit square; used by the
+            Waxman model and by "closest base station" queries.
+    """
+
+    station_id: int
+    capacity_mhz: float
+    position: Tuple[float, float] = (0.0, 0.0)
+
+    def __post_init__(self) -> None:
+        if self.station_id < 0:
+            raise ConfigurationError(
+                f"station_id must be >= 0, got {self.station_id}")
+        if self.capacity_mhz <= 0:
+            raise ConfigurationError(
+                f"capacity must be positive, got {self.capacity_mhz}")
+
+    def num_slots(self, slot_size_mhz: float) -> int:
+        """Number of resource slots ``L = floor(C(bs_i) / C_l)``."""
+        if slot_size_mhz <= 0:
+            raise ConfigurationError(
+                f"slot size must be positive, got {slot_size_mhz}")
+        return int(math.floor(self.capacity_mhz / slot_size_mhz))
+
+
+@dataclass
+class MECNetwork:
+    """The MEC network ``G = (BS, E)``.
+
+    The backhaul is an undirected weighted graph over station ids; the
+    weight of edge ``(u, v)`` is the delay (ms) of transmitting one
+    ``rho_unit`` of data across that link.
+
+    Attributes:
+        stations: the base stations, indexed by ``station_id``.
+        graph: networkx graph with a ``delay_ms`` attribute per edge.
+        slot_size_mhz: the resource slot capacity ``C_l``.
+    """
+
+    stations: List[BaseStation]
+    graph: nx.Graph
+    slot_size_mhz: float
+    _by_id: Dict[int, BaseStation] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.stations:
+            raise ConfigurationError("a network needs at least one station")
+        if self.slot_size_mhz <= 0:
+            raise ConfigurationError(
+                f"slot size must be positive, got {self.slot_size_mhz}")
+        self._by_id = {bs.station_id: bs for bs in self.stations}
+        if len(self._by_id) != len(self.stations):
+            raise ConfigurationError("duplicate station ids in network")
+        for bs in self.stations:
+            if bs.station_id not in self.graph:
+                raise ConfigurationError(
+                    f"station {bs.station_id} missing from backhaul graph")
+        if not nx.is_connected(self.graph):
+            raise ConfigurationError("backhaul graph must be connected")
+
+    def __len__(self) -> int:
+        return len(self.stations)
+
+    def __iter__(self) -> Iterator[BaseStation]:
+        return iter(self.stations)
+
+    def station(self, station_id: int) -> BaseStation:
+        """Return the station with the given id."""
+        try:
+            return self._by_id[station_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown station id {station_id}") from None
+
+    @property
+    def station_ids(self) -> List[int]:
+        """All station ids, sorted ascending."""
+        return sorted(self._by_id)
+
+    def link_delay_ms(self, u: int, v: int) -> float:
+        """Per-``rho_unit`` transmission delay of backhaul link (u, v)."""
+        try:
+            return float(self.graph[u][v]["delay_ms"])
+        except KeyError:
+            raise ConfigurationError(f"no backhaul link ({u}, {v})") from None
+
+    def num_slots(self, station_id: int) -> int:
+        """Resource slots of one station under this network's ``C_l``."""
+        return self.station(station_id).num_slots(self.slot_size_mhz)
+
+    def total_capacity_mhz(self) -> float:
+        """Aggregate computing capacity of the whole network."""
+        return float(sum(bs.capacity_mhz for bs in self.stations))
+
+    def neighbors(self, station_id: int) -> List[int]:
+        """Backhaul neighbours of a station, sorted ascending."""
+        self.station(station_id)
+        return sorted(self.graph.neighbors(station_id))
+
+    def closest_station(self, position: Tuple[float, float],
+                        exclude: Optional[set] = None) -> BaseStation:
+        """The station geometrically closest to `position`.
+
+        Used to attach a mobile user to its serving base station, and by
+        the Heu migration step ("closest base station of bs_i").
+
+        Args:
+            position: (x, y) query point in the unit square.
+            exclude: station ids to skip (e.g. the overloaded station
+                itself during migration).
+        """
+        exclude = exclude or set()
+        candidates = [bs for bs in self.stations
+                      if bs.station_id not in exclude]
+        if not candidates:
+            raise ConfigurationError("no candidate stations left")
+        return min(
+            candidates,
+            key=lambda bs: ((bs.position[0] - position[0]) ** 2
+                            + (bs.position[1] - position[1]) ** 2,
+                            bs.station_id))
+
+
+def _waxman_edges(positions: np.ndarray, alpha: float, beta: float,
+                  rng: np.random.Generator) -> List[Tuple[int, int]]:
+    """Sample Waxman-model edges over the given node positions."""
+    n = positions.shape[0]
+    if n < 2:
+        return []
+    diffs = positions[:, None, :] - positions[None, :, :]
+    dist = np.sqrt((diffs ** 2).sum(axis=2))
+    d_max = float(dist.max())
+    if d_max <= 0:
+        d_max = 1.0
+    edges = []
+    for u in range(n):
+        for v in range(u + 1, n):
+            prob = alpha * math.exp(-dist[u, v] / (beta * d_max))
+            if rng.random() < prob:
+                edges.append((u, v))
+    return edges
+
+
+def _repair_connectivity(graph: nx.Graph, positions: np.ndarray) -> None:
+    """Connect graph components with the geometrically shortest bridges.
+
+    GT-ITM guarantees connected topologies; a raw Waxman sample may not
+    be connected, so we add the shortest inter-component edge until the
+    graph is connected.  This keeps the added edges plausible (they are
+    exactly the edges the Waxman model was most likely to create).
+    """
+    while not nx.is_connected(graph):
+        components = [sorted(c) for c in nx.connected_components(graph)]
+        base = components[0]
+        best = None
+        for other in components[1:]:
+            for u in base:
+                for v in other:
+                    d = float(np.linalg.norm(positions[u] - positions[v]))
+                    if best is None or d < best[0]:
+                        best = (d, u, v)
+        assert best is not None
+        graph.add_edge(best[1], best[2])
+
+
+def generate_topology(config: NetworkConfig,
+                      rng: RngLike = None) -> MECNetwork:
+    """Generate a seeded GT-ITM-style MEC topology.
+
+    Nodes are placed uniformly at random in the unit square; edges
+    follow the Waxman model with the configured ``alpha``/``beta``;
+    connectivity is repaired with shortest bridges; capacities and link
+    delays are drawn uniformly from the configured ranges.
+
+    Args:
+        config: network parameters (validated before use).
+        rng: seed or generator for all random draws.
+
+    Returns:
+        A connected :class:`MECNetwork`.
+    """
+    config.validate()
+    rng = ensure_rng(rng)
+    n = config.num_base_stations
+
+    positions = rng.random((n, 2))
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    graph.add_edges_from(
+        _waxman_edges(positions, config.waxman_alpha, config.waxman_beta, rng))
+    if n > 1:
+        _repair_connectivity(graph, positions)
+
+    lo_d, hi_d = config.link_delay_range_ms
+    for u, v in graph.edges:
+        graph[u][v]["delay_ms"] = float(rng.uniform(lo_d, hi_d))
+
+    lo_c, hi_c = config.capacity_range_mhz
+    stations = [
+        BaseStation(
+            station_id=i,
+            capacity_mhz=float(rng.uniform(lo_c, hi_c)),
+            position=(float(positions[i, 0]), float(positions[i, 1])),
+        )
+        for i in range(n)
+    ]
+    return MECNetwork(stations=stations, graph=graph,
+                      slot_size_mhz=config.slot_size_mhz)

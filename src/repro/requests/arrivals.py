@@ -1,0 +1,147 @@
+"""Arrival processes for the online (dynamic) setting.
+
+The paper's dynamic problem only says requests "arrive into the system
+dynamically"; the uniform arrivals of
+:meth:`~repro.requests.generator.RequestGenerator.generate_arrivals`
+are the neutral default.  This module adds the two processes real AR
+deployments exhibit so the online algorithms can be stressed beyond
+uniform load:
+
+* **Poisson** - memoryless arrivals at a fixed rate (the standard
+  telecom model),
+* **diurnal** - a sinusoidal intensity profile (lecture-break / rush
+  bursts) sampled by thinning,
+* **burst** - a constant trickle plus one dense burst window, the
+  worst case for the over-congestion that ``C^th`` guards against.
+
+Each process returns sorted arrival slots; combine with a
+:class:`~repro.requests.generator.RequestGenerator` via
+:func:`assign_arrival_slots`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..rng import RngLike, ensure_rng
+from .request import ARRequest
+
+
+def _check_horizon(horizon_slots: int) -> None:
+    if horizon_slots < 1:
+        raise ConfigurationError(
+            f"horizon must be >= 1 slot, got {horizon_slots}")
+
+
+def poisson_arrivals(num_requests: int, horizon_slots: int,
+                     rng: RngLike = None) -> List[int]:
+    """`num_requests` Poisson-process arrival slots over a horizon.
+
+    Conditional on the count, Poisson arrival times are i.i.d. uniform
+    over the window - so this draws uniform slots and sorts them (the
+    exact conditional distribution, not an approximation).
+    """
+    _check_horizon(horizon_slots)
+    if num_requests < 0:
+        raise ConfigurationError(
+            f"num_requests must be >= 0, got {num_requests}")
+    rng = ensure_rng(rng)
+    slots = rng.integers(0, horizon_slots, size=num_requests)
+    return sorted(int(s) for s in slots)
+
+
+def diurnal_arrivals(num_requests: int, horizon_slots: int,
+                     peak_sharpness: float = 1.0,
+                     num_peaks: int = 1,
+                     rng: RngLike = None) -> List[int]:
+    """Arrival slots from a sinusoidal intensity profile.
+
+    Intensity at slot ``t`` is ``1 + peak_sharpness * sin^2(pi * t *
+    num_peaks / T)``; slots are drawn from the normalized profile.
+
+    Args:
+        num_requests: arrivals to draw.
+        horizon_slots: monitoring period ``T``.
+        peak_sharpness: 0 = uniform; larger = burstier peaks.
+        num_peaks: number of intensity peaks across the horizon.
+        rng: randomness.
+    """
+    _check_horizon(horizon_slots)
+    if peak_sharpness < 0:
+        raise ConfigurationError(
+            f"peak_sharpness must be >= 0, got {peak_sharpness}")
+    if num_peaks < 1:
+        raise ConfigurationError(
+            f"num_peaks must be >= 1, got {num_peaks}")
+    rng = ensure_rng(rng)
+    t = np.arange(horizon_slots)
+    intensity = 1.0 + peak_sharpness * np.sin(
+        np.pi * t * num_peaks / horizon_slots) ** 2
+    probs = intensity / intensity.sum()
+    slots = rng.choice(horizon_slots, size=num_requests, p=probs)
+    return sorted(int(s) for s in slots)
+
+
+def burst_arrivals(num_requests: int, horizon_slots: int,
+                   burst_start: int, burst_length: int,
+                   burst_fraction: float = 0.6,
+                   rng: RngLike = None) -> List[int]:
+    """A trickle plus one dense burst window.
+
+    Args:
+        num_requests: total arrivals.
+        horizon_slots: monitoring period ``T``.
+        burst_start: first slot of the burst window.
+        burst_length: burst window length in slots.
+        burst_fraction: fraction of arrivals landing in the burst.
+        rng: randomness.
+    """
+    _check_horizon(horizon_slots)
+    if not 0 <= burst_start < horizon_slots:
+        raise ConfigurationError(
+            f"burst_start {burst_start} outside horizon")
+    if burst_length < 1 or burst_start + burst_length > horizon_slots:
+        raise ConfigurationError(
+            f"burst window {burst_start}+{burst_length} outside horizon")
+    if not 0.0 <= burst_fraction <= 1.0:
+        raise ConfigurationError(
+            f"burst_fraction must lie in [0, 1], got {burst_fraction}")
+    rng = ensure_rng(rng)
+    in_burst = int(round(num_requests * burst_fraction))
+    burst = rng.integers(burst_start, burst_start + burst_length,
+                         size=in_burst)
+    trickle = rng.integers(0, horizon_slots,
+                           size=num_requests - in_burst)
+    return sorted(int(s) for s in list(burst) + list(trickle))
+
+
+def assign_arrival_slots(requests: Sequence[ARRequest],
+                         slots: Sequence[int]) -> List[ARRequest]:
+    """Stamp arrival slots onto requests (in request order).
+
+    Args:
+        requests: requests to re-stamp.
+        slots: one slot per request (same length).
+
+    Returns:
+        New :class:`ARRequest` objects sorted by arrival slot.
+    """
+    if len(requests) != len(slots):
+        raise ConfigurationError(
+            f"{len(requests)} requests but {len(slots)} arrival slots")
+    stamped = []
+    for request, slot in zip(requests, slots):
+        stamped.append(ARRequest(
+            request_id=request.request_id,
+            serving_station=request.serving_station,
+            pipeline=request.pipeline,
+            distribution=request.distribution,
+            deadline_ms=request.deadline_ms,
+            arrival_slot=int(slot),
+            stream_duration_slots=request.stream_duration_slots,
+            c_unit_mhz_per_mbps=request.c_unit_mhz_per_mbps,
+        ))
+    return sorted(stamped, key=lambda r: (r.arrival_slot, r.request_id))

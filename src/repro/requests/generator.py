@@ -1,0 +1,129 @@
+"""Workload generators: batch and slotted-arrival AR request sets.
+
+The offline experiments (Fig. 3, Fig. 5) use a batch of non-preemptive
+requests all present at time 0; the online experiments (Fig. 4, Fig. 6)
+spread arrivals over a monitoring horizon of ``T`` time slots.  Both
+draw per-request parameters from the Section VI-A defaults captured in
+:class:`~repro.config.RequestConfig`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..config import RequestConfig
+from ..exceptions import ConfigurationError
+from ..network.topology import MECNetwork
+from ..rng import RngLike, ensure_rng
+from .distributions import make_decaying_distribution
+from .request import ARRequest
+from .tasks import standard_ar_pipeline
+
+
+class RequestGenerator:
+    """Draws AR requests consistent with the paper's parameter settings.
+
+    Args:
+        config: workload parameters (validated at construction).
+        network: the MEC network - requests attach to a station drawn
+            uniformly at random (users are spread over the coverage
+            area, each served by its closest base station).
+        rng: seed or generator for all draws.
+    """
+
+    def __init__(self, config: RequestConfig, network: MECNetwork,
+                 rng: RngLike = None) -> None:
+        config.validate()
+        self._config = config
+        self._network = network
+        self._rng = ensure_rng(rng)
+
+    @property
+    def config(self) -> RequestConfig:
+        """The workload parameters."""
+        return self._config
+
+    def generate_one(self, request_id: int, arrival_slot: int = 0,
+                     serving_station: Optional[int] = None) -> ARRequest:
+        """Draw one request.
+
+        Args:
+            request_id: id to assign.
+            arrival_slot: arrival time slot ``a_j``.
+            serving_station: attachment station; drawn uniformly when
+                ``None``.
+        """
+        cfg = self._config
+        rng = self._rng
+        if serving_station is None:
+            serving_station = int(rng.choice(self._network.station_ids))
+        num_tasks = int(rng.integers(cfg.tasks_range[0],
+                                     cfg.tasks_range[1] + 1))
+        unit_price = float(rng.uniform(*cfg.reward_unit_range))
+        distribution = make_decaying_distribution(
+            rate_range_mbps=cfg.data_rate_range_mbps,
+            num_levels=cfg.num_rate_levels,
+            decay=cfg.rate_decay,
+            unit_price=unit_price,
+            rng=rng,
+        )
+        return ARRequest(
+            request_id=request_id,
+            serving_station=serving_station,
+            pipeline=standard_ar_pipeline(num_tasks),
+            distribution=distribution,
+            deadline_ms=cfg.deadline_ms,
+            arrival_slot=arrival_slot,
+            stream_duration_slots=cfg.stream_duration_slots,
+            c_unit_mhz_per_mbps=cfg.c_unit_mhz_per_mbps,
+        )
+
+    def generate_batch(self, num_requests: Optional[int] = None
+                       ) -> List[ARRequest]:
+        """Draw a batch workload, all arriving at slot 0."""
+        n = self._config.num_requests if num_requests is None else num_requests
+        if n < 0:
+            raise ConfigurationError(f"num_requests must be >= 0, got {n}")
+        return [self.generate_one(request_id=j) for j in range(n)]
+
+    def generate_arrivals(self, num_requests: Optional[int] = None,
+                          horizon_slots: int = 200) -> List[ARRequest]:
+        """Draw a slotted workload with uniform arrivals over a horizon.
+
+        Arrival slots are sorted ascending so the list can be consumed
+        sequentially by the online engine.
+        """
+        n = self._config.num_requests if num_requests is None else num_requests
+        if n < 0:
+            raise ConfigurationError(f"num_requests must be >= 0, got {n}")
+        if horizon_slots < 1:
+            raise ConfigurationError(
+                f"horizon must be >= 1 slot, got {horizon_slots}")
+        slots = np.sort(self._rng.integers(0, horizon_slots, size=n))
+        return [self.generate_one(request_id=j, arrival_slot=int(slots[j]))
+                for j in range(n)]
+
+
+def slotted_arrivals(requests: Sequence[ARRequest],
+                     horizon_slots: int) -> List[List[ARRequest]]:
+    """Bucket requests by arrival slot.
+
+    Args:
+        requests: any iterable of requests.
+        horizon_slots: length of the monitoring period ``T``; requests
+            arriving after the horizon are dropped (they cannot be
+            scheduled inside the monitored window).
+
+    Returns:
+        ``buckets`` with ``buckets[t]`` = requests arriving at slot t.
+    """
+    if horizon_slots < 1:
+        raise ConfigurationError(
+            f"horizon must be >= 1 slot, got {horizon_slots}")
+    buckets: List[List[ARRequest]] = [[] for _ in range(horizon_slots)]
+    for request in requests:
+        if 0 <= request.arrival_slot < horizon_slots:
+            buckets[request.arrival_slot].append(request)
+    return buckets

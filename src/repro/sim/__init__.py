@@ -1,0 +1,37 @@
+"""Simulation engines and metrics.
+
+* :mod:`~repro.sim.clock` - the slotted clock (0.05 s slots).
+* :mod:`~repro.sim.engine` - offline executor: runs a batch algorithm
+  on a fresh workload copy and collects its result.
+* :mod:`~repro.sim.online_engine` - the slotted, preemptive engine of
+  the dynamic problem: arrivals, waiting, round-robin sharing,
+  completions, deadline checks.
+* :mod:`~repro.sim.metrics` - reward / latency / runtime meters.
+* :mod:`~repro.sim.results` - per-run and per-sweep aggregation.
+"""
+
+from .clock import SlotClock
+from .engine import run_offline
+from .online_engine import OnlineEngine, OnlinePolicy, Placement
+from .metrics import (LatencyMeter, RewardMeter, RuntimeMeter,
+                      jains_fairness_index)
+from .results import RunRecord, SweepResult, aggregate_records
+from .timeline import narrate, strip_chart, summarize_events
+
+__all__ = [
+    "SlotClock",
+    "run_offline",
+    "OnlineEngine",
+    "OnlinePolicy",
+    "Placement",
+    "RewardMeter",
+    "LatencyMeter",
+    "RuntimeMeter",
+    "jains_fairness_index",
+    "narrate",
+    "strip_chart",
+    "summarize_events",
+    "RunRecord",
+    "SweepResult",
+    "aggregate_records",
+]

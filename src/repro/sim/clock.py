@@ -1,0 +1,72 @@
+"""The slotted clock of the dynamic problem.
+
+Section III-D: "time is equally divided into time slots"; Section VI-A
+sets the slot length to 0.05 seconds.  The clock converts between slot
+indices and wall-clock milliseconds and iterates the monitoring period
+``T``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..exceptions import ConfigurationError
+
+
+class SlotClock:
+    """Discrete time over a horizon of ``T`` slots.
+
+    Args:
+        horizon_slots: the monitoring period ``T``.
+        slot_length_ms: duration of one slot (paper: 50 ms).
+    """
+
+    def __init__(self, horizon_slots: int,
+                 slot_length_ms: float = 50.0) -> None:
+        if horizon_slots < 1:
+            raise ConfigurationError(
+                f"horizon must be >= 1 slot, got {horizon_slots}")
+        if slot_length_ms <= 0:
+            raise ConfigurationError(
+                f"slot length must be positive, got {slot_length_ms}")
+        self.horizon_slots = int(horizon_slots)
+        self.slot_length_ms = float(slot_length_ms)
+        self._current = 0
+
+    @property
+    def current_slot(self) -> int:
+        """The slot currently being simulated."""
+        return self._current
+
+    @property
+    def slot_length_s(self) -> float:
+        """Slot length in seconds."""
+        return self.slot_length_ms / 1000.0
+
+    def ms_of(self, num_slots: int) -> float:
+        """Milliseconds spanned by `num_slots` slots."""
+        if num_slots < 0:
+            raise ConfigurationError(
+                f"num_slots must be >= 0, got {num_slots}")
+        return num_slots * self.slot_length_ms
+
+    def waiting_ms(self, arrival_slot: int, start_slot: int) -> float:
+        """The waiting time ``(b_j - a_j)`` in milliseconds.
+
+        Raises:
+            ConfigurationError: if the request starts before arriving.
+        """
+        if start_slot < arrival_slot:
+            raise ConfigurationError(
+                f"start slot {start_slot} precedes arrival {arrival_slot}")
+        return self.ms_of(start_slot - arrival_slot)
+
+    def ticks(self) -> Iterator[int]:
+        """Iterate slots 0..T-1, tracking the current slot."""
+        for t in range(self.horizon_slots):
+            self._current = t
+            yield t
+
+    def __repr__(self) -> str:
+        return (f"SlotClock(T={self.horizon_slots}, "
+                f"slot={self.slot_length_ms} ms, now={self._current})")

@@ -1,0 +1,55 @@
+"""Event records emitted by the online engine.
+
+These are plain observation records - the engine's audit trail.  Tests
+use them to assert invariants (no request completes twice, completions
+follow starts, capacity never oversubscribed beyond the sharing model)
+and examples print them to narrate a simulation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class EventKind(enum.Enum):
+    """What happened."""
+
+    ARRIVAL = "arrival"
+    START = "start"
+    PREEMPT_WAIT = "preempt_wait"
+    COMPLETE = "complete"
+    DROP = "drop"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One timestamped event.
+
+    Attributes:
+        slot: time slot of the event.
+        kind: event type.
+        request_id: the affected request.
+        station_id: station involved (START/COMPLETE), if any.
+        reward: reward earned (COMPLETE only; 0 on deadline miss).
+        latency_ms: experienced latency (COMPLETE only).
+    """
+
+    slot: int
+    kind: EventKind
+    request_id: int
+    station_id: Optional[int] = None
+    reward: float = 0.0
+    latency_ms: Optional[float] = None
+
+    def __str__(self) -> str:
+        parts = [f"t={self.slot:4d}", self.kind.value,
+                 f"r{self.request_id}"]
+        if self.station_id is not None:
+            parts.append(f"@bs{self.station_id}")
+        if self.kind is EventKind.COMPLETE:
+            parts.append(f"reward={self.reward:.1f}")
+            if self.latency_ms is not None:
+                parts.append(f"latency={self.latency_ms:.0f}ms")
+        return " ".join(parts)

@@ -1,0 +1,406 @@
+"""The slotted, preemptive online engine (dynamic reward maximization).
+
+Section V's setting: requests arrive over a monitoring period of ``T``
+time slots, wait in a queue (the ``b_j - a_j`` term of Eq. (2)), and -
+once started - stream work through their assigned station.  Stations
+serve their active requests **round-robin**: each active request
+receives ``min(demand, C(bs_i) / n_active)`` MHz per slot, so admitting
+too many requests at once slows everyone down (the over-congestion that
+the ``C^th`` threshold of Algorithm 3 exists to prevent).
+
+Latency and reward semantics follow Section III-D: the experienced
+latency ``D_j`` is the *responsiveness* of the request -
+``waiting (b_j - a_j) + round-trip transfer + pipeline processing``
+where the processing term is stretched by the congestion slowdown
+``demand / received share >= 1`` of the request's first served slot.
+``D_j`` is therefore known as soon as the request starts, and the
+reward is earned iff ``D_j <= D_hat_j`` (Eq. 1) - an over-congested
+station (everyone's RR share collapsing) misses deadlines and earns
+nothing, which is exactly the failure mode the ``C^th`` threshold of
+Algorithm 3 exists to prevent.  The stream then keeps occupying its
+share until its volume (realized rate x stream duration) has been
+processed; completion frees the capacity.
+
+Policies (DynamicRR and the online baselines) only decide *which*
+pending requests start *where* each slot; all physics lives here so
+every algorithm is measured identically.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+
+from ..core.assignment import OffloadDecision, ScheduleResult
+from ..core.instance import ProblemInstance
+from ..exceptions import ConfigurationError, SchedulingError
+from ..requests.request import ARRequest
+from ..rng import RngLike, ensure_rng
+from .clock import SlotClock
+from .events import Event, EventKind
+
+
+#: Pseudo station id directing a request to the remote cloud.  The
+#: cloud has unbounded capacity but its round trip exceeds the AR
+#: deadline, so cloud-served requests are admitted with high latency
+#: and zero reward (the HeuKKT baseline's spillover path).
+CLOUD_STATION = -1
+
+#: Experienced latency of the remote-cloud path (ms).
+CLOUD_LATENCY_MS = 320.0
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A policy's decision to start one pending request at a station.
+
+    ``station_id`` may be :data:`CLOUD_STATION` to serve the request
+    from the remote cloud.
+    """
+
+    request_id: int
+    station_id: int
+
+
+class OnlinePolicy(Protocol):
+    """What the engine needs from an online algorithm."""
+
+    name: str
+
+    def begin(self, engine: "OnlineEngine") -> None:
+        """Called once before the first slot."""
+
+    def schedule(self, slot: int,
+                 pending: Sequence[ARRequest]) -> List[Placement]:
+        """Choose which pending requests start this slot, and where."""
+
+    def observe(self, slot: int, slot_reward: float) -> None:
+        """Feedback after the slot: reward settled in it (rewards
+        settle at start time - see the module docstring)."""
+
+
+@dataclass
+class _Active:
+    """Engine-internal state of one running request."""
+
+    request: ARRequest
+    station_id: int
+    demand_mhz: float
+    remaining_mb: float
+    start_slot: int
+    first_share_mhz: Optional[float] = None
+    reward: float = 0.0
+    latency_ms: Optional[float] = None
+
+    def slowdown(self) -> float:
+        """Congestion stretch of the first served slot."""
+        if self.first_share_mhz is None:
+            return 1.0
+        if self.first_share_mhz <= 0:
+            return float("inf")
+        return max(1.0, self.demand_mhz / self.first_share_mhz)
+
+
+class OnlineEngine:
+    """Runs one policy over one arrival sequence.
+
+    Args:
+        instance: the problem instance.
+        requests: the workload, with arrival slots inside the horizon.
+        horizon_slots: monitoring period ``T``.
+        slot_length_ms: slot duration.
+        rng: randomness for rate realization.
+        outages: optional failure injection - station id ->
+            ``(first_down_slot, last_down_slot)`` during which the
+            station serves nothing (its shares are 0 and its effective
+            capacity is 0 in every engine view).  Models the "network
+            uncertainties" the paper motivates beyond demand
+            uncertainty; policies see the outage through
+            :meth:`free_mhz` / :meth:`station_capacity_mhz` and must
+            route around it.
+    """
+
+    def __init__(self, instance: ProblemInstance,
+                 requests: Sequence[ARRequest],
+                 horizon_slots: int,
+                 slot_length_ms: float = 50.0,
+                 rng: RngLike = None,
+                 outages: Optional[Dict[int, Tuple[int, int]]] = None
+                 ) -> None:
+        self.instance = instance
+        self.clock = SlotClock(horizon_slots, slot_length_ms)
+        self._rng = ensure_rng(rng)
+        self._outages: Dict[int, Tuple[int, int]] = dict(outages or {})
+        for sid, (start, end) in self._outages.items():
+            if sid not in set(instance.network.station_ids):
+                raise ConfigurationError(
+                    f"outage names unknown station {sid}")
+            if start > end or start < 0:
+                raise ConfigurationError(
+                    f"invalid outage window {start}..{end} for "
+                    f"station {sid}")
+        self._requests = list(requests)
+        self._pending: List[ARRequest] = []
+        self._active: Dict[int, _Active] = {}
+        self._decided: Dict[int, OffloadDecision] = {}
+        self.events: List[Event] = []
+        self._min_delay_cache: Dict[int, float] = {}
+        arrivals: Dict[int, List[ARRequest]] = {}
+        for request in self._requests:
+            arrivals.setdefault(request.arrival_slot, []).append(request)
+        self._arrivals = arrivals
+
+    # ------------------------------------------------------------------
+    # Views for policies
+    # ------------------------------------------------------------------
+    def active_count(self, station_id: int) -> int:
+        """Active requests currently served by a station."""
+        return sum(1 for a in self._active.values()
+                   if a.station_id == station_id)
+
+    def active_demand_mhz(self, station_id: int) -> float:
+        """Sum of active demands at a station."""
+        return float(sum(a.demand_mhz for a in self._active.values()
+                         if a.station_id == station_id))
+
+    def is_down(self, station_id: int,
+                slot: Optional[int] = None) -> bool:
+        """Whether a station is inside an injected outage window."""
+        window = self._outages.get(station_id)
+        if window is None:
+            return False
+        t = self.clock.current_slot if slot is None else slot
+        return window[0] <= t <= window[1]
+
+    def station_capacity_mhz(self, station_id: int) -> float:
+        """Effective capacity: 0 during an injected outage."""
+        if self.is_down(station_id):
+            return 0.0
+        return self.instance.network.station(station_id).capacity_mhz
+
+    def free_mhz(self, station_id: int) -> float:
+        """Effective capacity minus active demand (floored at 0)."""
+        return max(0.0, self.station_capacity_mhz(station_id)
+                   - self.active_demand_mhz(station_id))
+
+    def total_free_mhz(self) -> float:
+        """Network-wide free capacity."""
+        return float(sum(self.free_mhz(sid)
+                         for sid in self.instance.network.station_ids))
+
+    def waiting_ms(self, request: ARRequest, slot: int) -> float:
+        """Waiting time if the request started at `slot`."""
+        return self.clock.waiting_ms(request.arrival_slot, slot)
+
+    def min_placement_delay_ms(self, request: ARRequest) -> float:
+        """Best-case transfer+processing delay over all stations."""
+        cached = self._min_delay_cache.get(request.request_id)
+        if cached is None:
+            cached = min(
+                self.instance.latency.placement_delay_ms(request, sid)
+                for sid in self.instance.network.station_ids)
+            self._min_delay_cache[request.request_id] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, policy: OnlinePolicy) -> ScheduleResult:
+        """Simulate the whole horizon under one policy.
+
+        Returns:
+            A :class:`ScheduleResult` covering every request that
+            arrived within the horizon.
+        """
+        start_time = time.perf_counter()
+        policy.begin(self)
+        for t in self.clock.ticks():
+            self._admit_arrivals(t)
+            self._drop_hopeless(t)
+            placements = policy.schedule(t, tuple(self._pending))
+            started = self._apply_placements(t, placements)
+            self._progress(t)
+            slot_reward = self._settle_started(t, started)
+            self._complete(t)
+            policy.observe(t, slot_reward)
+        self._finalize()
+        result = ScheduleResult(algorithm=policy.name)
+        for request in self._requests:
+            if request.arrival_slot < self.clock.horizon_slots:
+                result.add(self._decided[request.request_id])
+        result.runtime_s = time.perf_counter() - start_time
+        return result
+
+    # ------------------------------------------------------------------
+    # Slot phases
+    # ------------------------------------------------------------------
+    def _admit_arrivals(self, t: int) -> None:
+        for request in self._arrivals.get(t, ()):
+            self._pending.append(request)
+            self.events.append(Event(slot=t, kind=EventKind.ARRIVAL,
+                                     request_id=request.request_id))
+
+    def _drop_hopeless(self, t: int) -> None:
+        """Drop pending requests that can no longer meet their deadline."""
+        survivors: List[ARRequest] = []
+        for request in self._pending:
+            best_case = (self.waiting_ms(request, t)
+                         + self.min_placement_delay_ms(request))
+            if best_case > request.deadline_ms + 1e-9:
+                self._decided[request.request_id] = OffloadDecision(
+                    request_id=request.request_id, admitted=False,
+                    waiting_ms=self.waiting_ms(request, t))
+                self.events.append(Event(slot=t, kind=EventKind.DROP,
+                                         request_id=request.request_id))
+            else:
+                survivors.append(request)
+        self._pending = survivors
+
+    def _apply_placements(self, t: int,
+                          placements: Sequence[Placement]
+                          ) -> List["_Active"]:
+        started: List[_Active] = []
+        pending_by_id = {r.request_id: r for r in self._pending}
+        for placement in placements:
+            request = pending_by_id.get(placement.request_id)
+            if request is None:
+                raise SchedulingError(
+                    f"policy placed request {placement.request_id} which "
+                    f"is not pending at slot {t}")
+            if placement.station_id == CLOUD_STATION:
+                self._serve_from_cloud(t, request)
+                del pending_by_id[request.request_id]
+                continue
+            if placement.station_id not in set(
+                    self.instance.network.station_ids):
+                raise SchedulingError(
+                    f"policy placed request {placement.request_id} on "
+                    f"unknown station {placement.station_id}")
+            rate, _reward = request.realize(self._rng)
+            demand = request.demand_of_rate_mhz(rate)
+            active = _Active(
+                request=request,
+                station_id=placement.station_id,
+                demand_mhz=demand,
+                remaining_mb=request.total_work_mb(self.clock.slot_length_ms),
+                start_slot=t,
+            )
+            self._active[request.request_id] = active
+            started.append(active)
+            del pending_by_id[request.request_id]
+            self.events.append(Event(slot=t, kind=EventKind.START,
+                                     request_id=request.request_id,
+                                     station_id=placement.station_id))
+        self._pending = [r for r in self._pending
+                         if r.request_id in pending_by_id]
+        return started
+
+    def _serve_from_cloud(self, t: int, request: ARRequest) -> None:
+        """Settle a cloud placement immediately.
+
+        The cloud path's latency exceeds the AR deadline, so the
+        request is admitted with :data:`CLOUD_LATENCY_MS` experienced
+        latency and earns no reward.
+        """
+        request.realize(self._rng)
+        waiting = self.clock.waiting_ms(request.arrival_slot, t)
+        latency = waiting + CLOUD_LATENCY_MS
+        met = latency <= request.deadline_ms + 1e-9
+        reward = request.realized_reward if met else 0.0
+        self._decided[request.request_id] = OffloadDecision(
+            request_id=request.request_id,
+            admitted=True,
+            primary_station=None,
+            realized_rate_mbps=request.realized_rate_mbps,
+            reward=reward,
+            latency_ms=latency,
+            waiting_ms=waiting,
+            deadline_met=met,
+        )
+        self.events.append(Event(slot=t, kind=EventKind.START,
+                                 request_id=request.request_id,
+                                 station_id=CLOUD_STATION))
+
+    def _progress(self, t: int) -> None:
+        counts: Dict[int, int] = {}
+        for active in self._active.values():
+            counts[active.station_id] = counts.get(active.station_id, 0) + 1
+        for active in self._active.values():
+            capacity = self.station_capacity_mhz(active.station_id)
+            fair = capacity / counts[active.station_id]
+            share = min(active.demand_mhz, fair)
+            if active.first_share_mhz is None:
+                active.first_share_mhz = share
+            processed_mb = (share / self.instance.c_unit
+                            * self.clock.slot_length_s)
+            active.remaining_mb -= processed_mb
+
+    def _settle_started(self, t: int, started: Sequence[_Active]) -> float:
+        """Decide reward/latency for this slot's newly started requests.
+
+        The responsiveness ``D_j`` is known after the first served slot
+        (its RR share fixes the congestion slowdown); the reward is
+        earned iff ``D_j`` meets the deadline.
+        """
+        slot_reward = 0.0
+        for active in started:
+            request = active.request
+            latency = self._experienced_latency_ms(active)
+            if not math.isfinite(latency):
+                # Started on a dead station: no response at all.
+                latency = None
+            met = (latency is not None
+                   and latency <= request.deadline_ms + 1e-9)
+            reward = request.realized_reward if met else 0.0
+            active.reward = reward
+            active.latency_ms = latency
+            slot_reward += reward
+            self._decided[request.request_id] = OffloadDecision(
+                request_id=request.request_id,
+                admitted=True,
+                primary_station=active.station_id,
+                realized_rate_mbps=request.realized_rate_mbps,
+                reward=reward,
+                latency_ms=latency,
+                waiting_ms=self.clock.waiting_ms(request.arrival_slot,
+                                                 active.start_slot),
+                deadline_met=met,
+            )
+        return slot_reward
+
+    def _complete(self, t: int) -> None:
+        """Release the capacity of streams that finished their volume."""
+        done = [a for a in self._active.values() if a.remaining_mb <= 1e-9]
+        for active in done:
+            self.events.append(Event(
+                slot=t, kind=EventKind.COMPLETE,
+                request_id=active.request.request_id,
+                station_id=active.station_id, reward=active.reward,
+                latency_ms=active.latency_ms))
+            del self._active[active.request.request_id]
+
+    def _experienced_latency_ms(self, active: _Active) -> float:
+        request = active.request
+        waiting = self.clock.waiting_ms(request.arrival_slot,
+                                        active.start_slot)
+        transfer = self.instance.latency.transfer_delay_ms(
+            request, active.station_id)
+        processing = self.instance.latency.proc_delay_ms(
+            request, active.station_id)
+        return waiting + transfer + processing * active.slowdown()
+
+    def _finalize(self) -> None:
+        """Settle everything still pending at the horizon.
+
+        Requests still *running* at the horizon already carry their
+        start-time decision; only never-started requests remain open.
+        """
+        t = self.clock.horizon_slots - 1
+        for request in self._pending:
+            self._decided[request.request_id] = OffloadDecision(
+                request_id=request.request_id, admitted=False,
+                waiting_ms=self.waiting_ms(request, t))
+        self._pending = []
+        self._active = {}

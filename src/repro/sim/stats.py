@@ -1,0 +1,118 @@
+"""Replication statistics: confidence intervals over seeds.
+
+The paper reports point estimates; a reproduction should also say how
+stable they are.  This module computes t-based confidence intervals
+over the per-seed replications of a sweep and flags points where two
+algorithms' intervals overlap (i.e. the ordering is not resolved at
+the chosen confidence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from ..exceptions import ConfigurationError
+from .results import SweepResult
+
+
+@dataclass(frozen=True)
+class IntervalEstimate:
+    """A mean with its two-sided confidence interval.
+
+    Attributes:
+        mean: sample mean over seeds.
+        half_width: half-width of the interval (0 for n = 1).
+        n: number of replications.
+    """
+
+    mean: float
+    half_width: float
+    n: int
+
+    @property
+    def low(self) -> float:
+        """Lower interval endpoint."""
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        """Upper interval endpoint."""
+        return self.mean + self.half_width
+
+    def overlaps(self, other: "IntervalEstimate") -> bool:
+        """Whether the two intervals intersect."""
+        return self.low <= other.high and other.low <= self.high
+
+    def __str__(self) -> str:
+        return f"{self.mean:.1f} +/- {self.half_width:.1f} (n={self.n})"
+
+
+def interval(values, confidence: float = 0.95) -> IntervalEstimate:
+    """t-based confidence interval of a sample mean.
+
+    Args:
+        values: per-seed measurements (>= 1).
+        confidence: two-sided confidence level in (0, 1).
+    """
+    if not 0 < confidence < 1:
+        raise ConfigurationError(
+            f"confidence must lie in (0, 1), got {confidence}")
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise ConfigurationError("need at least one measurement")
+    mean = float(data.mean())
+    if data.size == 1:
+        return IntervalEstimate(mean=mean, half_width=0.0, n=1)
+    sem = float(data.std(ddof=1) / np.sqrt(data.size))
+    t_crit = float(scipy_stats.t.ppf((1 + confidence) / 2,
+                                     df=data.size - 1))
+    return IntervalEstimate(mean=mean, half_width=t_crit * sem,
+                            n=int(data.size))
+
+
+def sweep_intervals(sweep: SweepResult, algorithm: str, metric: str,
+                    confidence: float = 0.95
+                    ) -> List[Tuple[float, IntervalEstimate]]:
+    """Per-x confidence intervals of one algorithm's metric."""
+    out: List[Tuple[float, IntervalEstimate]] = []
+    for x in sweep.x_values():
+        values = [record.metrics[metric] for record in sweep.records
+                  if record.algorithm == algorithm and record.x == x
+                  and metric in record.metrics]
+        if values:
+            out.append((x, interval(values, confidence)))
+    if not out:
+        raise ConfigurationError(
+            f"no values of {metric!r} for {algorithm!r}")
+    return out
+
+
+def unresolved_points(sweep: SweepResult, first: str, second: str,
+                      metric: str = "total_reward",
+                      confidence: float = 0.95) -> List[float]:
+    """Swept values where the two algorithms' intervals overlap.
+
+    An empty list means the ordering between `first` and `second` is
+    statistically resolved at every point of the sweep.
+    """
+    a = dict(sweep_intervals(sweep, first, metric, confidence))
+    b = dict(sweep_intervals(sweep, second, metric, confidence))
+    return [x for x in sorted(set(a) & set(b))
+            if a[x].overlaps(b[x])]
+
+
+def render_intervals(sweep: SweepResult, metric: str,
+                     confidence: float = 0.95) -> str:
+    """A table of mean +/- half-width per algorithm and swept value."""
+    lines = [f"{metric} ({confidence:.0%} confidence)"]
+    for algorithm in sweep.algorithms():
+        cells = [f"{algorithm:>12}"]
+        for _x, est in sweep_intervals(sweep, algorithm, metric,
+                                       confidence):
+            cells.append(f"{est.mean:10.1f}+/-{est.half_width:<8.1f}")
+        lines.append(" ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,257 @@
+"""Solver-agnostic linear program model container.
+
+A :class:`LinearProgram` accumulates named variables (with bounds,
+objective coefficients, and integrality flags) and linear constraints,
+then exports dense matrices for whichever backend solves it.  The
+container is deliberately simple - dense export is fine at the scale of
+the paper's LPs (thousands of variables) and keeps both backends honest
+about solving the *same* matrices.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+#: Allowed constraint senses.
+SENSES = ("<=", ">=", "==")
+
+
+@dataclass(frozen=True)
+class Variable:
+    """One decision variable.
+
+    Attributes:
+        name: unique name within the program.
+        index: column index in the exported matrices.
+        low: lower bound (may be ``-inf``).
+        high: upper bound (may be ``+inf``).
+        objective: coefficient in the objective function.
+        integer: whether the variable is integral (ILP only).
+    """
+
+    name: str
+    index: int
+    low: float
+    high: float
+    objective: float
+    integer: bool
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """One linear constraint ``coeffs . x  <sense>  rhs``.
+
+    Attributes:
+        name: unique constraint name.
+        coeffs: variable index -> coefficient (sparse row).
+        sense: one of ``<=``, ``>=``, ``==``.
+        rhs: right-hand side.
+    """
+
+    name: str
+    coeffs: Mapping[int, float]
+    sense: str
+    rhs: float
+
+
+class LinearProgram:
+    """A (mixed-integer) linear program in natural form.
+
+    Args:
+        name: label used in error messages.
+        maximize: optimization direction (the paper's programs all
+            maximize expected reward).
+    """
+
+    def __init__(self, name: str = "lp", maximize: bool = True) -> None:
+        self.name = name
+        self.maximize = maximize
+        self._variables: List[Variable] = []
+        self._var_index: Dict[str, int] = {}
+        self._constraints: List[Constraint] = []
+        self._con_names: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_variable(self, name: str, low: float = 0.0,
+                     high: float = math.inf, objective: float = 0.0,
+                     integer: bool = False) -> Variable:
+        """Add a variable; returns its handle.
+
+        Raises:
+            ConfigurationError: on duplicate names or ``low > high``.
+        """
+        if name in self._var_index:
+            raise ConfigurationError(
+                f"{self.name}: duplicate variable {name!r}")
+        if low > high:
+            raise ConfigurationError(
+                f"{self.name}: variable {name!r} has low {low} > high {high}")
+        var = Variable(name=name, index=len(self._variables), low=float(low),
+                       high=float(high), objective=float(objective),
+                       integer=bool(integer))
+        self._variables.append(var)
+        self._var_index[name] = var.index
+        return var
+
+    def add_constraint(self, coeffs: Mapping[str, float], sense: str,
+                       rhs: float, name: Optional[str] = None) -> Constraint:
+        """Add a constraint given by a name->coefficient mapping.
+
+        Zero coefficients are dropped; an empty row raises unless it is
+        trivially satisfiable, in which case it is stored anyway so the
+        model's constraint count matches the formulation.
+
+        Raises:
+            ConfigurationError: on unknown variables, bad senses, or a
+                trivially infeasible empty row.
+        """
+        if sense not in SENSES:
+            raise ConfigurationError(
+                f"{self.name}: bad sense {sense!r}, want one of {SENSES}")
+        row: Dict[int, float] = {}
+        for var_name, coef in coeffs.items():
+            if var_name not in self._var_index:
+                raise ConfigurationError(
+                    f"{self.name}: unknown variable {var_name!r}")
+            if coef != 0.0:
+                row[self._var_index[var_name]] = float(coef)
+        if not row:
+            trivially_ok = ((sense == "<=" and rhs >= 0)
+                            or (sense == ">=" and rhs <= 0)
+                            or (sense == "==" and rhs == 0))
+            if not trivially_ok:
+                raise ConfigurationError(
+                    f"{self.name}: empty constraint row with sense {sense} "
+                    f"rhs {rhs} is infeasible")
+        if name is None:
+            name = f"c{len(self._constraints)}"
+        if name in self._con_names:
+            raise ConfigurationError(
+                f"{self.name}: duplicate constraint {name!r}")
+        con = Constraint(name=name, coeffs=row, sense=sense, rhs=float(rhs))
+        self._con_names[name] = len(self._constraints)
+        self._constraints.append(con)
+        return con
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def variables(self) -> Tuple[Variable, ...]:
+        """All variables, by column index."""
+        return tuple(self._variables)
+
+    @property
+    def constraints(self) -> Tuple[Constraint, ...]:
+        """All constraints, in insertion order."""
+        return tuple(self._constraints)
+
+    @property
+    def num_variables(self) -> int:
+        """Number of columns."""
+        return len(self._variables)
+
+    @property
+    def num_constraints(self) -> int:
+        """Number of rows."""
+        return len(self._constraints)
+
+    @property
+    def has_integers(self) -> bool:
+        """Whether any variable is integral."""
+        return any(v.integer for v in self._variables)
+
+    def variable(self, name: str) -> Variable:
+        """Look a variable up by name."""
+        try:
+            return self._variables[self._var_index[name]]
+        except KeyError:
+            raise ConfigurationError(
+                f"{self.name}: unknown variable {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def objective_vector(self) -> np.ndarray:
+        """Dense objective coefficients (natural direction)."""
+        return np.array([v.objective for v in self._variables], dtype=float)
+
+    def bounds(self) -> List[Tuple[float, float]]:
+        """Per-variable (low, high) bounds."""
+        return [(v.low, v.high) for v in self._variables]
+
+    def dense_rows(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
+                                  np.ndarray]:
+        """Export as ``(A_ub, b_ub, A_eq, b_eq)``.
+
+        ``>=`` rows are negated into ``<=`` form.  Empty matrices have
+        shape ``(0, num_variables)``.
+        """
+        n = self.num_variables
+        ub_rows: List[np.ndarray] = []
+        ub_rhs: List[float] = []
+        eq_rows: List[np.ndarray] = []
+        eq_rhs: List[float] = []
+        for con in self._constraints:
+            row = np.zeros(n)
+            for idx, coef in con.coeffs.items():
+                row[idx] = coef
+            if con.sense == "<=":
+                ub_rows.append(row)
+                ub_rhs.append(con.rhs)
+            elif con.sense == ">=":
+                ub_rows.append(-row)
+                ub_rhs.append(-con.rhs)
+            else:
+                eq_rows.append(row)
+                eq_rhs.append(con.rhs)
+        a_ub = (np.vstack(ub_rows) if ub_rows
+                else np.zeros((0, n)))
+        a_eq = (np.vstack(eq_rows) if eq_rows
+                else np.zeros((0, n)))
+        return (a_ub, np.array(ub_rhs, dtype=float),
+                a_eq, np.array(eq_rhs, dtype=float))
+
+    def evaluate_objective(self, values: Mapping[str, float]) -> float:
+        """Objective value of an assignment (natural direction)."""
+        return float(sum(v.objective * values.get(v.name, 0.0)
+                         for v in self._variables))
+
+    def check_feasible(self, values: Mapping[str, float],
+                       tol: float = 1e-6) -> List[str]:
+        """Names of constraints/bounds violated by an assignment.
+
+        Returns an empty list when the assignment is feasible within
+        `tol`.  Useful in tests and for auditing rounded solutions.
+        """
+        violations: List[str] = []
+        for var in self._variables:
+            val = values.get(var.name, 0.0)
+            if val < var.low - tol or val > var.high + tol:
+                violations.append(f"bound:{var.name}")
+            if var.integer and abs(val - round(val)) > tol:
+                violations.append(f"integrality:{var.name}")
+        for con in self._constraints:
+            lhs = sum(coef * values.get(self._variables[idx].name, 0.0)
+                      for idx, coef in con.coeffs.items())
+            if con.sense == "<=" and lhs > con.rhs + tol:
+                violations.append(f"constraint:{con.name}")
+            elif con.sense == ">=" and lhs < con.rhs - tol:
+                violations.append(f"constraint:{con.name}")
+            elif con.sense == "==" and abs(lhs - con.rhs) > tol:
+                violations.append(f"constraint:{con.name}")
+        return violations
+
+    def __repr__(self) -> str:
+        kind = "ILP" if self.has_integers else "LP"
+        sense = "max" if self.maximize else "min"
+        return (f"LinearProgram({self.name!r}, {kind}, {sense}, "
+                f"{self.num_variables} vars, {self.num_constraints} rows)")

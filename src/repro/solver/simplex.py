@@ -1,0 +1,268 @@
+"""From-scratch two-phase dense simplex solver.
+
+This is the reference LP backend of the library: a classical primal
+simplex on the full tableau with Bland's anti-cycling rule.  It exists
+so the reproduction does not silently depend on a black-box solver -
+the test suite cross-validates it against scipy's HiGHS backend on
+randomly generated programs and on the paper's actual LP relaxations.
+
+Model transformations performed here:
+
+* variables with a finite lower bound are shifted to zero,
+* free variables are split into positive and negative parts,
+* finite upper bounds become explicit ``<=`` rows,
+* ``<=`` rows gain slacks, ``>=`` rows gain surpluses, and rows that
+  lack a usable basic column gain artificials,
+* phase 1 minimizes the artificial sum; phase 2 optimizes the real
+  objective.
+
+Complexity is O(rows x cols) per pivot on dense numpy arrays - entirely
+adequate for the small/medium instances where exactness is cross-checked
+(the experiment driver uses the HiGHS backend for the big sweeps).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import (InfeasibleProblemError, SolverError,
+                          UnboundedProblemError)
+from .model import LinearProgram
+
+_TOL = 1e-9
+
+
+@dataclass
+class _StandardForm:
+    """Equality-form program ``min c.x  s.t.  A x = b, x >= 0``."""
+
+    a: np.ndarray
+    b: np.ndarray
+    c: np.ndarray
+    #: map original variable index -> (column of positive part,
+    #: column of negative part or None, lower-bound shift)
+    recover: List[Tuple[int, Optional[int], float]]
+    num_structural: int
+
+
+def _to_standard_form(lp: LinearProgram) -> _StandardForm:
+    """Lower the natural-form model into equality standard form."""
+    columns: List[Tuple[int, Optional[int], float]] = []
+    col = 0
+    extra_upper_rows: List[Tuple[int, float]] = []  # (pos column, ub)
+    for var in lp.variables:
+        low, high = var.low, var.high
+        if math.isinf(low) and low < 0:
+            pos, neg = col, col + 1
+            col += 2
+            columns.append((pos, neg, 0.0))
+            if not math.isinf(high):
+                extra_upper_rows.append((pos, high))  # x+ - x- <= high
+        else:
+            pos = col
+            col += 1
+            columns.append((pos, None, low))
+            if not math.isinf(high):
+                extra_upper_rows.append((pos, high - low))
+    num_structural = col
+
+    rows: List[np.ndarray] = []
+    rhs: List[float] = []
+    senses: List[str] = []
+    for con in lp.constraints:
+        row = np.zeros(num_structural)
+        shift = 0.0
+        for idx, coef in con.coeffs.items():
+            pos, neg, low = columns[idx]
+            row[pos] += coef
+            if neg is not None:
+                row[neg] -= coef
+            shift += coef * low
+        rows.append(row)
+        rhs.append(con.rhs - shift)
+        senses.append(con.sense)
+    for pos, ub in extra_upper_rows:
+        row = np.zeros(num_structural)
+        sub = None
+        for var_idx, (p, neg, _low) in enumerate(columns):
+            if p == pos:
+                sub = (p, neg)
+                break
+        assert sub is not None
+        row[sub[0]] = 1.0
+        if sub[1] is not None:
+            row[sub[1]] = -1.0
+        rows.append(row)
+        rhs.append(ub)
+        senses.append("<=")
+
+    m = len(rows)
+    num_slack = sum(1 for s in senses if s in ("<=", ">="))
+    n_total = num_structural + num_slack
+    a = np.zeros((m, n_total))
+    b = np.zeros(m)
+    slack_col = num_structural
+    for i, (row, r, sense) in enumerate(zip(rows, rhs, senses)):
+        a[i, :num_structural] = row
+        b[i] = r
+        if sense == "<=":
+            a[i, slack_col] = 1.0
+            slack_col += 1
+        elif sense == ">=":
+            a[i, slack_col] = -1.0
+            slack_col += 1
+    # Normalize to b >= 0.
+    for i in range(m):
+        if b[i] < 0:
+            a[i, :] *= -1.0
+            b[i] *= -1.0
+
+    c = np.zeros(n_total)
+    sign = -1.0 if lp.maximize else 1.0  # simplex minimizes
+    for var in lp.variables:
+        pos, neg, _low = columns[var.index]
+        c[pos] += sign * var.objective
+        if neg is not None:
+            c[neg] -= sign * var.objective
+    return _StandardForm(a=a, b=b, c=c, recover=columns,
+                         num_structural=num_structural)
+
+
+def _pivot(tableau: np.ndarray, basis: List[int], row: int,
+           col: int) -> None:
+    """Pivot the tableau on (row, col) in place."""
+    tableau[row, :] /= tableau[row, col]
+    for i in range(tableau.shape[0]):
+        if i != row and abs(tableau[i, col]) > _TOL:
+            tableau[i, :] -= tableau[i, col] * tableau[row, :]
+    basis[row] = col
+
+
+def _run_simplex(tableau: np.ndarray, basis: List[int],
+                 num_cols: int, max_iter: int) -> None:
+    """Optimize the tableau in place (objective in the last row).
+
+    Uses Bland's rule: entering variable is the lowest-index column
+    with a negative reduced cost; leaving row is the lowest-index
+    minimum-ratio row.  Raises on unboundedness or iteration overrun.
+    """
+    m = tableau.shape[0] - 1
+    for _ in range(max_iter):
+        reduced = tableau[-1, :num_cols]
+        enter = -1
+        for j in range(num_cols):
+            if reduced[j] < -_TOL:
+                enter = j
+                break
+        if enter < 0:
+            return
+        ratios: List[Tuple[float, int, int]] = []
+        for i in range(m):
+            coef = tableau[i, enter]
+            if coef > _TOL:
+                ratios.append((tableau[i, -1] / coef, basis[i], i))
+        if not ratios:
+            raise UnboundedProblemError(
+                "LP is unbounded in the optimization direction")
+        _, _, leave = min(ratios)
+        _pivot(tableau, basis, leave, enter)
+    raise SolverError(f"simplex exceeded {max_iter} iterations")
+
+
+def solve_with_simplex(lp: LinearProgram,
+                       max_iter: int = 100_000) -> Tuple[float,
+                                                         Dict[str, float]]:
+    """Solve a (continuous) LP with the from-scratch simplex.
+
+    Integrality flags are ignored (this is the relaxation solver that
+    branch-and-bound builds on).
+
+    Args:
+        lp: the model.
+        max_iter: pivot budget shared by both phases.
+
+    Returns:
+        ``(objective, values)`` in the model's natural direction.
+
+    Raises:
+        InfeasibleProblemError: no feasible point exists.
+        UnboundedProblemError: the objective is unbounded.
+        SolverError: iteration budget exhausted.
+    """
+    form = _to_standard_form(lp)
+    a, b, c = form.a, form.b, form.c
+    m, n = a.shape
+
+    if m == 0:
+        # No constraints: each variable sits at its best finite bound.
+        values: Dict[str, float] = {}
+        objective = 0.0
+        for var in lp.variables:
+            coef = var.objective if lp.maximize else -var.objective
+            if coef > 0:
+                best = var.high
+            elif coef < 0:
+                best = var.low
+            else:
+                best = var.low if not math.isinf(var.low) else 0.0
+            if math.isinf(best):
+                raise UnboundedProblemError(
+                    f"variable {var.name} unbounded with nonzero objective")
+            values[var.name] = best
+            objective += var.objective * best
+        return objective, values
+
+    # ---------------- Phase 1 ----------------
+    tableau = np.zeros((m + 1, n + m + 1))
+    tableau[:m, :n] = a
+    tableau[:m, n:n + m] = np.eye(m)
+    tableau[:m, -1] = b
+    basis = list(range(n, n + m))
+    # Phase-1 objective: minimize the artificial sum.
+    tableau[-1, :n] = -a.sum(axis=0)
+    tableau[-1, -1] = -b.sum()
+    _run_simplex(tableau, basis, num_cols=n + m, max_iter=max_iter)
+    if tableau[-1, -1] < -1e-7:
+        raise InfeasibleProblemError(
+            f"{lp.name}: phase-1 optimum {-tableau[-1, -1]:.3e} > 0")
+
+    # Drive remaining artificials out of the basis where possible.
+    for i in range(m):
+        if basis[i] >= n:
+            pivot_col = -1
+            for j in range(n):
+                if abs(tableau[i, j]) > 1e-7:
+                    pivot_col = j
+                    break
+            if pivot_col >= 0:
+                _pivot(tableau, basis, i, pivot_col)
+
+    # ---------------- Phase 2 ----------------
+    tableau2 = np.zeros((m + 1, n + 1))
+    tableau2[:m, :n] = tableau[:m, :n]
+    tableau2[:m, -1] = tableau[:m, -1]
+    tableau2[-1, :n] = c
+    # Price out the basic columns.
+    for i, bj in enumerate(basis):
+        if bj < n and abs(tableau2[-1, bj]) > _TOL:
+            tableau2[-1, :] -= tableau2[-1, bj] * tableau2[i, :]
+    _run_simplex(tableau2, basis, num_cols=n, max_iter=max_iter)
+
+    solution = np.zeros(n)
+    for i, bj in enumerate(basis):
+        if bj < n:
+            solution[bj] = tableau2[i, -1]
+
+    values = {}
+    for var in lp.variables:
+        pos, neg, low = form.recover[var.index]
+        val = solution[pos] + low
+        if neg is not None:
+            val -= solution[neg]
+        values[var.name] = float(val)
+    objective = lp.evaluate_objective(values)
+    return objective, values

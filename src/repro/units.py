@@ -1,0 +1,110 @@
+"""Unit conventions and conversions used throughout the library.
+
+The paper mixes several unit systems (Section VI-A):
+
+* computing capacity in **MHz** (base stations: 3,000-3,600 MHz; a
+  resource slot: 1,000 MHz),
+* data rates in **MB/s** (requests: 30-50 MB/s) and **Mbps** in one
+  sentence (10-15 Mbps for the raw uplink),
+* delays in **milliseconds** (maximum response delay 200 ms) and time
+  slots of **0.05 seconds**,
+* rewards in **dollars per unit data rate** (12-15 $/(MB/s)).
+
+Internally the library uses a single canonical system:
+
+==============  =======================
+quantity        canonical unit
+==============  =======================
+computing       MHz
+data rate       MB/s
+data size       MB
+delay / time    millisecond
+reward          dollar
+==============  =======================
+
+This module centralizes every conversion so the rest of the code never
+multiplies by a bare constant.
+"""
+
+from __future__ import annotations
+
+from .exceptions import ConfigurationError
+
+#: Milliseconds per second.
+MS_PER_SECOND: float = 1000.0
+
+#: Bits per byte.
+BITS_PER_BYTE: float = 8.0
+
+#: Kilobytes per megabyte (decimal convention, as in the paper's 64 Kb
+#: frame sizes and MB/s stream rates).
+KB_PER_MB: float = 1000.0
+
+
+def mbps_to_mbytes_per_s(mbps: float) -> float:
+    """Convert megabits/second to megabytes/second."""
+    return mbps / BITS_PER_BYTE
+
+
+def mbytes_per_s_to_mbps(mbytes: float) -> float:
+    """Convert megabytes/second to megabits/second."""
+    return mbytes * BITS_PER_BYTE
+
+
+def kb_to_mb(kilobytes: float) -> float:
+    """Convert kilobytes to megabytes."""
+    return kilobytes / KB_PER_MB
+
+
+def seconds_to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return seconds * MS_PER_SECOND
+
+
+def ms_to_seconds(ms: float) -> float:
+    """Convert milliseconds to seconds."""
+    return ms / MS_PER_SECOND
+
+
+def demand_mhz(data_rate_mbps: float, c_unit_mhz_per_mbps: float) -> float:
+    """Computing demand (MHz) of a stream with the given data rate.
+
+    The paper posits a linear resource model: processing one unit of
+    data rate (1 MB/s) consumes ``C_unit`` MHz of computing resource.
+
+    Args:
+        data_rate_mbps: stream data rate in MB/s (must be >= 0).
+        c_unit_mhz_per_mbps: MHz consumed per MB/s of stream rate
+            (must be > 0).
+
+    Returns:
+        The computing demand in MHz.
+
+    Raises:
+        ConfigurationError: if either argument is out of range.
+    """
+    if data_rate_mbps < 0:
+        raise ConfigurationError(
+            f"data rate must be non-negative, got {data_rate_mbps}")
+    if c_unit_mhz_per_mbps <= 0:
+        raise ConfigurationError(
+            f"C_unit must be positive, got {c_unit_mhz_per_mbps}")
+    return data_rate_mbps * c_unit_mhz_per_mbps
+
+
+def rate_from_demand(demand: float, c_unit_mhz_per_mbps: float) -> float:
+    """Inverse of :func:`demand_mhz`: data rate supported by a demand.
+
+    Args:
+        demand: computing resource in MHz (must be >= 0).
+        c_unit_mhz_per_mbps: MHz consumed per MB/s (must be > 0).
+
+    Returns:
+        The data rate (MB/s) that `demand` MHz can sustain.
+    """
+    if demand < 0:
+        raise ConfigurationError(f"demand must be non-negative, got {demand}")
+    if c_unit_mhz_per_mbps <= 0:
+        raise ConfigurationError(
+            f"C_unit must be positive, got {c_unit_mhz_per_mbps}")
+    return demand / c_unit_mhz_per_mbps

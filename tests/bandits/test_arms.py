@@ -1,0 +1,89 @@
+"""Unit tests for the arm grid discretization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bandits.arms import ArmGrid
+from repro.exceptions import ConfigurationError
+
+
+class TestConstruction:
+    def test_paper_epsilon(self):
+        # epsilon = (high - low) / (kappa - 1), Algorithm 3 line 1.
+        grid = ArmGrid(200.0, 1000.0, 9)
+        assert grid.epsilon == pytest.approx(100.0)
+        assert grid.num_arms == 9
+        assert len(grid) == 9
+
+    def test_endpoints_included(self):
+        grid = ArmGrid(200.0, 1000.0, 9)
+        assert grid.value(0) == pytest.approx(200.0)
+        assert grid.value(8) == pytest.approx(1000.0)
+
+    def test_single_arm_midpoint(self):
+        grid = ArmGrid(0.0, 10.0, 1)
+        assert grid.value(0) == pytest.approx(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ArmGrid(10.0, 0.0, 3)
+        with pytest.raises(ConfigurationError):
+            ArmGrid(0.0, 10.0, 0)
+
+    def test_value_bounds(self):
+        grid = ArmGrid(0.0, 1.0, 3)
+        with pytest.raises(ConfigurationError):
+            grid.value(3)
+        with pytest.raises(ConfigurationError):
+            grid.value(-1)
+
+    def test_values_read_only(self):
+        grid = ArmGrid(0.0, 1.0, 3)
+        with pytest.raises(ValueError):
+            grid.values[0] = 5.0
+
+
+class TestNearestArm:
+    def test_exact_hits(self):
+        grid = ArmGrid(0.0, 100.0, 11)
+        for i in range(11):
+            assert grid.nearest_arm(grid.value(i)) == i
+
+    def test_rounding(self):
+        grid = ArmGrid(0.0, 100.0, 11)
+        assert grid.nearest_arm(14.0) == 1
+        assert grid.nearest_arm(16.0) == 2
+
+    def test_out_of_range_clamps(self):
+        grid = ArmGrid(0.0, 100.0, 11)
+        assert grid.nearest_arm(-50.0) == 0
+        assert grid.nearest_arm(500.0) == 10
+
+
+class TestDiscretizationError:
+    def test_bound_formula(self):
+        # DE(Z') <= eta * epsilon (Eq. 25).
+        grid = ArmGrid(200.0, 1000.0, 9)
+        assert grid.discretization_error_bound(2.0) == pytest.approx(200.0)
+
+    def test_negative_eta_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ArmGrid(0.0, 1.0, 3).discretization_error_bound(-1.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(kappa=st.integers(min_value=2, max_value=100))
+    def test_finer_grids_smaller_error(self, kappa):
+        coarse = ArmGrid(0.0, 100.0, kappa)
+        fine = ArmGrid(0.0, 100.0, kappa + 1)
+        assert (fine.discretization_error_bound(1.0)
+                <= coarse.discretization_error_bound(1.0) + 1e-12)
+
+    @settings(max_examples=30, deadline=None)
+    @given(x=st.floats(min_value=0.0, max_value=100.0),
+           kappa=st.integers(min_value=2, max_value=50))
+    def test_nearest_within_half_epsilon(self, x, kappa):
+        grid = ArmGrid(0.0, 100.0, kappa)
+        arm = grid.nearest_arm(x)
+        assert abs(grid.value(arm) - x) <= grid.epsilon / 2 + 1e-9

@@ -1,0 +1,73 @@
+"""Unit tests for the epsilon-greedy ablation policy."""
+
+import numpy as np
+import pytest
+
+from repro.bandits.epsilon_greedy import EpsilonGreedy
+from repro.bandits.lipschitz import LipschitzBandit
+from repro.exceptions import ConfigurationError
+
+
+class TestBasics:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EpsilonGreedy(num_arms=0)
+        with pytest.raises(ConfigurationError):
+            EpsilonGreedy(num_arms=2, epsilon_scale=0.0)
+
+    def test_epsilon_decays(self):
+        policy = EpsilonGreedy(num_arms=2, epsilon_scale=5.0, rng=0)
+        assert policy.epsilon() == 1.0
+        for _ in range(50):
+            policy.record(0, 0.5)
+        assert policy.epsilon() == pytest.approx(0.1)
+
+    def test_never_eliminates(self):
+        policy = EpsilonGreedy(num_arms=3, rng=0)
+        for _ in range(30):
+            policy.record(0, 1.0)
+        assert policy.active_arms() == [0, 1, 2]
+
+    def test_mean_and_count(self):
+        policy = EpsilonGreedy(num_arms=2, rng=0)
+        policy.record(1, 0.4)
+        policy.record(1, 0.6)
+        assert policy.count(1) == 2
+        assert policy.mean(1) == pytest.approx(0.5)
+
+    def test_arm_bounds(self):
+        policy = EpsilonGreedy(num_arms=2, rng=0)
+        with pytest.raises(ConfigurationError):
+            policy.record(5, 0.5)
+
+
+class TestLearning:
+    def test_converges_to_best_arm(self):
+        rng = np.random.default_rng(7)
+        means = [0.2, 0.9, 0.4]
+        policy = EpsilonGreedy(num_arms=3, epsilon_scale=10.0, rng=7)
+        for _ in range(800):
+            arm = policy.select_arm()
+            policy.record(arm, float(rng.random() < means[arm]))
+        assert policy.best_active_arm() == 1
+        assert policy.count(1) > policy.count(0)
+
+    def test_plugs_into_lipschitz_bandit(self):
+        policy = EpsilonGreedy(num_arms=5, rng=3)
+        bandit = LipschitzBandit(0.0, 1.0, num_arms=5, horizon=50,
+                                 policy=policy)
+        for _ in range(20):
+            bandit.select_value()
+            bandit.record(0.5)
+        assert policy.total_plays == 20
+
+    def test_drives_dynamic_rr(self, small_instance, online_workload):
+        from repro.core.dynamic_rr import DynamicRR
+        from repro.sim.online_engine import OnlineEngine
+
+        policy = DynamicRR(bandit_policy="egreedy", rng=0)
+        engine = OnlineEngine(small_instance, online_workload,
+                              horizon_slots=40, rng=0)
+        result = engine.run(policy)
+        assert isinstance(policy.bandit.policy, EpsilonGreedy)
+        assert result.total_reward > 0.0

@@ -1,0 +1,78 @@
+"""Unit and behavioural tests for the discretized Lipschitz bandit."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bandits.lipschitz import LipschitzBandit
+from repro.bandits.ucb import UCB1
+from repro.exceptions import ConfigurationError
+
+
+class TestProtocol:
+    def test_select_then_record(self):
+        bandit = LipschitzBandit(0.0, 10.0, num_arms=5, horizon=100)
+        value = bandit.select_value()
+        assert 0.0 <= value <= 10.0
+        bandit.record(0.5)
+        assert bandit.steps == 1
+
+    def test_record_before_select_raises(self):
+        bandit = LipschitzBandit(0.0, 10.0, num_arms=5, horizon=100)
+        with pytest.raises(ConfigurationError):
+            bandit.record(0.5)
+
+    def test_bad_explore_fraction(self):
+        with pytest.raises(ConfigurationError):
+            LipschitzBandit(0.0, 1.0, 3, 10, explore_fraction=1.5)
+
+    def test_custom_policy(self):
+        policy = UCB1(num_arms=4)
+        bandit = LipschitzBandit(0.0, 1.0, num_arms=4, horizon=50,
+                                 policy=policy)
+        bandit.select_value()
+        bandit.record(1.0)
+        assert policy.total_plays == 1
+
+    def test_regret_bound_shape(self):
+        """Theorem 3: sqrt(kappa T log T) + T eta epsilon."""
+        bandit = LipschitzBandit(200.0, 1000.0, num_arms=9, horizon=400)
+        eta = 0.01
+        expected = (math.sqrt(9 * 400 * math.log(400))
+                    + 400 * eta * bandit.grid.epsilon)
+        assert bandit.regret_bound(eta) == pytest.approx(expected)
+
+
+class TestLearning:
+    def test_finds_best_region(self):
+        """The bandit converges near the maximizer of a Lipschitz curve."""
+        rng = np.random.default_rng(0)
+        optimum = 6.0
+
+        def reward_of(value: float) -> float:
+            mean = max(0.0, 1.0 - 0.1 * abs(value - optimum))
+            return float(np.clip(mean + rng.normal(0, 0.05), 0, 1))
+
+        bandit = LipschitzBandit(0.0, 10.0, num_arms=11, horizon=800,
+                                 explore_fraction=0.5,
+                                 confidence_scale=0.3)
+        for _ in range(800):
+            value = bandit.select_value()
+            bandit.record(reward_of(value))
+        assert abs(bandit.best_value() - optimum) <= 2.0
+
+    def test_exploitation_phase_plays_best(self):
+        bandit = LipschitzBandit(0.0, 1.0, num_arms=2, horizon=10,
+                                 explore_fraction=0.2,
+                                 confidence_scale=0.3)
+        # Exploration budget = 2 steps.
+        for i in range(2):
+            bandit.select_value()
+            bandit.record(1.0 if i == 0 else 0.0)
+        # Now in exploitation: should repeatedly pick the arm with mean 1.
+        values = set()
+        for _ in range(4):
+            values.add(bandit.select_value())
+            bandit.record(1.0)
+        assert values == {bandit.grid.value(0)}

@@ -1,0 +1,92 @@
+"""Unit and statistical tests for regret tracking."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bandits.regret import RegretTracker
+from repro.bandits.successive_elimination import SuccessiveElimination
+from repro.exceptions import ConfigurationError
+
+
+class TestAccounting:
+    def test_empty(self):
+        tracker = RegretTracker()
+        assert tracker.num_steps == 0
+        assert tracker.cumulative_regret() == 0.0
+        assert tracker.average_regret() == 0.0
+        assert tracker.regret_curve().size == 0
+
+    def test_oracle_validation(self):
+        with pytest.raises(ConfigurationError):
+            RegretTracker(oracle_mean=-1.0)
+
+    def test_with_oracle(self):
+        tracker = RegretTracker(oracle_mean=1.0)
+        tracker.record(0, 0.5)
+        tracker.record(0, 0.7)
+        assert tracker.total_reward == pytest.approx(1.2)
+        assert tracker.cumulative_regret() == pytest.approx(0.8)
+        assert tracker.average_regret() == pytest.approx(0.4)
+
+    def test_empirical_benchmark(self):
+        tracker = RegretTracker()
+        tracker.record(0, 0.2)
+        tracker.record(1, 0.8)
+        tracker.record(1, 0.8)
+        # Best empirical arm mean = 0.8.
+        assert tracker.benchmark_mean() == pytest.approx(0.8)
+        assert tracker.cumulative_regret() == pytest.approx(
+            0.8 * 3 - 1.8)
+
+    def test_per_arm_means(self):
+        tracker = RegretTracker()
+        tracker.record(0, 0.0)
+        tracker.record(0, 1.0)
+        tracker.record(3, 0.5)
+        means = tracker.per_arm_means()
+        assert means == {0: pytest.approx(0.5), 3: pytest.approx(0.5)}
+
+    def test_regret_curve_monotone_with_oracle(self):
+        tracker = RegretTracker(oracle_mean=1.0)
+        for reward in (0.3, 0.9, 0.1, 1.0):
+            tracker.record(0, reward)
+        curve = tracker.regret_curve()
+        assert len(curve) == 4
+        assert all(b >= a - 1e-12 for a, b in zip(curve, curve[1:]))
+
+
+class TestSublinearity:
+    def test_successive_elimination_regret_sublinear(self):
+        """The driving claim of Theorem 3: SE regret grows sublinearly.
+
+        Run SE on a 5-arm Bernoulli bandit and check the tail regret
+        increments are smaller than the head increments.
+        """
+        rng = np.random.default_rng(4)
+        means = [0.3, 0.5, 0.9, 0.4, 0.2]
+        horizon = 1500
+        se = SuccessiveElimination(num_arms=5, horizon=horizon,
+                                   confidence_scale=0.5)
+        tracker = RegretTracker(oracle_mean=0.9)
+        for _ in range(horizon):
+            arm = se.select_arm()
+            reward = float(rng.random() < means[arm])
+            se.record(arm, reward)
+            tracker.record(arm, reward)
+        assert tracker.is_sublinear(window=150)
+        # Regret should also be well below the linear worst case.
+        assert tracker.cumulative_regret() < 0.4 * horizon
+
+    def test_is_sublinear_short_history_trivially_true(self):
+        tracker = RegretTracker(oracle_mean=1.0)
+        tracker.record(0, 0.0)
+        assert tracker.is_sublinear(window=10)
+
+    def test_constant_play_of_best_arm_has_zero_regret(self):
+        tracker = RegretTracker(oracle_mean=0.5)
+        for _ in range(50):
+            tracker.record(0, 0.5)
+        assert tracker.cumulative_regret() == pytest.approx(0.0)
+        assert tracker.is_sublinear()

@@ -1,0 +1,108 @@
+"""Unit and behavioural tests for successive elimination."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bandits.successive_elimination import SuccessiveElimination
+from repro.exceptions import BanditError, ConfigurationError
+
+
+class TestBasics:
+    def test_initial_state(self):
+        se = SuccessiveElimination(num_arms=4, horizon=100)
+        assert se.active_arms() == [0, 1, 2, 3]
+        assert se.total_plays == 0
+        assert se.mean(0) == 0.0
+        assert se.radius(0) == math.inf
+        assert se.ucb(0) == math.inf
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SuccessiveElimination(num_arms=0, horizon=10)
+        with pytest.raises(ConfigurationError):
+            SuccessiveElimination(num_arms=3, horizon=0)
+        with pytest.raises(ConfigurationError):
+            SuccessiveElimination(num_arms=3, horizon=10,
+                                  confidence_scale=0.0)
+
+    def test_arm_index_bounds(self):
+        se = SuccessiveElimination(num_arms=2, horizon=10)
+        with pytest.raises(ConfigurationError):
+            se.mean(2)
+        with pytest.raises(ConfigurationError):
+            se.record(-1, 0.5)
+
+    def test_record_updates_stats(self):
+        se = SuccessiveElimination(num_arms=2, horizon=100)
+        se.record(0, 0.4)
+        se.record(0, 0.6)
+        assert se.count(0) == 2
+        assert se.mean(0) == pytest.approx(0.5)
+        assert se.radius(0) == pytest.approx(
+            math.sqrt(2 * math.log(100) / 2))
+
+
+class TestSelection:
+    def test_select_least_played_active(self):
+        se = SuccessiveElimination(num_arms=3, horizon=100)
+        assert se.select_arm() == 0
+        se.record(0, 0.5)
+        assert se.select_arm() == 1
+        se.record(1, 0.5)
+        assert se.select_arm() == 2
+
+    def test_best_active_arm_by_mean(self):
+        se = SuccessiveElimination(num_arms=3, horizon=10_000)
+        se.record(0, 0.2)
+        se.record(1, 0.9)
+        se.record(2, 0.5)
+        assert se.best_active_arm() == 1
+
+
+class TestElimination:
+    def test_bad_arm_eliminated(self):
+        """A clearly dominated arm must be deactivated eventually."""
+        se = SuccessiveElimination(num_arms=2, horizon=500,
+                                   confidence_scale=0.3)
+        rng = np.random.default_rng(0)
+        for _ in range(400):
+            arm = se.select_arm()
+            reward = 0.9 if arm == 0 else 0.1
+            se.record(arm, reward + rng.normal(0, 0.01))
+        assert not se.is_active(1)
+        assert se.is_active(0)
+
+    def test_recording_to_eliminated_arm_raises(self):
+        se = SuccessiveElimination(num_arms=2, horizon=500,
+                                   confidence_scale=0.3)
+        for _ in range(200):
+            se.record(0, 0.9)
+            if not se.is_active(1):
+                break
+            se.record(1, 0.1)
+        assert not se.is_active(1)
+        with pytest.raises(BanditError):
+            se.record(1, 0.5)
+
+    def test_never_eliminates_last_arm(self):
+        se = SuccessiveElimination(num_arms=3, horizon=200,
+                                   confidence_scale=0.1)
+        for _ in range(150):
+            arm = se.select_arm()
+            se.record(arm, 0.9 if arm == 0 else 0.0)
+        assert se.active_arms() == [0]
+
+    def test_similar_arms_survive(self):
+        """Arms with overlapping confidence intervals all stay active."""
+        se = SuccessiveElimination(num_arms=3, horizon=100)
+        for _ in range(20):
+            arm = se.select_arm()
+            se.record(arm, 0.5)
+        assert se.active_arms() == [0, 1, 2]
+
+    def test_ucb_lcb_bracket_mean(self):
+        se = SuccessiveElimination(num_arms=1, horizon=100)
+        se.record(0, 0.7)
+        assert se.lcb(0) <= se.mean(0) <= se.ucb(0)

@@ -1,0 +1,67 @@
+"""Unit tests for the UCB1 comparison policy."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bandits.ucb import UCB1
+from repro.exceptions import ConfigurationError
+
+
+class TestBasics:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            UCB1(num_arms=0)
+        with pytest.raises(ConfigurationError):
+            UCB1(num_arms=2, confidence_scale=0.0)
+
+    def test_initial_selection_prefers_unplayed(self):
+        ucb = UCB1(num_arms=3)
+        first = ucb.select_arm()
+        ucb.record(first, 0.5)
+        second = ucb.select_arm()
+        assert second != first  # unplayed arms have infinite index
+
+    def test_all_arms_stay_active(self):
+        ucb = UCB1(num_arms=3)
+        for _ in range(50):
+            ucb.record(0, 1.0)
+        assert ucb.active_arms() == [0, 1, 2]
+
+    def test_mean_and_count(self):
+        ucb = UCB1(num_arms=2)
+        ucb.record(0, 0.2)
+        ucb.record(0, 0.8)
+        assert ucb.count(0) == 2
+        assert ucb.mean(0) == pytest.approx(0.5)
+        assert ucb.mean(1) == 0.0
+
+    def test_index_formula(self):
+        ucb = UCB1(num_arms=2)
+        ucb.record(0, 0.5)
+        ucb.record(1, 0.5)
+        bonus = math.sqrt(2 * math.log(2) / 1)
+        assert ucb.ucb(0) == pytest.approx(0.5 + bonus)
+
+    def test_best_active_arm(self):
+        ucb = UCB1(num_arms=3)
+        assert ucb.best_active_arm() == 0  # before any play
+        ucb.record(2, 0.9)
+        ucb.record(1, 0.3)
+        ucb.record(0, 0.1)
+        assert ucb.best_active_arm() == 2
+
+
+class TestLearning:
+    def test_converges_to_best_arm(self):
+        """UCB1 plays the best arm most often in the long run."""
+        rng = np.random.default_rng(1)
+        means = [0.2, 0.8, 0.5]
+        ucb = UCB1(num_arms=3)
+        for _ in range(600):
+            arm = ucb.select_arm()
+            ucb.record(arm, float(rng.random() < means[arm]))
+        assert ucb.count(1) > ucb.count(0)
+        assert ucb.count(1) > ucb.count(2)
+        assert ucb.best_active_arm() == 1

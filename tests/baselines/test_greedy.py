@@ -1,0 +1,83 @@
+"""Unit tests for the Greedy baseline."""
+
+import pytest
+
+from repro.baselines.greedy import (GreedyOffline, GreedyOnline,
+                                    _greedy_order, _min_latency_station)
+from repro.sim.engine import run_offline
+from repro.sim.online_engine import OnlineEngine
+
+
+class TestOrdering:
+    def test_heaviest_first(self, small_instance, small_workload):
+        ordered = _greedy_order(small_instance, small_workload)
+        keys = [r.pipeline.total_compute_weight * r.expected_rate_mbps
+                for r in ordered]
+        assert keys == sorted(keys, reverse=True)
+
+
+class TestPlacementRule:
+    def test_picks_min_latency_station(self, small_instance,
+                                       small_workload):
+        ledger = small_instance.new_ledger()
+        request = small_workload[0]
+        sid = _min_latency_station(small_instance, request, ledger)
+        feasible = small_instance.latency.feasible_stations(request)
+        assert sid == feasible[0]
+
+    def test_no_fallback_when_optimal_full(self, small_instance,
+                                           small_workload):
+        """[32]'s greedy rejects rather than falling back globally."""
+        ledger = small_instance.new_ledger()
+        request = small_workload[0]
+        best = _min_latency_station(small_instance, request, ledger)
+        ledger.reserve(999, best,
+                       small_instance.network.station(best).capacity_mhz)
+        assert _min_latency_station(small_instance, request,
+                                    ledger) is None
+
+
+class TestOffline:
+    def test_runs(self, small_instance, small_workload):
+        result = run_offline(GreedyOffline(), small_instance,
+                             small_workload, seed=0)
+        assert len(result) == len(small_workload)
+        assert result.algorithm == "Greedy"
+
+    def test_admitted_meet_deadlines(self, small_instance,
+                                     small_workload):
+        result = run_offline(GreedyOffline(), small_instance,
+                             small_workload, seed=0)
+        for decision in result.decisions.values():
+            if decision.admitted:
+                assert decision.deadline_met
+
+    def test_lowest_latency_profile(self, small_instance):
+        """Greedy's admitted latency should beat Heu's (Fig. 3(b))."""
+        from repro.core.heu import Heu
+
+        greedy_lat, heu_lat = [], []
+        for seed in range(3):
+            wl = small_instance.new_workload(30, seed=seed)
+            greedy_lat.append(run_offline(GreedyOffline(),
+                                          small_instance, wl,
+                                          seed=seed).average_latency_ms())
+            wl = small_instance.new_workload(30, seed=seed)
+            heu_lat.append(run_offline(Heu(), small_instance, wl,
+                                       seed=seed).average_latency_ms())
+        assert sum(greedy_lat) < sum(heu_lat)
+
+
+class TestOnline:
+    def test_runs_online(self, small_instance, online_workload):
+        engine = OnlineEngine(small_instance, online_workload,
+                              horizon_slots=40, rng=0)
+        result = engine.run(GreedyOnline())
+        assert len(result) == len(online_workload)
+        assert result.algorithm == "Greedy"
+
+    def test_earns_reward(self, small_instance, online_workload):
+        engine = OnlineEngine(small_instance, online_workload,
+                              horizon_slots=40, rng=0)
+        result = engine.run(GreedyOnline())
+        assert result.total_reward > 0.0

@@ -1,0 +1,103 @@
+"""Unit tests for the HeuKKT baseline."""
+
+import pytest
+
+from repro.baselines.heukkt import (CLOUD_RTT_MS, EDGE_UTIL_TARGET,
+                                    HeuKktOffline, HeuKktOnline,
+                                    _kkt_station)
+from repro.sim.engine import run_offline
+from repro.sim.online_engine import OnlineEngine
+
+
+class TestPlacementRule:
+    def test_prefers_lowest_utilization(self, small_instance,
+                                        small_workload):
+        request = small_workload[0]
+        ledger = small_instance.new_ledger()
+        feasible = small_instance.latency.feasible_stations(request)
+        # Load every feasible station except one a bit.
+        for sid in feasible[1:]:
+            ledger.reserve(900 + sid, sid, 100.0)
+        choice = _kkt_station(small_instance, request, ledger)
+        assert choice == feasible[0]
+
+    def test_respects_util_target(self, small_instance, small_workload):
+        request = small_workload[0]
+        ledger = small_instance.new_ledger()
+        for sid in small_instance.network.station_ids:
+            capacity = small_instance.network.station(sid).capacity_mhz
+            ledger.reserve(900 + sid, sid,
+                           EDGE_UTIL_TARGET * capacity)
+        assert _kkt_station(small_instance, request, ledger) is None
+
+
+class TestOffline:
+    def test_every_request_decided(self, small_instance, small_workload):
+        result = run_offline(HeuKktOffline(), small_instance,
+                             small_workload, seed=0)
+        assert len(result) == len(small_workload)
+        # HeuKKT admits everything (edge or cloud).
+        assert result.num_admitted == len(small_workload)
+
+    def test_cloud_requests_earn_nothing(self, small_instance):
+        """Spillover goes to the cloud: latency CLOUD_RTT_MS, reward 0."""
+        workload = small_instance.new_workload(num_requests=60, seed=1)
+        result = run_offline(HeuKktOffline(), small_instance, workload,
+                             seed=1)
+        cloud = [d for d in result.decisions.values()
+                 if d.admitted and d.primary_station is None]
+        assert cloud, "60 requests must overflow the 0.75 edge target"
+        for decision in cloud:
+            assert decision.latency_ms == CLOUD_RTT_MS
+            assert decision.reward == 0.0
+
+    def test_edge_share_respects_util_target_in_plan(self,
+                                                     small_instance):
+        workload = small_instance.new_workload(num_requests=60, seed=1)
+        result = run_offline(HeuKktOffline(), small_instance, workload,
+                             seed=1)
+        by_id = {r.request_id: r for r in workload}
+        # Sum of realized (truncated) demand per station stays <= C.
+        load = {sid: 0.0 for sid in small_instance.network.station_ids}
+        for d in result.decisions.values():
+            if d.admitted and d.primary_station is not None:
+                load[d.primary_station] += min(
+                    by_id[d.request_id].realized_demand_mhz,
+                    small_instance.network.station(
+                        d.primary_station).capacity_mhz)
+        for sid, total in load.items():
+            capacity = small_instance.network.station(sid).capacity_mhz
+            assert total <= capacity + 1e-6
+
+    def test_high_average_latency(self, small_instance):
+        """The cloud share drags HeuKKT's average latency up
+        (Fig. 3(b): HeuKKT has the highest latency)."""
+        from repro.core.heu import Heu
+
+        workload = small_instance.new_workload(num_requests=60, seed=2)
+        kkt = run_offline(HeuKktOffline(), small_instance, workload,
+                          seed=2)
+        workload = small_instance.new_workload(num_requests=60, seed=2)
+        heu = run_offline(Heu(), small_instance, workload, seed=2)
+        assert kkt.average_latency_ms() > heu.average_latency_ms()
+
+
+class TestOnline:
+    def test_every_pending_request_dispatched(self, small_instance,
+                                              online_workload):
+        """The online version never leaves a request waiting: edge now
+        or cloud now."""
+        engine = OnlineEngine(small_instance, online_workload,
+                              horizon_slots=40, rng=0)
+        result = engine.run(HeuKktOnline())
+        assert result.num_admitted == len(online_workload)
+
+    def test_cloud_spill_under_load(self, small_instance):
+        workload = small_instance.new_workload(num_requests=50, seed=3,
+                                               horizon_slots=40)
+        engine = OnlineEngine(small_instance, workload,
+                              horizon_slots=40, rng=3)
+        result = engine.run(HeuKktOnline())
+        cloud = [d for d in result.decisions.values()
+                 if d.admitted and d.primary_station is None]
+        assert cloud

@@ -1,0 +1,83 @@
+"""Unit tests for the OCORP baseline."""
+
+import pytest
+
+from repro.baselines.ocorp import (LOCAL_CANDIDATES, OcorpOffline,
+                                   OcorpOnline, _best_fit_station,
+                                   _local_candidates, _ocorp_order)
+from repro.sim.engine import run_offline
+from repro.sim.online_engine import OnlineEngine
+
+
+class TestOrdering:
+    def test_sorts_by_arrival_then_volume(self, small_instance):
+        workload = small_instance.new_workload(num_requests=10, seed=0,
+                                               horizon_slots=20)
+        ordered = _ocorp_order(workload)
+        keys = [(r.arrival_slot,
+                 r.expected_rate_mbps * r.stream_duration_slots,
+                 r.request_id) for r in ordered]
+        assert keys == sorted(keys)
+
+
+class TestLocality:
+    def test_candidates_are_nearest_feasible(self, small_instance,
+                                             small_workload):
+        request = small_workload[0]
+        local = _local_candidates(small_instance, request)
+        feasible = small_instance.latency.feasible_stations(request)
+        assert local == feasible[:LOCAL_CANDIDATES]
+        assert len(local) <= LOCAL_CANDIDATES
+
+    def test_best_fit_prefers_tightest(self, small_instance,
+                                       small_workload):
+        request = small_workload[0]
+        ledger = small_instance.new_ledger()
+        local = _local_candidates(small_instance, request)
+        if len(local) >= 2:
+            # Load the first candidate so it becomes the tighter fit
+            # while still fitting the expected demand.
+            capacity = small_instance.network.station(
+                local[0]).capacity_mhz
+            fill = capacity - request.expected_demand_mhz - 1.0
+            if fill > 0:
+                ledger.reserve(999, local[0], fill)
+            choice = _best_fit_station(small_instance, request, ledger)
+            assert choice == local[0]
+
+    def test_none_when_local_full(self, small_instance, small_workload):
+        request = small_workload[0]
+        ledger = small_instance.new_ledger()
+        for sid in _local_candidates(small_instance, request):
+            ledger.reserve(999, sid,
+                           small_instance.network.station(
+                               sid).capacity_mhz)
+        assert _best_fit_station(small_instance, request, ledger) is None
+
+
+class TestOffline:
+    def test_runs(self, small_instance, small_workload):
+        result = run_offline(OcorpOffline(), small_instance,
+                             small_workload, seed=0)
+        assert len(result) == len(small_workload)
+        assert result.algorithm == "OCORP"
+
+    def test_only_local_stations_used(self, small_instance,
+                                      small_workload):
+        result = run_offline(OcorpOffline(), small_instance,
+                             small_workload, seed=0)
+        by_id = {r.request_id: r for r in small_workload}
+        for decision in result.decisions.values():
+            if decision.admitted:
+                local = _local_candidates(small_instance,
+                                          by_id[decision.request_id])
+                assert decision.primary_station in local
+
+
+class TestOnline:
+    def test_runs_online(self, small_instance, online_workload):
+        engine = OnlineEngine(small_instance, online_workload,
+                              horizon_slots=40, rng=0)
+        result = engine.run(OcorpOnline())
+        assert len(result) == len(online_workload)
+        assert result.total_reward >= 0.0

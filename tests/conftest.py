@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite.
+
+The `small_*` fixtures build a reduced problem (8 stations, short
+workloads) so unit and integration tests stay fast while exercising
+real topology/workload diversity.  All fixtures are deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import (NetworkConfig, OnlineConfig, RequestConfig,
+                          SimulationConfig)
+from repro.core.instance import ProblemInstance
+
+#: Seed used by every deterministic fixture.
+FIXTURE_SEED = 1234
+
+
+@pytest.fixture(scope="session")
+def small_config() -> SimulationConfig:
+    """A reduced configuration: 8 stations, 30-request default."""
+    return SimulationConfig(
+        network=NetworkConfig(num_base_stations=8),
+        requests=RequestConfig(num_requests=30),
+        online=OnlineConfig(horizon_slots=40),
+        seed=FIXTURE_SEED,
+    ).validate()
+
+
+@pytest.fixture(scope="session")
+def small_instance(small_config) -> ProblemInstance:
+    """A deterministic reduced problem instance."""
+    return ProblemInstance.build(small_config, seed=FIXTURE_SEED)
+
+
+@pytest.fixture()
+def small_workload(small_instance):
+    """A fresh 20-request batch workload (unrealized rates)."""
+    return small_instance.new_workload(num_requests=20, seed=FIXTURE_SEED)
+
+
+@pytest.fixture()
+def tiny_workload(small_instance):
+    """A fresh 6-request batch workload for exact-solver tests."""
+    return small_instance.new_workload(num_requests=6, seed=FIXTURE_SEED)
+
+
+@pytest.fixture()
+def online_workload(small_instance):
+    """A 25-request slotted workload over a 40-slot horizon."""
+    return small_instance.new_workload(num_requests=25, seed=FIXTURE_SEED,
+                                       horizon_slots=40)

@@ -1,0 +1,75 @@
+"""Unit tests for decision/result containers."""
+
+import pytest
+
+from repro.core.assignment import (OffloadDecision, ScheduleResult,
+                                   SlotAssignment)
+from repro.exceptions import SchedulingError
+
+
+class TestOffloadDecision:
+    def test_rejected_has_no_stations(self):
+        decision = OffloadDecision(request_id=1)
+        assert not decision.admitted
+        assert decision.stations() == []
+
+    def test_stations_dedup_and_order(self):
+        decision = OffloadDecision(
+            request_id=1, admitted=True, primary_station=3,
+            migrated_tasks={0: 5, 1: 3, 2: 5})
+        assert decision.stations() == [3, 5]
+
+
+class TestScheduleResult:
+    def make_result(self):
+        result = ScheduleResult(algorithm="X")
+        result.add(OffloadDecision(request_id=0, admitted=True,
+                                   primary_station=1, reward=10.0,
+                                   latency_ms=50.0, deadline_met=True))
+        result.add(OffloadDecision(request_id=1, admitted=True,
+                                   primary_station=2, reward=0.0,
+                                   latency_ms=150.0, deadline_met=True))
+        result.add(OffloadDecision(request_id=2))
+        return result
+
+    def test_aggregates(self):
+        result = self.make_result()
+        assert len(result) == 3
+        assert result.total_reward == pytest.approx(10.0)
+        assert result.num_admitted == 2
+        assert result.num_rewarded == 1
+        assert result.admission_rate == pytest.approx(2 / 3)
+        assert result.average_latency_ms() == pytest.approx(100.0)
+
+    def test_latency_excludes_rejected(self):
+        result = self.make_result()
+        assert len(result.latency_distribution_ms()) == 2
+
+    def test_duplicate_decision_raises(self):
+        result = self.make_result()
+        with pytest.raises(SchedulingError):
+            result.add(OffloadDecision(request_id=0))
+
+    def test_decision_lookup(self):
+        result = self.make_result()
+        assert result.decision(1).primary_station == 2
+        with pytest.raises(SchedulingError):
+            result.decision(99)
+
+    def test_empty_result(self):
+        result = ScheduleResult(algorithm="X")
+        assert result.total_reward == 0.0
+        assert result.average_latency_ms() == 0.0
+        assert result.admission_rate == 0.0
+
+    def test_summary_keys(self):
+        summary = self.make_result().summary()
+        assert set(summary) == {"total_reward", "avg_latency_ms",
+                                "num_admitted", "num_rewarded",
+                                "admission_rate", "runtime_s"}
+
+
+class TestSlotAssignment:
+    def test_fields(self):
+        a = SlotAssignment(request_id=1, station_id=2, slot=0)
+        assert (a.request_id, a.station_id, a.slot) == (1, 2, 0)

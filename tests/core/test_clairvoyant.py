@@ -1,0 +1,73 @@
+"""Tests for the clairvoyant offline bound."""
+
+import pytest
+
+from repro.core.clairvoyant import (ClairvoyantResult, clairvoyant_bound,
+                                    competitive_ratio)
+from repro.core.dynamic_rr import DynamicRR
+from repro.exceptions import ConfigurationError
+from repro.sim.online_engine import OnlineEngine
+
+
+class TestBound:
+    def test_bound_fields(self, small_instance, online_workload):
+        bound = clairvoyant_bound(small_instance, online_workload,
+                                  horizon_slots=40, rng=0)
+        assert bound.upper_bound >= 0.0
+        assert 0 <= bound.num_servable <= len(online_workload)
+        assert 0.0 <= bound.peak_utilization <= 1.0 + 1e-9
+
+    def test_validation(self, small_instance, online_workload):
+        with pytest.raises(ConfigurationError):
+            clairvoyant_bound(small_instance, online_workload,
+                              horizon_slots=0)
+
+    def test_bound_dominates_online_policy(self, small_instance):
+        """The clairvoyant bound must exceed what DynamicRR achieves
+        on the same arrivals and realizations."""
+        for seed in (1, 2):
+            workload = small_instance.new_workload(
+                25, seed=seed, horizon_slots=40)
+            engine = OnlineEngine(small_instance, workload,
+                                  horizon_slots=40, rng=seed)
+            result = engine.run(DynamicRR(rng=seed))
+            # Same (already realized) workload feeds the bound.
+            bound = clairvoyant_bound(small_instance, workload,
+                                      horizon_slots=40, rng=seed)
+            assert bound.upper_bound >= result.total_reward * 0.999
+
+    def test_empty_workload(self, small_instance):
+        bound = clairvoyant_bound(small_instance, [], horizon_slots=10)
+        assert bound.upper_bound == 0.0
+        assert bound.num_servable == 0
+
+    def test_arrivals_beyond_horizon_ignored(self, small_instance):
+        workload = small_instance.new_workload(5, seed=0,
+                                               horizon_slots=40)
+        full = clairvoyant_bound(small_instance, workload,
+                                 horizon_slots=40, rng=0)
+        # Same requests, but with a 1-slot horizon only slot-0 arrivals
+        # can count.
+        for request in workload:
+            request.reset_realization()
+        tiny = clairvoyant_bound(small_instance, workload,
+                                 horizon_slots=1, rng=0)
+        assert tiny.upper_bound <= full.upper_bound + 1e-9
+
+
+class TestCompetitiveRatio:
+    def test_basic(self):
+        bound = ClairvoyantResult(upper_bound=100.0, num_servable=10,
+                                  peak_utilization=0.9)
+        assert competitive_ratio(80.0, bound) == pytest.approx(0.8)
+
+    def test_zero_bound(self):
+        bound = ClairvoyantResult(upper_bound=0.0, num_servable=0,
+                                  peak_utilization=0.0)
+        assert competitive_ratio(0.0, bound) == 1.0
+
+    def test_negative_reward_rejected(self):
+        bound = ClairvoyantResult(upper_bound=10.0, num_servable=1,
+                                  peak_utilization=0.1)
+        with pytest.raises(ConfigurationError):
+            competitive_ratio(-1.0, bound)

@@ -1,0 +1,83 @@
+"""Unit and behavioural tests for the DynamicRR online policy."""
+
+import pytest
+
+from repro.config import OnlineConfig
+from repro.core.dynamic_rr import DynamicRR
+from repro.sim.online_engine import OnlineEngine
+
+
+def run_dynamic(instance, workload, horizon=40, seed=0, **kwargs):
+    policy = DynamicRR(rng=seed, **kwargs)
+    engine = OnlineEngine(instance, workload, horizon_slots=horizon,
+                          rng=seed)
+    result = engine.run(policy)
+    return policy, result
+
+
+class TestBasics:
+    def test_runs_and_covers_all_requests(self, small_instance,
+                                          online_workload):
+        _policy, result = run_dynamic(small_instance, online_workload)
+        assert len(result) == len(online_workload)
+        assert result.algorithm == "DynamicRR"
+
+    def test_empty_workload(self, small_instance):
+        _policy, result = run_dynamic(small_instance, [])
+        assert len(result) == 0
+
+    def test_bandit_initialized_from_config(self, small_instance,
+                                            online_workload):
+        config = OnlineConfig(num_arms=5,
+                              threshold_range_mhz=(100.0, 500.0))
+        policy, _ = run_dynamic(small_instance, online_workload,
+                                online_config=config)
+        assert policy.bandit is not None
+        assert policy.bandit.grid.num_arms == 5
+        assert policy.bandit.grid.interval == (100.0, 500.0)
+
+    def test_current_threshold_in_range(self, small_instance,
+                                        online_workload):
+        policy, _ = run_dynamic(small_instance, online_workload)
+        threshold = policy.current_threshold_mhz()
+        lo, hi = policy.config.threshold_range_mhz
+        assert lo <= threshold <= hi
+
+    def test_threshold_none_before_run(self):
+        assert DynamicRR().current_threshold_mhz() is None
+
+
+class TestBehaviour:
+    def test_admitted_requests_get_decisions_with_latency(
+            self, small_instance, online_workload):
+        _policy, result = run_dynamic(small_instance, online_workload)
+        for decision in result.decisions.values():
+            if decision.admitted and decision.primary_station is not None:
+                assert decision.latency_ms is not None
+                assert decision.latency_ms >= 0.0
+
+    def test_rewarded_only_if_deadline_met(self, small_instance,
+                                           online_workload):
+        _policy, result = run_dynamic(small_instance, online_workload)
+        for decision in result.decisions.values():
+            if decision.reward > 0:
+                assert decision.deadline_met
+
+    def test_tracker_records_plays(self, small_instance,
+                                   online_workload):
+        policy, _ = run_dynamic(small_instance, online_workload)
+        assert policy.tracker.num_steps > 0
+
+    def test_deterministic_given_seed(self, small_instance):
+        a_wl = small_instance.new_workload(20, seed=2, horizon_slots=40)
+        _p, a = run_dynamic(small_instance, a_wl, seed=2)
+        b_wl = small_instance.new_workload(20, seed=2, horizon_slots=40)
+        _p, b = run_dynamic(small_instance, b_wl, seed=2)
+        assert a.total_reward == pytest.approx(b.total_reward)
+
+    def test_earns_reward_under_load(self, small_instance):
+        workload = small_instance.new_workload(30, seed=5,
+                                               horizon_slots=40)
+        _policy, result = run_dynamic(small_instance, workload, seed=5)
+        assert result.total_reward > 0.0
+        assert result.num_admitted > 0

@@ -1,0 +1,85 @@
+"""Tests for DynamicRR's pluggable bandit policy and waiting metrics."""
+
+import pytest
+
+from repro.bandits.ucb import UCB1
+from repro.core.dynamic_rr import DynamicRR
+from repro.sim.online_engine import OnlineEngine
+
+
+def run_policy(instance, workload, policy):
+    engine = OnlineEngine(instance, workload, horizon_slots=40, rng=0)
+    return engine.run(policy)
+
+
+class TestBanditPolicyKnob:
+    def test_invalid_policy_name(self):
+        with pytest.raises(ValueError):
+            DynamicRR(bandit_policy="thompson")
+
+    def test_ucb1_variant_runs(self, small_instance, online_workload):
+        policy = DynamicRR(bandit_policy="ucb1", rng=0)
+        result = run_policy(small_instance, online_workload, policy)
+        assert isinstance(policy.bandit.policy, UCB1)
+        assert len(result) == len(online_workload)
+        assert result.total_reward > 0.0
+
+    def test_se_is_default(self, small_instance, online_workload):
+        policy = DynamicRR(rng=0)
+        run_policy(small_instance, online_workload, policy)
+        from repro.bandits.successive_elimination import \
+            SuccessiveElimination
+        assert isinstance(policy.bandit.policy, SuccessiveElimination)
+
+    def test_variants_comparable(self, small_instance):
+        """Both learners reach the same ballpark on the same arrivals."""
+        totals = {}
+        for name in ("se", "ucb1"):
+            workload = small_instance.new_workload(25, seed=4,
+                                                   horizon_slots=40)
+            policy = DynamicRR(bandit_policy=name, rng=4)
+            totals[name] = run_policy(small_instance, workload,
+                                      policy).total_reward
+        assert totals["ucb1"] >= 0.5 * totals["se"]
+        assert totals["se"] >= 0.5 * totals["ucb1"]
+
+
+class TestWaitingMetrics:
+    def test_waiting_distribution_covers_all_requests(
+            self, small_instance, online_workload):
+        policy = DynamicRR(rng=0)
+        result = run_policy(small_instance, online_workload, policy)
+        waits = result.waiting_distribution_ms()
+        assert len(waits) == len(online_workload)
+        assert waits == sorted(waits)
+        assert all(w >= 0 for w in waits)
+
+    def test_average_and_max_consistent(self, small_instance,
+                                        online_workload):
+        policy = DynamicRR(rng=0)
+        result = run_policy(small_instance, online_workload, policy)
+        assert (result.average_waiting_ms()
+                <= result.max_waiting_ms() + 1e-9)
+
+    def test_empty_result_waiting(self):
+        from repro.core.assignment import ScheduleResult
+
+        result = ScheduleResult("X")
+        assert result.waiting_distribution_ms() == []
+        assert result.average_waiting_ms() == 0.0
+        assert result.max_waiting_ms() == 0.0
+
+    def test_immediate_baseline_waits_less_than_capped_dynamic(
+            self, small_instance):
+        """Greedy starts placeable requests instantly; its *admitted*
+        waits should be tiny."""
+        from repro.baselines.greedy import GreedyOnline
+
+        workload = small_instance.new_workload(15, seed=6,
+                                               horizon_slots=40)
+        result = run_policy(small_instance, workload, GreedyOnline())
+        admitted_waits = [d.waiting_ms
+                          for d in result.decisions.values()
+                          if d.admitted]
+        if admitted_waits:
+            assert min(admitted_waits) == 0.0

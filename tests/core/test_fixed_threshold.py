@@ -1,0 +1,70 @@
+"""Tests for the fixed-threshold RR comparator."""
+
+import pytest
+
+from repro.core.dynamic_rr import DynamicRR
+from repro.core.fixed_threshold import (FixedThresholdRR,
+                                        best_fixed_threshold)
+from repro.exceptions import ConfigurationError
+from repro.sim.online_engine import OnlineEngine
+
+
+class TestFixedThresholdRR:
+    def test_threshold_outside_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FixedThresholdRR(threshold_mhz=50.0)  # below default 200
+
+    def test_name_carries_threshold(self):
+        policy = FixedThresholdRR(threshold_mhz=400.0)
+        assert policy.name == "FixedRR(400)"
+
+    def test_never_changes_arm(self, small_instance, online_workload):
+        policy = FixedThresholdRR(threshold_mhz=400.0, rng=0)
+        engine = OnlineEngine(small_instance, online_workload,
+                              horizon_slots=40, rng=0)
+        engine.run(policy)
+        assert policy.bandit.grid.num_arms == 1
+        assert policy.current_threshold_mhz() == pytest.approx(400.0)
+
+    def test_runs_and_earns(self, small_instance, online_workload):
+        policy = FixedThresholdRR(threshold_mhz=300.0, rng=0)
+        engine = OnlineEngine(small_instance, online_workload,
+                              horizon_slots=40, rng=0)
+        result = engine.run(policy)
+        assert result.total_reward > 0.0
+        assert len(result) == len(online_workload)
+
+
+class TestBestFixedThreshold:
+    def test_sweep_returns_max(self, small_instance):
+        def workload():
+            return small_instance.new_workload(25, seed=3,
+                                               horizon_slots=40)
+
+        best, best_reward, rewards = best_fixed_threshold(
+            small_instance, workload, (200.0, 600.0, 1000.0),
+            horizon_slots=40, rng_seed=3)
+        assert best in rewards
+        assert best_reward == max(rewards.values())
+        assert len(rewards) == 3
+
+    def test_empty_thresholds_rejected(self, small_instance):
+        with pytest.raises(ConfigurationError):
+            best_fixed_threshold(small_instance, lambda: [], (),
+                                 horizon_slots=10)
+
+    def test_dynamic_rr_near_best_fixed(self, small_instance):
+        """The learning policy lands close to the best constant."""
+        seed = 5
+
+        def workload():
+            return small_instance.new_workload(30, seed=seed,
+                                               horizon_slots=40)
+
+        _best, best_reward, _rewards = best_fixed_threshold(
+            small_instance, workload, (200.0, 500.0, 800.0),
+            horizon_slots=40, rng_seed=seed)
+        engine = OnlineEngine(small_instance, workload(),
+                              horizon_slots=40, rng=seed)
+        dynamic = engine.run(DynamicRR(rng=seed)).total_reward
+        assert dynamic >= 0.6 * best_reward

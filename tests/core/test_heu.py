@@ -1,0 +1,93 @@
+"""Unit and behavioural tests for algorithm Heu."""
+
+import pytest
+
+from repro.core.appro import Appro
+from repro.core.heu import Heu
+from repro.sim.engine import run_offline
+
+
+class TestBasics:
+    def test_empty_workload(self, small_instance):
+        result = run_offline(Heu(), small_instance, [], seed=0)
+        assert len(result) == 0
+
+    def test_one_decision_per_request(self, small_instance,
+                                      small_workload):
+        result = run_offline(Heu(), small_instance, small_workload,
+                             seed=0)
+        assert len(result) == len(small_workload)
+
+    def test_invalid_max_rounds(self):
+        with pytest.raises(ValueError):
+            Heu(max_rounds=0)
+
+
+class TestFeasibility:
+    def test_admitted_meet_deadlines_even_with_migrations(
+            self, small_instance):
+        """Theorem 2: Heu's migrations never violate donor deadlines."""
+        for seed in range(3):
+            workload = small_instance.new_workload(num_requests=30,
+                                                   seed=seed)
+            result = run_offline(Heu(), small_instance, workload,
+                                 seed=seed)
+            by_id = {r.request_id: r for r in workload}
+            for decision in result.decisions.values():
+                if decision.admitted:
+                    assert decision.latency_ms <= (
+                        by_id[decision.request_id].deadline_ms + 1e-6)
+
+    def test_migrated_latency_recomputed(self, small_instance):
+        """A request with migrated tasks carries the split latency."""
+        found_migration = False
+        for seed in range(6):
+            workload = small_instance.new_workload(num_requests=35,
+                                                   seed=seed)
+            result = run_offline(Heu(), small_instance, workload,
+                                 seed=seed)
+            by_id = {r.request_id: r for r in workload}
+            for decision in result.decisions.values():
+                if decision.admitted and decision.migrated_tasks:
+                    found_migration = True
+                    expected = small_instance.latency.split_delay_ms(
+                        by_id[decision.request_id],
+                        decision.primary_station,
+                        decision.migrated_tasks)
+                    assert decision.latency_ms == pytest.approx(expected)
+        # With saturated workloads migrations should actually occur.
+        assert found_migration
+
+    def test_migration_counter(self, small_instance):
+        algo = Heu()
+        total = 0
+        for seed in range(6):
+            workload = small_instance.new_workload(num_requests=35,
+                                                   seed=seed)
+            run_offline(algo, small_instance, workload, seed=seed)
+            total += algo.last_num_migrations
+        assert total > 0
+
+
+class TestQuality:
+    def test_heu_at_least_appro_on_average(self, small_instance):
+        """Algorithm 2 only relaxes Appro's rejections; on average it
+        must not earn less (paper: Heu > Appro in every figure)."""
+        appro_total, heu_total = 0.0, 0.0
+        for seed in range(5):
+            workload = small_instance.new_workload(num_requests=30,
+                                                   seed=seed)
+            appro_total += run_offline(Appro(), small_instance, workload,
+                                       seed=seed).total_reward
+            workload = small_instance.new_workload(num_requests=30,
+                                                   seed=seed)
+            heu_total += run_offline(Heu(), small_instance, workload,
+                                     seed=seed).total_reward
+        assert heu_total >= 0.95 * appro_total
+
+    def test_deterministic_given_seed(self, small_instance):
+        a = run_offline(Heu(), small_instance,
+                        small_instance.new_workload(20, seed=4), seed=4)
+        b = run_offline(Heu(), small_instance,
+                        small_instance.new_workload(20, seed=4), seed=4)
+        assert a.total_reward == pytest.approx(b.total_reward)

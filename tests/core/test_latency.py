@@ -1,0 +1,135 @@
+"""Unit tests for the Eq. (2) latency model."""
+
+import pytest
+
+from repro.config import NetworkConfig
+from repro.core.latency import LatencyModel
+from repro.exceptions import ConfigurationError
+from repro.network.paths import PathTable
+from repro.network.topology import generate_topology
+from repro.requests.distributions import RateRewardDistribution
+from repro.requests.request import ARRequest
+from repro.requests.tasks import standard_ar_pipeline
+
+
+@pytest.fixture(scope="module")
+def net():
+    return generate_topology(NetworkConfig(num_base_stations=6), rng=2)
+
+
+@pytest.fixture(scope="module")
+def table(net):
+    return PathTable(net)
+
+
+@pytest.fixture(scope="module")
+def model(net, table):
+    return LatencyModel(net, table, proc_delay_range_ms=(5.0, 15.0), rng=0)
+
+
+def make_request(serving=0, deadline=200.0, num_tasks=4):
+    dist = RateRewardDistribution([30.0, 50.0], [0.7, 0.3],
+                                  [450.0, 450.0])
+    return ARRequest(request_id=0, serving_station=serving,
+                     pipeline=standard_ar_pipeline(num_tasks),
+                     distribution=dist, deadline_ms=deadline)
+
+
+class TestComponents:
+    def test_base_delays_in_range(self, net, model):
+        for sid in net.station_ids:
+            assert 5.0 <= model.station_base_delay_ms(sid) <= 15.0
+
+    def test_unknown_station(self, model):
+        with pytest.raises(ConfigurationError):
+            model.station_base_delay_ms(99)
+
+    def test_proc_delay_scales_with_weights(self, model):
+        req = make_request()
+        total = sum(model.task_proc_delay_ms(req, k, 0)
+                    for k in range(len(req.pipeline)))
+        assert model.proc_delay_ms(req, 0) == pytest.approx(total)
+
+    def test_render_task_heavier(self, model):
+        req = make_request()
+        assert (model.task_proc_delay_ms(req, 0, 0)
+                > model.task_proc_delay_ms(req, 1, 0))
+
+    def test_local_placement_no_transfer(self, model):
+        req = make_request(serving=3)
+        assert model.transfer_delay_ms(req, 3) == 0.0
+
+    def test_remote_placement_round_trip(self, model, table):
+        req = make_request(serving=0)
+        assert model.transfer_delay_ms(req, 4) == pytest.approx(
+            2.0 * table.one_way_delay_ms(0, 4))
+
+    def test_total_decomposition(self, model):
+        req = make_request(serving=0)
+        total = model.total_delay_ms(req, 2, waiting_ms=30.0)
+        assert total == pytest.approx(
+            30.0 + model.transfer_delay_ms(req, 2)
+            + model.proc_delay_ms(req, 2))
+
+    def test_negative_waiting_rejected(self, model):
+        with pytest.raises(ConfigurationError):
+            model.total_delay_ms(make_request(), 0, waiting_ms=-1.0)
+
+
+class TestSplitDelay:
+    def test_no_migration_matches_total(self, model):
+        req = make_request(serving=0)
+        assert model.split_delay_ms(req, 1, {}) == pytest.approx(
+            model.total_delay_ms(req, 1))
+
+    def test_migration_adds_round_trip(self, model, table):
+        req = make_request(serving=0)
+        base = model.split_delay_ms(req, 1, {})
+        migrated = model.split_delay_ms(req, 1, {2: 3})
+        extra_rt = table.round_trip_delay_ms(1, 3)
+        delta_proc = (model.task_proc_delay_ms(req, 2, 3)
+                      - model.task_proc_delay_ms(req, 2, 1))
+        assert migrated == pytest.approx(base + extra_rt + delta_proc)
+
+    def test_migration_to_primary_is_noop(self, model):
+        req = make_request(serving=0)
+        assert model.split_delay_ms(req, 1, {0: 1}) == pytest.approx(
+            model.split_delay_ms(req, 1, {}))
+
+
+class TestFeasibility:
+    def test_generous_deadline_all_feasible(self, net, model):
+        req = make_request(deadline=10_000.0)
+        assert model.feasible_stations(req) == sorted(
+            net.station_ids,
+            key=lambda sid: (model.placement_delay_ms(req, sid), sid))
+        assert len(model.feasible_stations(req)) == len(net)
+
+    def test_impossible_deadline_none_feasible(self, model):
+        req = make_request(deadline=0.001)
+        assert model.feasible_stations(req) == []
+
+    def test_waiting_shrinks_feasible_set(self, model):
+        req = make_request(deadline=200.0)
+        without = set(model.feasible_stations(req))
+        with_wait = set(model.feasible_stations(req, waiting_ms=150.0))
+        assert with_wait.issubset(without)
+
+    def test_feasible_sorted_by_delay(self, model):
+        req = make_request(deadline=200.0)
+        order = model.feasible_stations(req)
+        delays = [model.placement_delay_ms(req, sid) for sid in order]
+        assert delays == sorted(delays)
+
+    def test_is_feasible_matches_list(self, net, model):
+        req = make_request(deadline=120.0)
+        listed = set(model.feasible_stations(req))
+        for sid in net.station_ids:
+            assert model.is_feasible(req, sid) == (sid in listed)
+
+    def test_mismatched_path_table_rejected(self, net):
+        other = generate_topology(NetworkConfig(num_base_stations=6),
+                                  rng=9)
+        table = PathTable(other)
+        with pytest.raises(ConfigurationError):
+            LatencyModel(net, table)

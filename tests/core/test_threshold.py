@@ -1,0 +1,59 @@
+"""Unit tests for the R_t selection rule of Algorithm 3."""
+
+import pytest
+
+from repro.core.threshold import (max_parallel_requests,
+                                  select_slot_requests)
+from repro.exceptions import ConfigurationError
+from repro.requests.distributions import RateRewardDistribution
+from repro.requests.request import ARRequest
+from repro.requests.tasks import standard_ar_pipeline
+
+
+def make_request(request_id, rate):
+    dist = RateRewardDistribution([rate], [1.0], [rate * 13.0])
+    return ARRequest(request_id=request_id, serving_station=0,
+                     pipeline=standard_ar_pipeline(4),
+                     distribution=dist, deadline_ms=200.0)
+
+
+class TestMaxParallel:
+    def test_floor(self):
+        assert max_parallel_requests(1000.0, 300.0) == 3
+
+    def test_threshold_above_capacity(self):
+        assert max_parallel_requests(100.0, 300.0) == 0
+
+    def test_exact_division(self):
+        assert max_parallel_requests(900.0, 300.0) == 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            max_parallel_requests(-1.0, 300.0)
+        with pytest.raises(ConfigurationError):
+            max_parallel_requests(100.0, 0.0)
+
+
+class TestSelection:
+    def test_smallest_expected_rates_first(self):
+        pending = [make_request(0, 50.0), make_request(1, 30.0),
+                   make_request(2, 40.0)]
+        selected = select_slot_requests(pending, 1200.0, 600.0)
+        assert [r.request_id for r in selected] == [1, 2]
+
+    def test_zero_budget_selects_nothing(self):
+        pending = [make_request(0, 30.0)]
+        assert select_slot_requests(pending, 100.0, 600.0) == []
+
+    def test_large_budget_selects_all_sorted(self):
+        pending = [make_request(0, 50.0), make_request(1, 30.0)]
+        selected = select_slot_requests(pending, 10_000.0, 100.0)
+        assert [r.request_id for r in selected] == [1, 0]
+
+    def test_tie_breaks_by_id(self):
+        pending = [make_request(5, 30.0), make_request(2, 30.0)]
+        selected = select_slot_requests(pending, 10_000.0, 100.0)
+        assert [r.request_id for r in selected] == [2, 5]
+
+    def test_empty_pending(self):
+        assert select_slot_requests([], 1000.0, 100.0) == []

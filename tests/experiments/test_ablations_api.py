@@ -1,0 +1,65 @@
+"""Tests for the library-level ablation drivers (reduced sizes)."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.ablations import (approximation_ratio_study,
+                                         bandit_policy_study,
+                                         clairvoyant_study,
+                                         rounding_scale_study,
+                                         slot_size_study,
+                                         system_regret_study)
+
+
+class TestOfflineStudies:
+    def test_rounding_scale_study_shape(self):
+        out = rounding_scale_study(scales=(1.0, 8.0), num_requests=25,
+                                   seeds=(0,))
+        assert set(out) == {1.0, 8.0}
+        assert out[1.0] > out[8.0]  # single pass: more mass assigned
+
+    def test_rounding_scale_validation(self):
+        with pytest.raises(ConfigurationError):
+            rounding_scale_study(scales=())
+
+    def test_slot_size_study_shape(self):
+        out = slot_size_study(slot_sizes=(1000.0,), num_requests=20,
+                              seeds=(0,))
+        assert out[1000.0] > 0.0
+
+    def test_approximation_ratio_study(self):
+        mean, ratios = approximation_ratio_study(num_requests=6,
+                                                 seeds=(0, 1),
+                                                 max_rounds=24)
+        assert 0.0 < mean <= 1.2
+        assert set(ratios).issubset({0, 1})
+
+
+class TestOnlineStudies:
+    def test_bandit_policy_study(self):
+        out = bandit_policy_study(policies=("se",), num_requests=40,
+                                  horizon_slots=30, seeds=(0,))
+        assert out["se"] > 0.0
+
+    def test_system_regret_study(self):
+        out = system_regret_study(thresholds=(200.0, 800.0),
+                                  num_requests=40, horizon_slots=30,
+                                  seed=0)
+        assert out["best_threshold"] in (200.0, 800.0)
+        assert out["best_fixed_reward"] > 0.0
+        assert out["dynamic_reward"] > 0.0
+        assert out["relative_regret"] < 0.9
+
+    def test_clairvoyant_study(self):
+        out = clairvoyant_study(num_requests=40, horizon_slots=30,
+                                seed=0)
+        assert out["clairvoyant_bound"] >= out["online_reward"] * 0.999
+        assert 0.0 < out["competitive_ratio"] <= 1.0 + 1e-9
+        assert 0.0 <= out["bound_peak_utilization"] <= 1.0 + 1e-9
+
+    def test_clairvoyant_study_with_baseline(self):
+        from repro.baselines.ocorp import OcorpOnline
+
+        out = clairvoyant_study(num_requests=30, horizon_slots=30,
+                                seed=1, policy_factory=OcorpOnline)
+        assert out["competitive_ratio"] <= 1.0 + 1e-9

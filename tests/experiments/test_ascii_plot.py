@@ -1,0 +1,64 @@
+"""Tests for the ASCII line plot renderer."""
+
+import pytest
+
+from repro.experiments.reporting import render_ascii_plot
+from repro.sim.results import RunRecord, SweepResult
+
+
+def make_sweep(series):
+    sweep = SweepResult("n")
+    for algorithm, values in series.items():
+        for i, value in enumerate(values):
+            sweep.add(RunRecord(algorithm, 100 * (i + 1), 0,
+                                {"total_reward": float(value)}))
+    return sweep
+
+
+class TestRenderAsciiPlot:
+    def test_markers_and_legend(self):
+        sweep = make_sweep({"Heu": [1, 2, 3], "Greedy": [3, 2, 1]})
+        text = render_ascii_plot(sweep, "total_reward")
+        assert "H=Heu" in text and "G=Greedy" in text
+        assert "H" in text.split("\n")[0] or "H" in text
+
+    def test_extremes_on_edges(self):
+        sweep = make_sweep({"A": [0, 100]})
+        text = render_ascii_plot(sweep, "total_reward", height=5,
+                                 width=20)
+        lines = text.split("\n")
+        # Max value row carries the high label; min the low label.
+        assert lines[0].strip().startswith("100.0")
+        assert "0.0" in lines[4]
+
+    def test_overlap_marker(self):
+        sweep = make_sweep({"A": [5, 5], "B": [5, 9]})
+        text = render_ascii_plot(sweep, "total_reward", height=6,
+                                 width=10)
+        assert "*" in text
+
+    def test_title(self):
+        sweep = make_sweep({"A": [1, 2]})
+        text = render_ascii_plot(sweep, "total_reward", title="demo")
+        assert text.startswith("demo")
+
+    def test_flat_series_does_not_crash(self):
+        sweep = make_sweep({"A": [7, 7, 7]})
+        text = render_ascii_plot(sweep, "total_reward")
+        assert "A=A" in text
+
+    def test_single_x(self):
+        sweep = make_sweep({"A": [4]})
+        text = render_ascii_plot(sweep, "total_reward")
+        assert "A" in text
+
+    def test_bad_canvas(self):
+        sweep = make_sweep({"A": [1, 2]})
+        with pytest.raises(ValueError):
+            render_ascii_plot(sweep, "total_reward", height=1)
+
+    def test_marker_collision_renamed(self):
+        sweep = make_sweep({"Alpha": [1, 2], "Avocado": [2, 3]})
+        text = render_ascii_plot(sweep, "total_reward")
+        assert "A=Alpha" in text
+        assert "B=Avocado" in text

@@ -1,0 +1,77 @@
+"""Tests for the Markdown report generator."""
+
+import pytest
+
+from repro.experiments.report import (build_report, main,
+                                      render_figure_markdown,
+                                      _markdown_table)
+from repro.sim.results import RunRecord, SweepResult
+
+
+def make_sweep():
+    sweep = SweepResult("num_requests")
+    for x in (10, 20):
+        sweep.add(RunRecord("Appro", x, 0, {"total_reward": 2.0 * x,
+                                            "avg_latency_ms": 60.0}))
+        sweep.add(RunRecord("Greedy", x, 0, {"total_reward": 1.0 * x,
+                                             "avg_latency_ms": 40.0}))
+    return sweep
+
+
+class TestMarkdownRendering:
+    def test_table_shape(self):
+        text = _markdown_table(make_sweep(), "total_reward")
+        lines = text.split("\n")
+        assert lines[0] == "| algorithm | 10 | 20 |"
+        assert lines[1].startswith("|---")
+        assert "| Appro | 20.0 | 40.0 |" in lines
+
+    def test_figure_section(self):
+        text = render_figure_markdown(make_sweep(), "9",
+                                      ("total_reward",
+                                       "avg_latency_ms"))
+        assert text.startswith("## Figure 9")
+        assert "### (a) total_reward" in text
+        assert "### (b) avg_latency_ms" in text
+
+
+class TestBuildReport:
+    def test_stubbed_full_report(self):
+        def tiny_driver(scale):
+            return make_sweep()
+
+        text = build_report(
+            figures=(("3", tiny_driver, ("total_reward",)),),
+            include_theorems=False,
+            title="Stub report")
+        assert text.startswith("# Stub report")
+        assert "## Figure 3" in text
+        assert "| Appro |" in text
+
+    def test_cli_writes_file(self, tmp_path, monkeypatch, capsys):
+        import repro.experiments.report as report_mod
+
+        def tiny_driver(scale):
+            return make_sweep()
+
+        monkeypatch.setattr(
+            report_mod, "DEFAULT_FIGURES",
+            (("3", tiny_driver, ("total_reward",)),))
+        out = tmp_path / "report.md"
+        code = main(["--out", str(out), "--no-theorems"])
+        assert code == 0
+        assert out.exists()
+        assert "## Figure 3" in out.read_text()
+
+    def test_cli_stdout(self, monkeypatch, capsys):
+        import repro.experiments.report as report_mod
+
+        def tiny_driver(scale):
+            return make_sweep()
+
+        monkeypatch.setattr(
+            report_mod, "DEFAULT_FIGURES",
+            (("3", tiny_driver, ("total_reward",)),))
+        code = main(["--no-theorems"])
+        assert code == 0
+        assert "## Figure 3" in capsys.readouterr().out

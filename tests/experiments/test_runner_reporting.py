@@ -1,0 +1,86 @@
+"""Tests for the sweep runners and ASCII reporting."""
+
+import pytest
+
+from repro.baselines.greedy import GreedyOffline, GreedyOnline
+from repro.core.appro import Appro
+from repro.experiments.reporting import render_figure, render_table
+from repro.experiments.runner import run_offline_sweep, run_online_sweep
+from repro.experiments.settings import base_config
+from repro.sim.results import RunRecord, SweepResult
+
+
+def tiny_config(x, seed):
+    cfg = base_config(seed)
+    return cfg.with_overrides(
+        network=cfg.network.__class__(num_base_stations=6))
+
+
+class TestOfflineSweep:
+    def test_records_complete(self):
+        sweep = run_offline_sweep(
+            algorithm_factories=[Appro, GreedyOffline],
+            x_values=[8, 12],
+            make_config=tiny_config,
+            num_requests_of=lambda x: int(x),
+            num_seeds=2,
+            x_label="num_requests",
+        )
+        assert sweep.x_values() == [8, 12]
+        assert set(sweep.algorithms()) == {"Appro", "Greedy"}
+        # 2 x-values x 2 seeds x 2 algorithms.
+        assert len(sweep.records) == 8
+        for record in sweep.records:
+            assert "total_reward" in record.metrics
+            assert "avg_latency_ms" in record.metrics
+            assert "runtime_s" in record.metrics
+
+
+class TestOnlineSweep:
+    def test_records_complete(self):
+        sweep = run_online_sweep(
+            policy_factories=[GreedyOnline],
+            x_values=[10],
+            make_config=tiny_config,
+            num_requests_of=lambda x: int(x),
+            horizon_slots=20,
+            num_seeds=2,
+            x_label="num_requests",
+        )
+        assert len(sweep.records) == 2
+        assert sweep.algorithms() == ["Greedy"]
+
+
+class TestReporting:
+    def make_sweep(self):
+        sweep = SweepResult("n")
+        for x in (1, 2):
+            sweep.add(RunRecord("Appro", x, 0,
+                                {"total_reward": 10.0 * x}))
+            sweep.add(RunRecord("Greedy", x, 0,
+                                {"total_reward": 5.0 * x}))
+        return sweep
+
+    def test_render_table_layout(self):
+        text = render_table(self.make_sweep(), "total_reward",
+                            title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "Appro" in text and "Greedy" in text
+        assert "10.0" in text and "20.0" in text
+
+    def test_preferred_order(self):
+        text = render_table(self.make_sweep(), "total_reward")
+        assert text.index("Appro") < text.index("Greedy")
+
+    def test_missing_cell_rendered_as_dash(self):
+        sweep = self.make_sweep()
+        sweep.add(RunRecord("Heu", 1, 0, {"total_reward": 7.0}))
+        text = render_table(sweep, "total_reward")
+        heu_line = next(l for l in text.splitlines() if "Heu" in l)
+        assert "-" in heu_line
+
+    def test_render_figure_panels(self):
+        sweep = self.make_sweep()
+        text = render_figure(sweep, ("total_reward",), "Figure X")
+        assert "Figure X (a): total_reward" in text

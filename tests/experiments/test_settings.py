@@ -1,0 +1,54 @@
+"""Unit tests for experiment presets."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.settings import (ExperimentScale, base_config,
+                                        bench_scale, config_with_max_rate,
+                                        config_with_stations, paper_scale)
+
+
+class TestScales:
+    def test_paper_scale_matches_section_vi(self):
+        scale = paper_scale()
+        assert scale.request_counts == (100, 150, 200, 250, 300)
+        assert scale.station_counts == (10, 20, 30, 40, 50)
+        assert scale.max_rates_mbps == (15.0, 20.0, 25.0, 30.0, 35.0)
+        assert scale.fig5_num_requests == 150
+
+    def test_bench_scale_is_smaller(self):
+        bench, paper = bench_scale(), paper_scale()
+        assert len(bench.request_counts) <= len(paper.request_counts)
+        assert bench.num_seeds <= paper.num_seeds
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentScale(request_counts=(), station_counts=(10,),
+                            max_rates_mbps=(15.0,), num_seeds=1,
+                            horizon_slots=10,
+                            fig5_num_requests=10).validate()
+        with pytest.raises(ConfigurationError):
+            ExperimentScale(request_counts=(10,), station_counts=(10,),
+                            max_rates_mbps=(15.0,), num_seeds=0,
+                            horizon_slots=10,
+                            fig5_num_requests=10).validate()
+
+
+class TestConfigFactories:
+    def test_base_config_seeded(self):
+        assert base_config(seed=3).seed == 3
+
+    def test_config_with_stations(self):
+        cfg = config_with_stations(35, seed=1)
+        assert cfg.network.num_base_stations == 35
+        assert cfg.seed == 1
+
+    def test_config_with_max_rate(self):
+        cfg = config_with_max_rate(25.0)
+        lo, hi = cfg.requests.data_rate_range_mbps
+        assert hi == 25.0
+        assert lo == pytest.approx(15.0)
+
+    def test_config_with_max_rate_validates(self):
+        cfg = config_with_max_rate(15.0)
+        assert cfg.requests.data_rate_range_mbps[0] < 15.0

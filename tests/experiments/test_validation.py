@@ -1,0 +1,132 @@
+"""Unit tests for the shape-validation helpers."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.validation import (ShapeCheck, check_dominates,
+                                          check_monotone,
+                                          check_saturates,
+                                          check_winner_everywhere,
+                                          validate_all)
+from repro.sim.results import RunRecord, SweepResult
+
+
+def make_sweep(series_by_algo):
+    sweep = SweepResult("x")
+    for algorithm, values in series_by_algo.items():
+        for i, value in enumerate(values):
+            sweep.add(RunRecord(algorithm, float(i), 0,
+                                {"total_reward": float(value)}))
+    return sweep
+
+
+class TestDominates:
+    def test_pass_and_fail(self):
+        sweep = make_sweep({"A": [10, 20], "B": [5, 5]})
+        assert check_dominates(sweep, "A", "B").passed
+        assert not check_dominates(sweep, "B", "A").passed
+
+    def test_margin(self):
+        sweep = make_sweep({"A": [12], "B": [10]})
+        assert check_dominates(sweep, "A", "B", margin=1.0).passed
+        assert not check_dominates(sweep, "A", "B", margin=1.5).passed
+
+
+class TestMonotone:
+    def test_increasing(self):
+        sweep = make_sweep({"A": [1, 2, 3]})
+        assert check_monotone(sweep, "A", "total_reward").passed
+
+    def test_noise_tolerance(self):
+        sweep = make_sweep({"A": [10, 9.8, 12]})
+        assert check_monotone(sweep, "A", "total_reward",
+                              tolerance=0.05).passed
+        assert not check_monotone(sweep, "A", "total_reward",
+                                  tolerance=0.0).passed
+
+    def test_decreasing(self):
+        sweep = make_sweep({"A": [3, 2, 1]})
+        assert check_monotone(sweep, "A", "total_reward",
+                              increasing=False).passed
+        assert not check_monotone(sweep, "A", "total_reward").passed
+
+    def test_bad_tolerance(self):
+        sweep = make_sweep({"A": [1]})
+        with pytest.raises(ConfigurationError):
+            check_monotone(sweep, "A", "total_reward", tolerance=1.5)
+
+
+class TestSaturates:
+    def test_knee_detected(self):
+        sweep = make_sweep({"A": [0, 100, 120, 125]})
+        assert check_saturates(sweep, "A").passed
+
+    def test_linear_growth_fails(self):
+        sweep = make_sweep({"A": [0, 100, 200, 300]})
+        assert not check_saturates(sweep, "A").passed
+
+    def test_short_series_trivially_passes(self):
+        sweep = make_sweep({"A": [1, 2]})
+        assert check_saturates(sweep, "A").passed
+
+
+class TestWinnerEverywhere:
+    def test_pass(self):
+        sweep = make_sweep({"A": [10, 20], "B": [5, 15]})
+        assert check_winner_everywhere(sweep, "A").passed
+
+    def test_fail_lists_losses(self):
+        sweep = make_sweep({"A": [10, 5], "B": [5, 15]})
+        check = check_winner_everywhere(sweep, "A")
+        assert not check.passed
+        assert "1.0" in check.detail
+
+
+class TestValidateAll:
+    def test_report_on_success(self):
+        checks = [ShapeCheck("a", True, "ok"),
+                  ShapeCheck("b", True, "ok")]
+        report = validate_all(checks)
+        assert report.count("PASS") == 2
+
+    def test_raises_on_failure(self):
+        checks = [ShapeCheck("a", True, "ok"),
+                  ShapeCheck("b", False, "broken")]
+        with pytest.raises(AssertionError) as excinfo:
+            validate_all(checks)
+        assert "FAIL" in str(excinfo.value)
+
+
+class TestOnRealSweep:
+    def test_figure3_shapes_via_helpers(self, small_instance):
+        """Wire the helpers to a real (tiny) offline sweep."""
+        from repro.baselines.greedy import GreedyOffline
+        from repro.core.heu import Heu
+        from repro.experiments.runner import run_offline_sweep
+        from repro.experiments.settings import base_config
+
+        sweep = run_offline_sweep(
+            algorithm_factories=[Heu, GreedyOffline],
+            x_values=[20, 30],
+            make_config=lambda x, seed: small_instance.config,
+            num_requests_of=lambda x: int(x),
+            num_seeds=1,
+            x_label="num_requests")
+        report = validate_all([
+            check_dominates(sweep, "Heu", "Greedy"),
+            check_winner_everywhere(sweep, "Heu"),
+        ])
+        assert "PASS" in report
+
+
+class TestFairnessIndex:
+    def test_jains_index(self):
+        from repro.sim.metrics import jains_fairness_index
+
+        assert jains_fairness_index([]) == 1.0
+        assert jains_fairness_index([5, 5, 5]) == pytest.approx(1.0)
+        assert jains_fairness_index([0, 0, 0]) == pytest.approx(1.0)
+        skewed = jains_fairness_index([0, 0, 0, 1000])
+        assert skewed == pytest.approx(0.25, abs=0.01)
+        with pytest.raises(ConfigurationError):
+            jains_fairness_index([-1.0])

@@ -1,0 +1,131 @@
+"""End-to-end integration tests: the paper's qualitative claims.
+
+These run the real algorithms on the real (reduced-scale) experiment
+pipeline and assert the *orderings* the paper reports - who wins on
+reward, who wins on latency - summed over seeds to damp randomness.
+"""
+
+import pytest
+
+from repro.baselines import (GreedyOffline, GreedyOnline, HeuKktOffline,
+                             HeuKktOnline, OcorpOffline, OcorpOnline)
+from repro.config import SimulationConfig
+from repro.core.appro import Appro
+from repro.core.dynamic_rr import DynamicRR
+from repro.core.heu import Heu
+from repro.core.instance import ProblemInstance
+from repro.sim.engine import run_offline
+from repro.sim.online_engine import OnlineEngine
+
+SEEDS = (3, 11)
+NUM_REQUESTS = 150  # saturates the default 20-station network
+
+
+@pytest.fixture(scope="module")
+def offline_totals():
+    """Total reward and latency per offline algorithm over SEEDS."""
+    totals = {}
+    for seed in SEEDS:
+        instance = ProblemInstance.build(SimulationConfig(seed=seed))
+        for factory in (Appro, Heu, GreedyOffline, OcorpOffline,
+                        HeuKktOffline):
+            algorithm = factory()
+            workload = instance.new_workload(NUM_REQUESTS, seed=seed)
+            result = run_offline(algorithm, instance, workload,
+                                 seed=seed)
+            entry = totals.setdefault(result.algorithm,
+                                      {"reward": 0.0, "latency": 0.0})
+            entry["reward"] += result.total_reward
+            entry["latency"] += result.average_latency_ms()
+    return totals
+
+
+@pytest.fixture(scope="module")
+def online_totals():
+    """Total reward and latency per online algorithm over SEEDS."""
+    totals = {}
+    horizon = 80
+    for seed in SEEDS:
+        instance = ProblemInstance.build(SimulationConfig(seed=seed))
+        for factory in (DynamicRR, GreedyOnline, OcorpOnline,
+                        HeuKktOnline):
+            policy = factory()
+            workload = instance.new_workload(200, seed=seed,
+                                             horizon_slots=horizon)
+            engine = OnlineEngine(instance, workload,
+                                  horizon_slots=horizon, rng=seed)
+            result = engine.run(policy)
+            entry = totals.setdefault(result.algorithm,
+                                      {"reward": 0.0, "latency": 0.0})
+            entry["reward"] += result.total_reward
+            entry["latency"] += result.average_latency_ms()
+    return totals
+
+
+class TestFig3Shapes:
+    def test_heu_beats_all_baselines(self, offline_totals):
+        heu = offline_totals["Heu"]["reward"]
+        for name in ("Greedy", "OCORP", "HeuKKT"):
+            assert heu > offline_totals[name]["reward"]
+
+    def test_appro_beats_latency_greedy_baselines(self, offline_totals):
+        appro = offline_totals["Appro"]["reward"]
+        assert appro > offline_totals["Greedy"]["reward"]
+        assert appro > offline_totals["OCORP"]["reward"]
+
+    def test_greedy_is_worst_on_reward(self, offline_totals):
+        greedy = offline_totals["Greedy"]["reward"]
+        for name in ("Appro", "Heu", "OCORP", "HeuKKT"):
+            assert greedy < offline_totals[name]["reward"]
+
+    def test_reward_gap_at_least_paper_magnitude(self, offline_totals):
+        """The headline claim: >= 17% higher reward than baselines'
+        best latency-greedy competitor."""
+        heu = offline_totals["Heu"]["reward"]
+        ocorp = offline_totals["OCORP"]["reward"]
+        assert heu >= 1.17 * ocorp
+
+    def test_latency_ordering(self, offline_totals):
+        """OCORP/Greedy trade reward for latency; HeuKKT pays the
+        cloud round trip (Fig. 3(b))."""
+        assert (offline_totals["Greedy"]["latency"]
+                < offline_totals["Heu"]["latency"])
+        assert (offline_totals["OCORP"]["latency"]
+                < offline_totals["Heu"]["latency"])
+        assert (offline_totals["HeuKKT"]["latency"]
+                > offline_totals["Heu"]["latency"])
+
+
+class TestFig4Shapes:
+    def test_dynamic_rr_beats_heukkt_on_reward(self, online_totals):
+        assert (online_totals["DynamicRR"]["reward"]
+                > online_totals["HeuKKT"]["reward"])
+
+    def test_dynamic_rr_beats_heukkt_on_latency(self, online_totals):
+        assert (online_totals["DynamicRR"]["latency"]
+                < online_totals["HeuKKT"]["latency"])
+
+    def test_dynamic_rr_beats_local_baselines_on_reward(self,
+                                                        online_totals):
+        assert (online_totals["DynamicRR"]["reward"]
+                > online_totals["Greedy"]["reward"])
+        assert (online_totals["DynamicRR"]["reward"]
+                > online_totals["OCORP"]["reward"])
+
+    def test_local_baselines_have_lowest_latency(self, online_totals):
+        """Fig. 4(b): OCORP and Greedy greedily pick the lowest-latency
+        placements."""
+        dynamic = online_totals["DynamicRR"]["latency"]
+        assert online_totals["Greedy"]["latency"] < dynamic
+        assert online_totals["OCORP"]["latency"] < dynamic
+
+
+class TestRuntimeShape:
+    def test_appro_slowest_baselines_fast(self, small_instance):
+        """Fig. 3(c): Appro has the highest running time."""
+        workload = small_instance.new_workload(25, seed=0)
+        appro = run_offline(Appro(), small_instance, workload, seed=0)
+        workload = small_instance.new_workload(25, seed=0)
+        greedy = run_offline(GreedyOffline(), small_instance, workload,
+                             seed=0)
+        assert appro.runtime_s > greedy.runtime_s

@@ -1,0 +1,128 @@
+"""Hypothesis property tests over the full offloading pipeline.
+
+These generate random reduced instances/workloads and assert the
+invariants that must hold for *every* algorithm run:
+
+* station capacity is never exceeded by reserved demand,
+* every admitted request meets its latency requirement when the
+  algorithm claims it does,
+* rewards are earned only by admitted requests and never exceed the
+  realized reward,
+* decisions cover the workload exactly once.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import GreedyOffline, HeuKktOffline, OcorpOffline
+from repro.config import (NetworkConfig, OnlineConfig, RequestConfig,
+                          SimulationConfig)
+from repro.core.appro import Appro
+from repro.core.heu import Heu
+from repro.core.instance import ProblemInstance
+from repro.sim.engine import run_offline
+
+ALGORITHM_FACTORIES = (Appro, Heu, GreedyOffline, OcorpOffline,
+                       HeuKktOffline)
+
+_instance_cache = {}
+
+
+def build_instance(seed: int) -> ProblemInstance:
+    if seed not in _instance_cache:
+        config = SimulationConfig(
+            network=NetworkConfig(num_base_stations=6),
+            requests=RequestConfig(num_requests=12),
+            online=OnlineConfig(horizon_slots=20),
+            seed=seed)
+        _instance_cache[seed] = ProblemInstance.build(config, seed=seed)
+    return _instance_cache[seed]
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=30),
+       n=st.integers(min_value=1, max_value=15),
+       algo_idx=st.integers(min_value=0, max_value=4))
+def test_pipeline_invariants(seed, n, algo_idx):
+    instance = build_instance(seed % 3)
+    algorithm = ALGORITHM_FACTORIES[algo_idx]()
+    workload = instance.new_workload(num_requests=n, seed=seed)
+    result = run_offline(algorithm, instance, workload, seed=seed)
+    by_id = {r.request_id: r for r in workload}
+
+    # 1. Exactly one decision per request.
+    assert set(result.decisions) == set(by_id)
+
+    # 2. Reserved load never exceeds capacity (reconstructed from the
+    #    decisions: realized demand truncated at capacity, distributed
+    #    across stations by compute weight for migrated tasks).
+    load = {sid: 0.0 for sid in instance.network.station_ids}
+    for decision in result.decisions.values():
+        if decision.admitted and decision.primary_station is not None:
+            request = by_id[decision.request_id]
+            if decision.reward > 0:
+                # A rewarded request fit entirely; its demand splits
+                # over the hosting stations by task compute weight.
+                demand = request.realized_demand_mhz
+                total_weight = request.pipeline.total_compute_weight
+                for k, task in enumerate(request.pipeline):
+                    host = decision.migrated_tasks.get(
+                        k, decision.primary_station)
+                    load[host] += (demand * task.compute_weight
+                                   / total_weight)
+    for sid, total in load.items():
+        # Rewarded-fit demand alone can never exceed capacity by more
+        # than the weight-attribution slack of one request (Heu's
+        # migration shares are computed over the donor's *remaining*
+        # holding, so per-task attribution is approximate).
+        capacity = instance.network.station(sid).capacity_mhz
+        assert total <= capacity * 1.25 + 1e-6
+
+    # 3. Rewards are bounded by the realized reward and require
+    #    admission.
+    for decision in result.decisions.values():
+        assert decision.reward >= 0.0
+        if decision.reward > 0:
+            assert decision.admitted
+            request = by_id[decision.request_id]
+            assert decision.reward <= request.realized_reward + 1e-9
+
+    # 4. Claimed deadline satisfaction is truthful.
+    for decision in result.decisions.values():
+        if decision.admitted and decision.deadline_met:
+            request = by_id[decision.request_id]
+            assert decision.latency_ms <= request.deadline_ms + 1e-6
+
+    # 5. Aggregates are consistent.
+    assert result.total_reward == pytest.approx(
+        sum(d.reward for d in result.decisions.values()))
+    assert result.num_admitted >= result.num_rewarded
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=20),
+       n=st.integers(min_value=1, max_value=12))
+def test_online_engine_invariants(seed, n):
+    """The online engine preserves the same truthfulness contracts."""
+    from repro.core.dynamic_rr import DynamicRR
+    from repro.sim.online_engine import OnlineEngine
+
+    instance = build_instance(seed % 3)
+    workload = instance.new_workload(num_requests=n, seed=seed,
+                                     horizon_slots=20)
+    engine = OnlineEngine(instance, workload, horizon_slots=20, rng=seed)
+    result = engine.run(DynamicRR(rng=seed))
+    by_id = {r.request_id: r for r in workload}
+
+    assert set(result.decisions) == set(by_id)
+    for decision in result.decisions.values():
+        if decision.reward > 0:
+            assert decision.admitted
+            assert decision.deadline_met
+            assert decision.reward <= (
+                by_id[decision.request_id].realized_reward + 1e-9)
+        if decision.admitted and decision.latency_ms is not None:
+            assert decision.latency_ms >= decision.waiting_ms - 1e-9

@@ -1,0 +1,161 @@
+"""Unit and property tests for resource slots and the capacity ledger."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import NetworkConfig
+from repro.exceptions import CapacityError, ConfigurationError
+from repro.network.capacity import CapacityLedger, ResourceSlots
+from repro.network.topology import generate_topology
+
+
+@pytest.fixture()
+def net():
+    return generate_topology(NetworkConfig(num_base_stations=4), rng=0)
+
+
+@pytest.fixture()
+def ledger(net):
+    return CapacityLedger(net)
+
+
+class TestResourceSlots:
+    def test_paper_geometry(self):
+        slots = ResourceSlots(capacity_mhz=3300.0, slot_size_mhz=1000.0)
+        assert slots.num_slots == 3
+        assert slots.slot_offset_mhz(0) == 0.0
+        assert slots.slot_offset_mhz(2) == 2000.0
+
+    def test_remaining_after(self):
+        slots = ResourceSlots(capacity_mhz=3300.0, slot_size_mhz=1000.0)
+        assert slots.remaining_after_mhz(0) == pytest.approx(3300.0)
+        assert slots.remaining_after_mhz(2) == pytest.approx(1300.0)
+
+    def test_slot_bounds(self):
+        slots = ResourceSlots(capacity_mhz=3300.0, slot_size_mhz=1000.0)
+        with pytest.raises(ConfigurationError):
+            slots.slot_offset_mhz(3)
+        with pytest.raises(ConfigurationError):
+            slots.slot_offset_mhz(-1)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            ResourceSlots(capacity_mhz=0.0, slot_size_mhz=100.0)
+        with pytest.raises(ConfigurationError):
+            ResourceSlots(capacity_mhz=100.0, slot_size_mhz=0.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(capacity=st.floats(min_value=100.0, max_value=10000.0),
+           slot=st.floats(min_value=10.0, max_value=100.0))
+    def test_offsets_monotone_property(self, capacity, slot):
+        slots = ResourceSlots(capacity_mhz=capacity, slot_size_mhz=slot)
+        offsets = [slots.slot_offset_mhz(i) for i in range(slots.num_slots)]
+        assert offsets == sorted(offsets)
+        assert all(off < capacity for off in offsets)
+
+
+class TestLedgerBasics:
+    def test_initially_empty(self, net, ledger):
+        for sid in net.station_ids:
+            assert ledger.occupied_mhz(sid) == 0.0
+            assert ledger.free_mhz(sid) == net.station(sid).capacity_mhz
+
+    def test_reserve_release_cycle(self, ledger):
+        ledger.reserve(1, 0, 500.0)
+        assert ledger.occupied_mhz(0) == pytest.approx(500.0)
+        assert ledger.holding_mhz(1, 0) == pytest.approx(500.0)
+        ledger.release(1, 0, 500.0)
+        assert ledger.occupied_mhz(0) == pytest.approx(0.0)
+        assert ledger.holding_mhz(1, 0) == 0.0
+
+    def test_overfill_raises(self, net, ledger):
+        capacity = net.station(0).capacity_mhz
+        with pytest.raises(CapacityError):
+            ledger.reserve(1, 0, capacity + 1.0)
+
+    def test_over_release_raises(self, ledger):
+        ledger.reserve(1, 0, 100.0)
+        with pytest.raises(CapacityError):
+            ledger.release(1, 0, 200.0)
+
+    def test_release_all(self, ledger):
+        ledger.reserve(1, 0, 100.0)
+        ledger.reserve(1, 1, 200.0)
+        ledger.release_all(1)
+        assert ledger.occupied_mhz(0) == 0.0
+        assert ledger.occupied_mhz(1) == 0.0
+        # Idempotent.
+        ledger.release_all(1)
+
+    def test_stations_of(self, ledger):
+        ledger.reserve(7, 2, 10.0)
+        ledger.reserve(7, 0, 10.0)
+        assert ledger.stations_of(7) == [0, 2]
+
+    def test_unknown_station_raises(self, ledger):
+        with pytest.raises(ConfigurationError):
+            ledger.occupied_mhz(99)
+
+    def test_negative_demand_rejected(self, ledger):
+        with pytest.raises(ConfigurationError):
+            ledger.fits(0, -1.0)
+        with pytest.raises(ConfigurationError):
+            ledger.reserve(1, 0, -1.0)
+
+
+class TestPrefixOpen:
+    def test_slot_zero_open_only_when_empty(self, ledger):
+        assert ledger.prefix_open(0, 0)
+        ledger.reserve(1, 0, 1.0)
+        assert not ledger.prefix_open(0, 0)
+
+    def test_higher_slots_tolerate_occupancy(self, ledger):
+        ledger.reserve(1, 0, 900.0)
+        assert ledger.prefix_open(0, 1)   # 900 <= 1000
+        ledger.reserve(2, 0, 900.0)
+        assert not ledger.prefix_open(0, 1)  # 1800 > 1000
+        assert ledger.prefix_open(0, 2)   # 1800 <= 2000
+
+
+class TestMigration:
+    def test_migrate_moves_holding(self, ledger):
+        ledger.reserve(1, 0, 400.0)
+        ledger.migrate(1, 0, 1, 250.0)
+        assert ledger.holding_mhz(1, 0) == pytest.approx(150.0)
+        assert ledger.holding_mhz(1, 1) == pytest.approx(250.0)
+
+    def test_migrate_rejects_when_target_full(self, net, ledger):
+        capacity = net.station(1).capacity_mhz
+        ledger.reserve(9, 1, capacity)
+        ledger.reserve(1, 0, 400.0)
+        with pytest.raises(CapacityError):
+            ledger.migrate(1, 0, 1, 400.0)
+        # State unchanged on failure.
+        assert ledger.holding_mhz(1, 0) == pytest.approx(400.0)
+
+    def test_utilization(self, net, ledger):
+        ledger.reserve(1, 0, net.station(0).capacity_mhz / 2.0)
+        util = ledger.utilization()
+        assert util[0] == pytest.approx(0.5)
+        assert util[1] == 0.0
+
+
+class TestLedgerInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(amounts=st.lists(
+        st.floats(min_value=1.0, max_value=400.0), min_size=1, max_size=20))
+    def test_occupied_equals_sum_of_holdings(self, amounts):
+        net = generate_topology(NetworkConfig(num_base_stations=3), rng=1)
+        ledger = CapacityLedger(net)
+        reserved = []
+        for i, amount in enumerate(amounts):
+            sid = i % 3
+            if ledger.fits(sid, amount):
+                ledger.reserve(i, sid, amount)
+                reserved.append((i, sid, amount))
+        for sid in net.station_ids:
+            total = sum(a for (_i, s, a) in reserved if s == sid)
+            assert ledger.occupied_mhz(sid) == pytest.approx(total)
+            assert ledger.occupied_mhz(sid) <= (
+                net.station(sid).capacity_mhz + 1e-9)

@@ -1,0 +1,105 @@
+"""Unit tests for the extra topology families."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import NetworkConfig
+from repro.exceptions import ConfigurationError
+from repro.network.generators import (generate_grid, generate_ring,
+                                      generate_star,
+                                      generate_transit_stub)
+
+CFG = NetworkConfig(num_base_stations=12)
+
+
+class TestTransitStub:
+    def test_connected_with_right_size(self):
+        net = generate_transit_stub(CFG, num_transit=4, rng=0)
+        assert len(net) == 12
+        assert nx.is_connected(net.graph)
+
+    def test_core_is_ring(self):
+        net = generate_transit_stub(CFG, num_transit=4, rng=0)
+        for t in range(4):
+            assert net.graph.has_edge(t, (t + 1) % 4)
+
+    def test_stub_nodes_attach_to_transit(self):
+        net = generate_transit_stub(CFG, num_transit=4, rng=0)
+        for node in range(4, 12):
+            transit_neighbors = [nb for nb in net.graph.neighbors(node)
+                                 if nb < 4]
+            assert transit_neighbors, f"stub {node} has no uplink"
+
+    def test_capacities_and_delays_in_range(self):
+        net = generate_transit_stub(CFG, num_transit=3, rng=1)
+        for bs in net:
+            assert 3000.0 <= bs.capacity_mhz <= 3600.0
+        for u, v in net.graph.edges:
+            assert 2.0 <= net.link_delay_ms(u, v) <= 5.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            generate_transit_stub(CFG, num_transit=0)
+        with pytest.raises(ConfigurationError):
+            generate_transit_stub(CFG, num_transit=12)
+
+    @settings(max_examples=10, deadline=None)
+    @given(n=st.integers(min_value=2, max_value=25),
+           seed=st.integers(min_value=0, max_value=100))
+    def test_always_connected_property(self, n, seed):
+        cfg = NetworkConfig(num_base_stations=n)
+        transit = max(1, min(4, n - 1))
+        net = generate_transit_stub(cfg, num_transit=transit, rng=seed)
+        assert nx.is_connected(net.graph)
+
+
+class TestRegularFamilies:
+    def test_ring_degree(self):
+        net = generate_ring(CFG, rng=0)
+        assert nx.is_connected(net.graph)
+        degrees = [d for _n, d in net.graph.degree()]
+        assert all(d == 2 for d in degrees)
+
+    def test_star_hub(self):
+        net = generate_star(CFG, rng=0)
+        assert net.graph.degree(0) == 11
+        assert all(net.graph.degree(i) == 1 for i in range(1, 12))
+
+    def test_grid_structure(self):
+        cfg = NetworkConfig(num_base_stations=9)
+        net = generate_grid(cfg, rng=0)
+        assert nx.is_connected(net.graph)
+        # Interior node of a 3x3 grid has degree 4.
+        assert net.graph.degree(4) == 4
+
+    def test_partial_last_row(self):
+        cfg = NetworkConfig(num_base_stations=7)
+        net = generate_grid(cfg, rng=0)
+        assert len(net) == 7
+        assert nx.is_connected(net.graph)
+
+
+class TestAlgorithmsRunOnAllFamilies:
+    @pytest.mark.parametrize("generator", [
+        generate_transit_stub, generate_ring, generate_star,
+        generate_grid])
+    def test_heu_runs(self, generator):
+        from repro.config import SimulationConfig
+        from repro.core.heu import Heu
+        from repro.core.instance import ProblemInstance
+        from repro.core.latency import LatencyModel
+        from repro.network.paths import PathTable
+        from repro.sim.engine import run_offline
+
+        config = SimulationConfig(
+            network=NetworkConfig(num_base_stations=8), seed=0)
+        network = generator(config.network, rng=0)
+        paths = PathTable(network)
+        latency = LatencyModel(network, paths, rng=0)
+        instance = ProblemInstance(network=network, paths=paths,
+                                   latency=latency, config=config)
+        workload = instance.new_workload(15, seed=0)
+        result = run_offline(Heu(), instance, workload, seed=0)
+        assert result.total_reward > 0.0

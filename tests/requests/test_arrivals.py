@@ -1,0 +1,105 @@
+"""Unit and statistical tests for the arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.requests.arrivals import (assign_arrival_slots, burst_arrivals,
+                                     diurnal_arrivals, poisson_arrivals)
+
+
+class TestPoisson:
+    def test_sorted_and_in_horizon(self):
+        slots = poisson_arrivals(50, 100, rng=0)
+        assert slots == sorted(slots)
+        assert all(0 <= s < 100 for s in slots)
+        assert len(slots) == 50
+
+    def test_roughly_uniform(self):
+        slots = poisson_arrivals(4000, 100, rng=1)
+        first_half = sum(1 for s in slots if s < 50)
+        assert first_half == pytest.approx(2000, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            poisson_arrivals(5, 0)
+        with pytest.raises(ConfigurationError):
+            poisson_arrivals(-1, 10)
+
+
+class TestDiurnal:
+    def test_sorted_and_in_horizon(self):
+        slots = diurnal_arrivals(50, 100, rng=0)
+        assert slots == sorted(slots)
+        assert all(0 <= s < 100 for s in slots)
+
+    def test_peak_concentration(self):
+        """A sharp single peak concentrates arrivals mid-horizon."""
+        slots = diurnal_arrivals(4000, 100, peak_sharpness=20.0,
+                                 num_peaks=1, rng=2)
+        middle = sum(1 for s in slots if 25 <= s < 75)
+        assert middle > 0.6 * len(slots)
+
+    def test_zero_sharpness_is_uniform(self):
+        slots = diurnal_arrivals(4000, 100, peak_sharpness=0.0, rng=3)
+        first_half = sum(1 for s in slots if s < 50)
+        assert first_half == pytest.approx(2000, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            diurnal_arrivals(5, 10, peak_sharpness=-1.0)
+        with pytest.raises(ConfigurationError):
+            diurnal_arrivals(5, 10, num_peaks=0)
+
+
+class TestBurst:
+    def test_burst_window_density(self):
+        slots = burst_arrivals(1000, 100, burst_start=40,
+                               burst_length=10, burst_fraction=0.6,
+                               rng=0)
+        in_burst = sum(1 for s in slots if 40 <= s < 50)
+        assert in_burst == pytest.approx(600, abs=60)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            burst_arrivals(10, 100, burst_start=95, burst_length=10)
+        with pytest.raises(ConfigurationError):
+            burst_arrivals(10, 100, burst_start=-1, burst_length=5)
+        with pytest.raises(ConfigurationError):
+            burst_arrivals(10, 100, burst_start=0, burst_length=5,
+                           burst_fraction=1.5)
+
+
+class TestAssign:
+    def test_round_trip(self, small_instance):
+        requests = small_instance.new_workload(10, seed=0)
+        slots = poisson_arrivals(10, 40, rng=0)
+        stamped = assign_arrival_slots(requests, slots)
+        assert sorted(r.arrival_slot for r in stamped) == slots
+        assert {r.request_id for r in stamped} == {
+            r.request_id for r in requests}
+        # Distribution identity preserved.
+        by_id_old = {r.request_id: r for r in requests}
+        for request in stamped:
+            old = by_id_old[request.request_id]
+            assert request.expected_reward == pytest.approx(
+                old.expected_reward)
+
+    def test_length_mismatch(self, small_instance):
+        requests = small_instance.new_workload(3, seed=0)
+        with pytest.raises(ConfigurationError):
+            assign_arrival_slots(requests, [0, 1])
+
+    def test_stamped_requests_run_online(self, small_instance):
+        """Burst arrivals drive the engine end to end."""
+        from repro.core.dynamic_rr import DynamicRR
+        from repro.sim.online_engine import OnlineEngine
+
+        requests = small_instance.new_workload(20, seed=1)
+        slots = burst_arrivals(20, 40, burst_start=10, burst_length=5,
+                               rng=1)
+        stamped = assign_arrival_slots(requests, slots)
+        engine = OnlineEngine(small_instance, stamped,
+                              horizon_slots=40, rng=1)
+        result = engine.run(DynamicRR(rng=1))
+        assert len(result) == 20

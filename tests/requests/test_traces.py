@@ -1,0 +1,112 @@
+"""Unit tests for the synthetic AR frame traces."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.requests.traces import (FrameTrace, TraceSynthesizer,
+                                   rate_distribution_from_traces)
+
+
+class TestFrameTrace:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FrameTrace((0.0,), (64.0,))  # too short
+        with pytest.raises(ConfigurationError):
+            FrameTrace((0.0, 1.0), (64.0,))  # length mismatch
+        with pytest.raises(ConfigurationError):
+            FrameTrace((1.0, 0.5), (64.0, 64.0))  # decreasing time
+        with pytest.raises(ConfigurationError):
+            FrameTrace((0.0, 1.0), (64.0, 0.0))  # non-positive size
+
+    def test_basic_stats(self):
+        trace = FrameTrace((0.0, 0.01, 0.02), (64.0, 64.0, 64.0))
+        assert trace.num_frames == 3
+        assert trace.duration_s == pytest.approx(0.02)
+        assert trace.mean_fps() == pytest.approx(100.0)
+        # 128 KB over 0.02 s = 6.4 MB/s.
+        assert trace.mean_rate_mbps() == pytest.approx(6.4)
+
+    def test_windowed_rates(self):
+        timestamps = tuple(i * 0.01 for i in range(101))
+        sizes = (64.0,) * 101
+        trace = FrameTrace(timestamps, sizes)
+        rates = trace.windowed_rates_mbps(0.25)
+        assert len(rates) == 4
+        for rate in rates:
+            assert rate == pytest.approx(6.4, rel=0.05)
+
+    def test_window_too_long(self):
+        trace = FrameTrace((0.0, 0.01), (64.0, 64.0))
+        with pytest.raises(ConfigurationError):
+            trace.windowed_rates_mbps(0.0)
+
+
+class TestTraceSynthesizer:
+    def test_matches_published_statistics(self):
+        """Braud et al. [5]: 64 KB frames at 90-120 fps."""
+        synth = TraceSynthesizer(rng=0)
+        trace = synth.synthesize(duration_s=5.0)
+        assert 85.0 <= trace.mean_fps() <= 125.0
+        mean_size = (sum(trace.frame_sizes_kb)
+                     / trace.num_frames)
+        assert 45.0 <= mean_size <= 85.0
+
+    def test_raw_rate_times_amplification_hits_paper_range(self):
+        """Raw ~6 MB/s x pipeline amplification lands in 30-50 MB/s."""
+        synth = TraceSynthesizer(rng=1)
+        trace = synth.synthesize(duration_s=5.0)
+        amplified = trace.mean_rate_mbps() * 4.5
+        assert 20.0 <= amplified <= 60.0
+
+    def test_deterministic(self):
+        a = TraceSynthesizer(rng=7).synthesize(2.0)
+        b = TraceSynthesizer(rng=7).synthesize(2.0)
+        assert a.timestamps_s == b.timestamps_s
+        assert a.frame_sizes_kb == b.frame_sizes_kb
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TraceSynthesizer(fps_range=(120.0, 90.0))
+        with pytest.raises(ConfigurationError):
+            TraceSynthesizer(frame_size_kb=0.0)
+        with pytest.raises(ConfigurationError):
+            TraceSynthesizer(frame_size_jitter=1.0)
+        with pytest.raises(ConfigurationError):
+            TraceSynthesizer(rng=0).synthesize(0.0)
+
+
+class TestRateDistributionFromTraces:
+    def test_distribution_fits_history(self):
+        synth = TraceSynthesizer(rng=3)
+        traces = [synth.synthesize(4.0) for _ in range(3)]
+        dist = rate_distribution_from_traces(traces, num_levels=5,
+                                             unit_price=13.0)
+        assert 1 <= dist.num_levels <= 5
+        assert dist.probabilities.sum() == pytest.approx(1.0)
+        # Rates should land in the paper's 30-50 MB/s ballpark.
+        assert 15.0 <= dist.min_rate_mbps
+        assert dist.max_rate_mbps <= 70.0
+
+    def test_rewards_scale_with_price(self):
+        synth = TraceSynthesizer(rng=3)
+        traces = [synth.synthesize(4.0)]
+        d1 = rate_distribution_from_traces(traces, 4, unit_price=10.0)
+        d2 = rate_distribution_from_traces(traces, 4, unit_price=20.0)
+        assert d2.rewards[0] == pytest.approx(2.0 * d1.rewards[0])
+
+    def test_single_level(self):
+        synth = TraceSynthesizer(rng=3)
+        traces = [synth.synthesize(4.0)]
+        dist = rate_distribution_from_traces(traces, 1, unit_price=13.0)
+        assert dist.num_levels == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            rate_distribution_from_traces([], 5, 13.0)
+        synth = TraceSynthesizer(rng=0)
+        traces = [synth.synthesize(2.0)]
+        with pytest.raises(ConfigurationError):
+            rate_distribution_from_traces(traces, 0, 13.0)
+        with pytest.raises(ConfigurationError):
+            rate_distribution_from_traces(traces, 5, 13.0,
+                                          pipeline_amplification=0.0)

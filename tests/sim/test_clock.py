@@ -1,0 +1,38 @@
+"""Unit tests for the slotted clock."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sim.clock import SlotClock
+
+
+class TestClock:
+    def test_paper_slot_length(self):
+        clock = SlotClock(horizon_slots=100)
+        assert clock.slot_length_ms == 50.0
+        assert clock.slot_length_s == pytest.approx(0.05)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SlotClock(horizon_slots=0)
+        with pytest.raises(ConfigurationError):
+            SlotClock(horizon_slots=10, slot_length_ms=0.0)
+
+    def test_ms_of(self):
+        clock = SlotClock(horizon_slots=10)
+        assert clock.ms_of(4) == pytest.approx(200.0)
+        with pytest.raises(ConfigurationError):
+            clock.ms_of(-1)
+
+    def test_waiting(self):
+        clock = SlotClock(horizon_slots=10)
+        assert clock.waiting_ms(2, 5) == pytest.approx(150.0)
+        assert clock.waiting_ms(3, 3) == 0.0
+        with pytest.raises(ConfigurationError):
+            clock.waiting_ms(5, 2)
+
+    def test_ticks(self):
+        clock = SlotClock(horizon_slots=5)
+        seen = list(clock.ticks())
+        assert seen == [0, 1, 2, 3, 4]
+        assert clock.current_slot == 4

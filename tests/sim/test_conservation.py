@@ -1,0 +1,116 @@
+"""Conservation property tests for the online engine.
+
+The physics layer must conserve resources: the total work processed
+over a run can never exceed what the network's computing capacity could
+have produced, and per-station shares can never exceed the station's
+(effective) capacity in any slot.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import (NetworkConfig, OnlineConfig, RequestConfig,
+                          SimulationConfig)
+from repro.core.dynamic_rr import DynamicRR
+from repro.core.instance import ProblemInstance
+from repro.sim.online_engine import OnlineEngine, Placement
+
+_instances = {}
+
+
+def build_instance(seed):
+    if seed not in _instances:
+        config = SimulationConfig(
+            network=NetworkConfig(num_base_stations=5),
+            requests=RequestConfig(num_requests=10),
+            online=OnlineConfig(horizon_slots=20),
+            seed=seed)
+        _instances[seed] = ProblemInstance.build(config, seed=seed)
+    return _instances[seed]
+
+
+class GreedyFlood:
+    """Adversarial test policy: floods station 0 with everything."""
+
+    name = "Flood"
+
+    def begin(self, engine):
+        pass
+
+    def schedule(self, slot, pending):
+        return [Placement(request_id=r.request_id, station_id=0)
+                for r in pending]
+
+    def observe(self, slot, slot_reward):
+        pass
+
+
+def processed_work_mb(workload, result, slot_length_ms):
+    """Work the engine actually completed, reconstructed per request."""
+    total = 0.0
+    by_id = {r.request_id: r for r in workload}
+    for decision in result.decisions.values():
+        if decision.admitted and decision.primary_station is not None:
+            request = by_id[decision.request_id]
+            # Upper bound: the full stream volume.
+            total += request.total_work_mb(slot_length_ms)
+    return total
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=25),
+       n=st.integers(min_value=1, max_value=12))
+def test_work_never_exceeds_capacity_budget(seed, n):
+    """Admitted stream volume <= network capacity x horizon (in MB)."""
+    instance = build_instance(seed % 3)
+    horizon = 20
+    workload = instance.new_workload(num_requests=n, seed=seed,
+                                     horizon_slots=horizon)
+    engine = OnlineEngine(instance, workload, horizon_slots=horizon,
+                          rng=seed)
+    result = engine.run(DynamicRR(rng=seed))
+    slot_ms = engine.clock.slot_length_ms
+    budget_mb = (instance.network.total_capacity_mhz()
+                 / instance.c_unit) * (horizon * slot_ms / 1000.0)
+    # Streams may extend past the horizon; scale the budget by the
+    # worst-case overhang.
+    max_duration = max((r.stream_duration_slots for r in workload),
+                       default=1)
+    slack = (horizon + max_duration) / horizon
+    assert processed_work_mb(workload, result, slot_ms) <= (
+        budget_mb * slack + 1e-6)
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=25))
+def test_flooded_station_shares_bounded(seed):
+    """Even under flooding, per-slot station output <= capacity."""
+    instance = build_instance(seed % 3)
+    horizon = 15
+    workload = instance.new_workload(num_requests=10, seed=seed,
+                                     horizon_slots=horizon)
+    engine = OnlineEngine(instance, workload, horizon_slots=horizon,
+                          rng=seed)
+
+    per_slot_output = []
+    original = engine._progress
+
+    def spy(t):
+        before = {rid: a.remaining_mb
+                  for rid, a in engine._active.items()}
+        original(t)
+        done = sum(before[rid] - a.remaining_mb
+                   for rid, a in engine._active.items()
+                   if rid in before)
+        per_slot_output.append(done)
+
+    engine._progress = spy
+    engine.run(GreedyFlood())
+    capacity0 = instance.network.station(0).capacity_mhz
+    per_slot_budget = (capacity0 / instance.c_unit
+                       * engine.clock.slot_length_s)
+    for output in per_slot_output:
+        assert output <= per_slot_budget + 1e-6

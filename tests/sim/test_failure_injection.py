@@ -1,0 +1,113 @@
+"""Failure-injection tests: station outages in the online engine."""
+
+import pytest
+
+from repro.baselines.ocorp import OcorpOnline
+from repro.core.dynamic_rr import DynamicRR
+from repro.exceptions import ConfigurationError
+from repro.sim.online_engine import OnlineEngine, Placement
+
+
+class PinToStationPolicy:
+    """Test policy: pins every request to one station, outage or not."""
+
+    name = "Pinned"
+
+    def __init__(self, station_id):
+        self.station_id = station_id
+
+    def begin(self, engine):
+        pass
+
+    def schedule(self, slot, pending):
+        return [Placement(request_id=r.request_id,
+                          station_id=self.station_id) for r in pending]
+
+    def observe(self, slot, slot_reward):
+        pass
+
+
+class TestOutageValidation:
+    def test_unknown_station_rejected(self, small_instance,
+                                      online_workload):
+        with pytest.raises(ConfigurationError):
+            OnlineEngine(small_instance, online_workload,
+                         horizon_slots=40, outages={99: (0, 10)})
+
+    def test_inverted_window_rejected(self, small_instance,
+                                      online_workload):
+        with pytest.raises(ConfigurationError):
+            OnlineEngine(small_instance, online_workload,
+                         horizon_slots=40, outages={0: (10, 5)})
+
+
+class TestOutageSemantics:
+    def test_down_station_has_no_capacity(self, small_instance,
+                                          online_workload):
+        engine = OnlineEngine(small_instance, online_workload,
+                              horizon_slots=40, rng=0,
+                              outages={0: (0, 39)})
+        assert engine.is_down(0, slot=0)
+        assert not engine.is_down(1, slot=0)
+        assert engine.station_capacity_mhz(0) == 0.0
+        assert engine.free_mhz(0) == 0.0
+
+    def test_window_bounds(self, small_instance, online_workload):
+        engine = OnlineEngine(small_instance, online_workload,
+                              horizon_slots=40, rng=0,
+                              outages={0: (5, 10)})
+        assert not engine.is_down(0, slot=4)
+        assert engine.is_down(0, slot=5)
+        assert engine.is_down(0, slot=10)
+        assert not engine.is_down(0, slot=11)
+
+    def test_requests_pinned_to_dead_station_earn_nothing(
+            self, small_instance, online_workload):
+        engine = OnlineEngine(small_instance, online_workload,
+                              horizon_slots=40, rng=0,
+                              outages={0: (0, 39)})
+        result = engine.run(PinToStationPolicy(0))
+        for decision in result.decisions.values():
+            if decision.admitted and decision.primary_station == 0:
+                assert decision.reward == 0.0
+                assert not decision.deadline_met
+
+
+class TestPoliciesRouteAroundOutage:
+    def test_dynamic_rr_avoids_dead_station(self, small_instance):
+        workload = small_instance.new_workload(25, seed=2,
+                                               horizon_slots=40)
+        engine = OnlineEngine(small_instance, workload,
+                              horizon_slots=40, rng=2,
+                              outages={0: (0, 39)})
+        result = engine.run(DynamicRR(rng=2))
+        placed_on_dead = [d for d in result.decisions.values()
+                          if d.admitted and d.primary_station == 0]
+        assert not placed_on_dead
+        assert result.total_reward > 0.0
+
+    def test_ocorp_avoids_dead_station(self, small_instance):
+        workload = small_instance.new_workload(25, seed=2,
+                                               horizon_slots=40)
+        engine = OnlineEngine(small_instance, workload,
+                              horizon_slots=40, rng=2,
+                              outages={0: (0, 39)})
+        result = engine.run(OcorpOnline())
+        placed_on_dead = [d for d in result.decisions.values()
+                          if d.admitted and d.primary_station == 0]
+        assert not placed_on_dead
+
+    def test_outage_costs_reward_under_saturation(self, small_instance):
+        """Losing stations must not *increase* DynamicRR's reward."""
+        def run(outages):
+            workload = small_instance.new_workload(40, seed=4,
+                                                   horizon_slots=40)
+            engine = OnlineEngine(small_instance, workload,
+                                  horizon_slots=40, rng=4,
+                                  outages=outages)
+            return engine.run(DynamicRR(rng=4)).total_reward
+
+        healthy = run(None)
+        degraded = run({0: (0, 39), 1: (0, 39), 2: (0, 39)})
+        assert degraded <= healthy * 1.05
+        assert degraded > 0.0

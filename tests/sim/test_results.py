@@ -1,0 +1,70 @@
+"""Unit tests for sweep result aggregation."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sim.results import RunRecord, SweepResult, aggregate_records
+
+
+def record(algorithm, x, seed, reward):
+    return RunRecord(algorithm=algorithm, x=x, seed=seed,
+                     metrics={"total_reward": reward,
+                              "avg_latency_ms": reward / 10.0})
+
+
+@pytest.fixture()
+def sweep():
+    result = SweepResult("num_requests")
+    for x, rewards in [(100, (10.0, 12.0)), (200, (20.0, 22.0))]:
+        for seed, r in enumerate(rewards):
+            result.add(record("A", x, seed, r))
+            result.add(record("B", x, seed, r / 2.0))
+    return result
+
+
+class TestSeries:
+    def test_x_values_sorted(self, sweep):
+        assert sweep.x_values() == [100, 200]
+
+    def test_algorithms_first_seen_order(self, sweep):
+        assert sweep.algorithms() == ["A", "B"]
+
+    def test_series_means(self, sweep):
+        xs, means, stds = sweep.series("A", "total_reward")
+        assert xs == [100, 200]
+        assert means == [pytest.approx(11.0), pytest.approx(21.0)]
+        assert stds[0] == pytest.approx(1.0)
+
+    def test_missing_algorithm_raises(self, sweep):
+        with pytest.raises(ConfigurationError):
+            sweep.series("C", "total_reward")
+
+    def test_missing_metric_raises(self, sweep):
+        with pytest.raises(ConfigurationError):
+            sweep.series("A", "nope")
+
+    def test_table(self, sweep):
+        table = sweep.table("total_reward")
+        assert table["A"] == [pytest.approx(11.0), pytest.approx(21.0)]
+        assert table["B"] == [pytest.approx(5.5), pytest.approx(10.5)]
+
+
+class TestWinner:
+    def test_winner_higher_better(self, sweep):
+        assert sweep.winner_at(100, "total_reward") == "A"
+
+    def test_winner_lower_better(self, sweep):
+        assert sweep.winner_at(100, "avg_latency_ms",
+                               higher_is_better=False) == "B"
+
+    def test_winner_missing_x(self, sweep):
+        with pytest.raises(ConfigurationError):
+            sweep.winner_at(300, "total_reward")
+
+
+class TestAggregate:
+    def test_aggregate_records(self):
+        records = [record("A", 1, 0, 1.0), record("A", 2, 0, 2.0)]
+        sweep = aggregate_records(records, "x")
+        assert sweep.x_label == "x"
+        assert len(sweep.records) == 2

@@ -1,0 +1,59 @@
+"""Property tests: configuration serialization round-trips exactly."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import (NetworkConfig, OnlineConfig, RequestConfig,
+                          SimulationConfig)
+from repro.io import config_from_dict, config_to_dict
+
+
+@st.composite
+def configs(draw):
+    """Random *valid* simulation configurations."""
+    cap_lo = draw(st.floats(min_value=1500.0, max_value=3000.0))
+    cap_hi = cap_lo + draw(st.floats(min_value=0.0, max_value=1000.0))
+    slot = draw(st.floats(min_value=200.0, max_value=cap_lo))
+    rate_lo = draw(st.floats(min_value=5.0, max_value=30.0))
+    rate_hi = rate_lo + draw(st.floats(min_value=0.0, max_value=30.0))
+    t_lo = draw(st.floats(min_value=50.0, max_value=400.0))
+    t_hi = t_lo + draw(st.floats(min_value=0.0, max_value=600.0))
+    return SimulationConfig(
+        network=NetworkConfig(
+            num_base_stations=draw(st.integers(1, 40)),
+            capacity_range_mhz=(cap_lo, cap_hi),
+            slot_size_mhz=slot,
+            waxman_alpha=draw(st.floats(min_value=0.1, max_value=1.0)),
+            waxman_beta=draw(st.floats(min_value=0.1, max_value=1.0)),
+        ),
+        requests=RequestConfig(
+            num_requests=draw(st.integers(0, 500)),
+            data_rate_range_mbps=(rate_lo, rate_hi),
+            num_rate_levels=draw(st.integers(1, 10)),
+            rate_decay=draw(st.floats(min_value=0.1, max_value=1.0)),
+            stream_duration_slots=draw(st.integers(1, 100)),
+        ),
+        online=OnlineConfig(
+            horizon_slots=draw(st.integers(1, 500)),
+            threshold_range_mhz=(t_lo, t_hi),
+            num_arms=draw(st.integers(1, 20)),
+        ),
+        seed=draw(st.integers(0, 2 ** 31 - 1)),
+    ).validate()
+
+
+class TestConfigRoundTripProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(config=configs())
+    def test_round_trip_identity(self, config):
+        clone = config_from_dict(config_to_dict(config))
+        assert clone == config
+
+    @settings(max_examples=20, deadline=None)
+    @given(config=configs())
+    def test_round_trip_survives_json(self, config):
+        import json
+
+        payload = json.loads(json.dumps(config_to_dict(config)))
+        assert config_from_dict(payload) == config

@@ -1,0 +1,57 @@
+"""Unit tests for :mod:`repro.rng`."""
+
+import numpy as np
+
+from repro.rng import RngForks, ensure_rng
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).integers(0, 1000, size=5)
+        b = ensure_rng(42).integers(0, 1000, size=5)
+        assert (a == b).all()
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert ensure_rng(gen) is gen
+
+
+class TestRngForks:
+    def test_same_seed_same_streams(self):
+        a = RngForks(7).child("topology").integers(0, 10**9, size=4)
+        b = RngForks(7).child("topology").integers(0, 10**9, size=4)
+        assert (a == b).all()
+
+    def test_different_names_different_streams(self):
+        forks = RngForks(7)
+        a = forks.child("topology").integers(0, 10**9, size=8)
+        b = forks.child("requests").integers(0, 10**9, size=8)
+        assert not (a == b).all()
+
+    def test_different_seeds_different_streams(self):
+        a = RngForks(1).child("x").integers(0, 10**9, size=8)
+        b = RngForks(2).child("x").integers(0, 10**9, size=8)
+        assert not (a == b).all()
+
+    def test_order_independence(self):
+        forks_a = RngForks(9)
+        forks_a.child("first")
+        value_a = forks_a.child("second").integers(0, 10**9)
+        forks_b = RngForks(9)
+        value_b = forks_b.child("second").integers(0, 10**9)
+        assert value_a == value_b
+
+    def test_child_replays_stream(self):
+        forks = RngForks(5)
+        first = forks.child("s").integers(0, 10**9, size=3)
+        second = forks.child("s").integers(0, 10**9, size=3)
+        assert (first == second).all()
+
+    def test_cached_child_advances(self):
+        forks = RngForks(5)
+        first = forks.cached_child("s").integers(0, 10**9, size=3)
+        second = forks.cached_child("s").integers(0, 10**9, size=3)
+        assert not (first == second).all()

@@ -1,0 +1,55 @@
+"""Unit tests for :mod:`repro.units`."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro import units
+
+
+class TestConversions:
+    def test_mbps_round_trip(self):
+        assert units.mbps_to_mbytes_per_s(80.0) == pytest.approx(10.0)
+        assert units.mbytes_per_s_to_mbps(10.0) == pytest.approx(80.0)
+
+    def test_round_trip_identity(self):
+        for value in (0.0, 1.5, 37.2, 1000.0):
+            back = units.mbytes_per_s_to_mbps(
+                units.mbps_to_mbytes_per_s(value))
+            assert back == pytest.approx(value)
+
+    def test_kb_to_mb(self):
+        assert units.kb_to_mb(64.0) == pytest.approx(0.064)
+
+    def test_seconds_ms_round_trip(self):
+        assert units.seconds_to_ms(0.05) == pytest.approx(50.0)
+        assert units.ms_to_seconds(200.0) == pytest.approx(0.2)
+
+
+class TestDemand:
+    def test_demand_matches_paper_example(self):
+        # 30-50 MB/s at 20 MHz per MB/s => 600-1000 MHz.
+        assert units.demand_mhz(30.0, 20.0) == pytest.approx(600.0)
+        assert units.demand_mhz(50.0, 20.0) == pytest.approx(1000.0)
+
+    def test_demand_zero_rate(self):
+        assert units.demand_mhz(0.0, 20.0) == 0.0
+
+    def test_demand_negative_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            units.demand_mhz(-1.0, 20.0)
+
+    def test_demand_nonpositive_cunit_rejected(self):
+        with pytest.raises(ConfigurationError):
+            units.demand_mhz(10.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            units.demand_mhz(10.0, -5.0)
+
+    def test_rate_from_demand_inverts_demand(self):
+        rate = units.rate_from_demand(units.demand_mhz(42.0, 20.0), 20.0)
+        assert rate == pytest.approx(42.0)
+
+    def test_rate_from_demand_validation(self):
+        with pytest.raises(ConfigurationError):
+            units.rate_from_demand(-1.0, 20.0)
+        with pytest.raises(ConfigurationError):
+            units.rate_from_demand(10.0, 0.0)
