@@ -9,7 +9,19 @@ check.  ``pytest benchmarks/ --benchmark-only -s`` shows the tables.
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+
+def bench_workers() -> int:
+    """Worker processes for the figure sweeps.
+
+    Set ``REPRO_BENCH_WORKERS=N`` to fan each sweep out over N
+    processes (0 = one per CPU); records - and therefore every shape
+    assertion - are identical for any value, only wall-clock changes.
+    """
+    return int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 
 
 def reward_series(sweep, algorithm):

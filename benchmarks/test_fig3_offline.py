@@ -14,7 +14,7 @@ Paper shapes asserted here:
 
 import pytest
 
-from conftest import latency_series, reward_series, series_sum
+from conftest import bench_workers, latency_series, reward_series, series_sum
 from repro.experiments import bench_scale, figure3, render_figure
 
 _CACHE = {}
@@ -22,7 +22,8 @@ _CACHE = {}
 
 def run_figure3():
     if "sweep" not in _CACHE:
-        _CACHE["sweep"] = figure3(bench_scale())
+        _CACHE["sweep"] = figure3(bench_scale(),
+                                  workers=bench_workers())
     return _CACHE["sweep"]
 
 

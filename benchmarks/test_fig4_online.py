@@ -14,7 +14,7 @@ Paper shapes asserted here:
 
 import pytest
 
-from conftest import latency_series, reward_series, series_sum
+from conftest import bench_workers, latency_series, reward_series, series_sum
 from repro.experiments import bench_scale, figure4, render_figure
 
 _CACHE = {}
@@ -22,7 +22,8 @@ _CACHE = {}
 
 def run_figure4():
     if "sweep" not in _CACHE:
-        _CACHE["sweep"] = figure4(bench_scale())
+        _CACHE["sweep"] = figure4(bench_scale(),
+                                  workers=bench_workers())
     return _CACHE["sweep"]
 
 

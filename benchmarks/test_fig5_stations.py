@@ -13,7 +13,7 @@ Paper shapes asserted here:
 
 import pytest
 
-from conftest import latency_series, reward_series, series_sum
+from conftest import bench_workers, latency_series, reward_series, series_sum
 from repro.experiments import bench_scale, figure5, render_figure
 
 _CACHE = {}
@@ -21,7 +21,8 @@ _CACHE = {}
 
 def run_figure5():
     if "sweep" not in _CACHE:
-        _CACHE["sweep"] = figure5(bench_scale())
+        _CACHE["sweep"] = figure5(bench_scale(),
+                                  workers=bench_workers())
     return _CACHE["sweep"]
 
 

@@ -16,6 +16,7 @@ import argparse
 import sys
 from typing import List
 
+from .executor import workers_type
 from .export import export_figure
 from .figures import figure3, figure4, figure5, figure6
 from .reporting import render_ascii_plot, render_figure
@@ -44,6 +45,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="directory for CSV export (optional)")
     parser.add_argument("--plot", action="store_true",
                         help="also render ASCII line plots")
+    parser.add_argument("--workers", type=workers_type, default=1,
+                        metavar="N",
+                        help="worker processes per sweep (1 = serial, "
+                             "0 = one per CPU; results are identical "
+                             "for every value)")
     return parser
 
 
@@ -54,7 +60,7 @@ def main(argv: List[str] = None) -> int:
 
     for fig_id in wanted:
         driver, panels = _FIGURES[fig_id]
-        sweep = driver(scale)
+        sweep = driver(scale, workers=args.workers)
         print(render_figure(sweep, panels, f"Figure {fig_id}"))
         print()
         if args.plot:

@@ -1,0 +1,250 @@
+"""Process-parallel execution layer for experiment sweeps.
+
+Every figure of the paper is a (algorithm x swept-value x seed) grid of
+independent runs.  This module decomposes such a grid into picklable
+:class:`RunSpec` task descriptors and executes them through one of two
+interchangeable backends:
+
+* :class:`SerialBackend` - runs specs in-process, in order (the
+  reference semantics and the right choice for tiny sweeps, where
+  process startup dominates);
+* :class:`ProcessBackend` - fans specs out over a
+  :class:`concurrent.futures.ProcessPoolExecutor` with chunked
+  dispatch.
+
+**Determinism guarantee.**  A :class:`RunSpec` is self-contained: the
+worker rebuilds the problem instance, workload, and algorithm from the
+spec's ``(config, seed)`` alone, and every random draw inside a run
+comes from :class:`~repro.rng.RngForks` streams named from that seed.
+No state is shared between tasks, so the execution schedule (worker
+count, chunking, completion order) cannot change any draw, and results
+are merged back in the canonical spec order.  Serial and parallel
+executions of the same spec list therefore produce *identical*
+:class:`~repro.sim.results.RunRecord` sequences, bit for bit.
+"""
+
+from __future__ import annotations
+
+import inspect
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..config import SimulationConfig
+from ..core.instance import ProblemInstance
+from ..exceptions import ConfigurationError
+from ..rng import RngForks
+from ..sim.engine import run_offline
+from ..sim.online_engine import OnlineEngine
+from ..sim.results import RunRecord, SweepResult
+
+#: ``RunSpec.mode`` for batch (Figs. 3/5) runs.
+OFFLINE = "offline"
+#: ``RunSpec.mode`` for slotted (Figs. 4/6) runs.
+ONLINE = "online"
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One self-contained (algorithm, x, seed) run of a sweep.
+
+    The spec must be picklable to cross a process boundary: ``factory``
+    should be a module-level class or function (the figure drivers pass
+    algorithm classes), and ``config`` is a frozen dataclass.
+
+    Attributes:
+        mode: :data:`OFFLINE` or :data:`ONLINE`.
+        factory: zero-argument callable building a fresh algorithm or
+            policy (fresh per run - policies carry bandit state).
+        x: value of the swept parameter (recorded, not interpreted).
+        seed: replication seed; drives instance, workload, and
+            algorithm randomness.
+        config: full simulation configuration for this point.
+        num_requests: workload size ``|R|``.
+        horizon_slots: online monitoring period (required for
+            :data:`ONLINE` mode).
+        slot_length_ms: online slot length.
+    """
+
+    mode: str
+    factory: Callable[[], object]
+    x: float
+    seed: int
+    config: SimulationConfig
+    num_requests: int
+    horizon_slots: Optional[int] = None
+    slot_length_ms: float = 50.0
+
+    def validate(self) -> "RunSpec":
+        """Raise on inconsistent specs; return self for chaining."""
+        if self.mode not in (OFFLINE, ONLINE):
+            raise ConfigurationError(f"unknown RunSpec mode {self.mode!r}")
+        if self.mode == ONLINE and self.horizon_slots is None:
+            raise ConfigurationError(
+                "online RunSpec needs horizon_slots")
+        if self.num_requests < 1:
+            raise ConfigurationError(
+                f"need >= 1 request, got {self.num_requests}")
+        return self
+
+
+def run_metrics(result) -> Dict[str, float]:
+    """The metric row every sweep records from a ``ScheduleResult``."""
+    return {
+        "total_reward": result.total_reward,
+        "avg_latency_ms": result.average_latency_ms(),
+        "runtime_s": result.runtime_s,
+        "num_admitted": float(result.num_admitted),
+        "num_rewarded": float(result.num_rewarded),
+    }
+
+
+def _fresh_algorithm(factory: Callable[[], object], seed: int):
+    """Build an algorithm/policy, seeding its internal randomness.
+
+    Factories exposing an unbound ``rng`` parameter (e.g.
+    ``DynamicRR``) would otherwise fall back to OS entropy, making the
+    run irreproducible - serially or in parallel.  The stream is named
+    from the run seed alone, so every backend derives the same one.
+    Factories with ``rng`` already bound (e.g. ``functools.partial``)
+    or without the parameter are called as-is.
+    """
+    try:
+        params = inspect.signature(factory).parameters
+    except (TypeError, ValueError):
+        return factory()
+    bound = getattr(factory, "keywords", None) or {}
+    if "rng" in params and "rng" not in bound:
+        return factory(rng=RngForks(seed).child("algorithm_rng"))
+    return factory()
+
+
+def execute_run(spec: RunSpec) -> RunRecord:
+    """Execute one spec and return its measurement.
+
+    Rebuilds everything from ``(config, seed)`` so the call is
+    deterministic regardless of which process runs it or what ran
+    before it.
+    """
+    spec.validate()
+    instance = ProblemInstance.build(spec.config, seed=spec.seed)
+    algorithm = _fresh_algorithm(spec.factory, spec.seed)
+    if spec.mode == OFFLINE:
+        workload = instance.new_workload(
+            num_requests=spec.num_requests, seed=spec.seed)
+        result = run_offline(algorithm, instance, workload,
+                             seed=spec.seed)
+    else:
+        workload = instance.new_workload(
+            num_requests=spec.num_requests, seed=spec.seed,
+            horizon_slots=spec.horizon_slots)
+        engine = OnlineEngine(
+            instance, workload, horizon_slots=spec.horizon_slots,
+            slot_length_ms=spec.slot_length_ms, rng=spec.seed)
+        result = engine.run(algorithm)
+    return RunRecord(algorithm=result.algorithm, x=spec.x,
+                     seed=spec.seed, metrics=run_metrics(result))
+
+
+def workers_type(value: str) -> int:
+    """argparse type for a ``--workers`` option: non-negative int."""
+    import argparse
+
+    count = int(value)
+    if count < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0 (0 = one per CPU), got {count}")
+    return count
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalize a worker-count knob.
+
+    ``None`` and ``1`` mean serial; ``0`` means one worker per CPU;
+    any other positive value is taken literally.
+    """
+    if workers is None:
+        return 1
+    if workers == 0:
+        return os.cpu_count() or 1
+    if workers < 0:
+        raise ConfigurationError(
+            f"workers must be >= 0, got {workers}")
+    return workers
+
+
+def default_chunksize(num_specs: int, workers: int) -> int:
+    """Chunk so each worker sees ~4 chunks (amortizes IPC without
+    starving the pool at the tail of the sweep)."""
+    return max(1, num_specs // (workers * 4))
+
+
+class SerialBackend:
+    """Run specs one after another in the calling process."""
+
+    name = "serial"
+
+    def map(self, specs: Sequence[RunSpec]) -> List[RunRecord]:
+        """Execute all specs, preserving order."""
+        return [execute_run(spec) for spec in specs]
+
+
+class ProcessBackend:
+    """Run specs on a process pool with chunked dispatch.
+
+    Args:
+        workers: pool size (>= 2 - use :class:`SerialBackend` for 1).
+        chunksize: specs per dispatched chunk; a sweep-sized default
+            when None.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int,
+                 chunksize: Optional[int] = None) -> None:
+        if workers < 2:
+            raise ConfigurationError(
+                f"ProcessBackend needs >= 2 workers, got {workers}")
+        if chunksize is not None and chunksize < 1:
+            raise ConfigurationError(
+                f"chunksize must be >= 1, got {chunksize}")
+        self.workers = workers
+        self.chunksize = chunksize
+
+    def map(self, specs: Sequence[RunSpec]) -> List[RunRecord]:
+        """Execute all specs on the pool, preserving spec order."""
+        if not specs:
+            return []
+        chunk = self.chunksize or default_chunksize(len(specs),
+                                                    self.workers)
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            return list(pool.map(execute_run, specs, chunksize=chunk))
+
+
+def make_backend(workers: Optional[int] = 1,
+                 chunksize: Optional[int] = None):
+    """Pick the backend matching a resolved worker count."""
+    resolved = resolve_workers(workers)
+    if resolved <= 1:
+        return SerialBackend()
+    return ProcessBackend(resolved, chunksize=chunksize)
+
+
+def execute_specs(specs: Sequence[RunSpec],
+                  workers: Optional[int] = 1,
+                  chunksize: Optional[int] = None) -> List[RunRecord]:
+    """Execute a spec list and return records in canonical spec order."""
+    for spec in specs:
+        spec.validate()
+    return make_backend(workers, chunksize).map(specs)
+
+
+def execute_sweep(specs: Sequence[RunSpec], x_label: str,
+                  workers: Optional[int] = 1,
+                  chunksize: Optional[int] = None) -> SweepResult:
+    """Execute a spec list and bundle the records into a sweep."""
+    sweep = SweepResult(x_label)
+    sweep.extend(execute_specs(specs, workers=workers,
+                               chunksize=chunksize))
+    return sweep

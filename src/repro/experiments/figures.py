@@ -5,6 +5,11 @@ Each function reproduces one figure's sweep and returns the
 reward / latency / runtime series.  Pass ``scale=paper_scale()`` for
 the full Section VI configuration or ``scale=bench_scale()`` (default)
 for a fast run with the same qualitative shapes.
+
+All drivers accept ``workers``: with ``workers > 1`` the sweep's
+(algorithm x x x seed) grid executes on a process pool via
+:mod:`~repro.experiments.executor`, returning records identical to the
+serial run (``workers=0`` means one worker per CPU).
 """
 
 from __future__ import annotations
@@ -28,7 +33,8 @@ OFFLINE_ALGORITHMS = (Appro, Heu, GreedyOffline, OcorpOffline,
 ONLINE_POLICIES = (DynamicRR, GreedyOnline, OcorpOnline, HeuKktOnline)
 
 
-def figure3(scale: Optional[ExperimentScale] = None) -> SweepResult:
+def figure3(scale: Optional[ExperimentScale] = None,
+            workers: Optional[int] = 1) -> SweepResult:
     """Fig. 3: offline algorithms vs number of requests.
 
     Series: total reward (a), average latency (b), running time (c),
@@ -43,10 +49,12 @@ def figure3(scale: Optional[ExperimentScale] = None) -> SweepResult:
         num_requests_of=lambda x: int(x),
         num_seeds=scale.num_seeds,
         x_label="num_requests",
+        workers=workers,
     )
 
 
-def figure4(scale: Optional[ExperimentScale] = None) -> SweepResult:
+def figure4(scale: Optional[ExperimentScale] = None,
+            workers: Optional[int] = 1) -> SweepResult:
     """Fig. 4: online algorithms vs number of requests.
 
     Series: total reward (a) and average latency (b) for DynamicRR,
@@ -61,11 +69,13 @@ def figure4(scale: Optional[ExperimentScale] = None) -> SweepResult:
         horizon_slots=scale.horizon_slots,
         num_seeds=scale.num_seeds,
         x_label="num_requests",
+        workers=workers,
     )
 
 
 def figure5(scale: Optional[ExperimentScale] = None,
-            include_online: bool = True) -> SweepResult:
+            include_online: bool = True,
+            workers: Optional[int] = 1) -> SweepResult:
     """Fig. 5: all algorithms vs number of base stations.
 
     The paper plots Appro, Heu, DynamicRR, Greedy, OCORP and HeuKKT
@@ -81,6 +91,7 @@ def figure5(scale: Optional[ExperimentScale] = None,
         num_requests_of=lambda x: scale.fig5_num_requests,
         num_seeds=scale.num_seeds,
         x_label="num_stations",
+        workers=workers,
     )
     if include_online:
         online = run_online_sweep(
@@ -91,12 +102,14 @@ def figure5(scale: Optional[ExperimentScale] = None,
             horizon_slots=scale.horizon_slots,
             num_seeds=scale.num_seeds,
             x_label="num_stations",
+            workers=workers,
         )
         sweep.extend(online.records)
     return sweep
 
 
-def figure6(scale: Optional[ExperimentScale] = None) -> SweepResult:
+def figure6(scale: Optional[ExperimentScale] = None,
+            workers: Optional[int] = 1) -> SweepResult:
     """Fig. 6: online algorithms vs the maximum data rate of a request.
 
     The max rate sweeps 15..35 MB/s (support minimum scales along);
@@ -111,4 +124,5 @@ def figure6(scale: Optional[ExperimentScale] = None) -> SweepResult:
         horizon_slots=scale.horizon_slots,
         num_seeds=scale.num_seeds,
         x_label="max_rate_mbps",
+        workers=workers,
     )

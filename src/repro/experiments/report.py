@@ -19,17 +19,20 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..sim.results import SweepResult
+from .executor import workers_type
 from .ablations import (approximation_ratio_study, clairvoyant_study,
                         system_regret_study)
 from .figures import figure3, figure4, figure5, figure6
 from .settings import ExperimentScale, bench_scale, paper_scale
 
-#: (figure id, driver, panels) in report order.
-FigureSpec = Tuple[str, Callable[[ExperimentScale], SweepResult],
+#: (figure id, driver, panels) in report order.  Drivers must accept
+#: ``driver(scale, workers=N)`` like the built-in figure functions.
+FigureSpec = Tuple[str, Callable[..., SweepResult],
                    Tuple[str, ...]]
 
 DEFAULT_FIGURES: Tuple[FigureSpec, ...] = (
@@ -93,11 +96,52 @@ def theorem_checks_markdown(fast: bool = True) -> str:
     return "\n".join(lines)
 
 
+def timing_markdown(timings: Sequence[Tuple[str, float, float]],
+                    workers: int) -> str:
+    """Render per-figure wall-clock (and speedup when measured).
+
+    Args:
+        timings: ``(figure id, elapsed seconds, serial seconds)`` rows;
+            serial seconds is NaN when no baseline was measured.
+        workers: worker processes the report ran with.
+    """
+    lines = ["## Wall-clock",
+             "",
+             f"Sweeps executed with `workers={workers}`.",
+             "",
+             "| figure | wall-clock (s) | serial (s) | speedup |",
+             "|---|---|---|---|"]
+    for figure_id, elapsed, serial in timings:
+        if serial == serial:  # not NaN: a baseline was measured
+            speedup = f"{serial / elapsed:.2f}x" if elapsed > 0 else "-"
+            lines.append(f"| {figure_id} | {elapsed:.2f} | "
+                         f"{serial:.2f} | {speedup} |")
+        else:
+            lines.append(f"| {figure_id} | {elapsed:.2f} | - | - |")
+    total = sum(t[1] for t in timings)
+    lines.append(f"| total | {total:.2f} | - | - |")
+    return "\n".join(lines)
+
+
 def build_report(scale: Optional[ExperimentScale] = None,
                  figures: Sequence[FigureSpec] = DEFAULT_FIGURES,
                  include_theorems: bool = True,
-                 title: str = "Reproduction report") -> str:
-    """Run the sweeps and return the full Markdown report."""
+                 title: str = "Reproduction report",
+                 workers: int = 1,
+                 measure_speedup: bool = False) -> str:
+    """Run the sweeps and return the full Markdown report.
+
+    Args:
+        scale: sweep preset (bench scale when None).
+        figures: the figure drivers to run.
+        include_theorems: append the theorem-check studies.
+        title: report heading.
+        workers: worker processes per sweep (1 = serial, 0 = one per
+            CPU); records are identical for every value.
+        measure_speedup: when True and ``workers != 1``, re-run each
+            sweep serially and report the wall-clock speedup (doubles
+            the runtime; results stay identical by construction).
+    """
     scale = (scale or bench_scale()).validate()
     parts = [f"# {title}",
              "",
@@ -105,9 +149,19 @@ def build_report(scale: Optional[ExperimentScale] = None,
              f"{scale.station_counts}, max rate in "
              f"{scale.max_rates_mbps}; {scale.num_seeds} seed(s) per "
              f"point; online horizon {scale.horizon_slots} slots."]
+    timings: List[Tuple[str, float, float]] = []
     for figure_id, driver, panels in figures:
-        sweep = driver(scale)
+        start = time.perf_counter()
+        sweep = driver(scale, workers=workers)
+        elapsed = time.perf_counter() - start
+        serial_s = float("nan")
+        if measure_speedup and workers != 1:
+            start = time.perf_counter()
+            driver(scale, workers=1)
+            serial_s = time.perf_counter() - start
+        timings.append((figure_id, elapsed, serial_s))
         parts.append(render_figure_markdown(sweep, figure_id, panels))
+    parts.append(timing_markdown(timings, workers))
     if include_theorems:
         parts.append(theorem_checks_markdown(fast=True))
     return "\n\n".join(parts) + "\n"
@@ -124,10 +178,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="write the report here (default: stdout)")
     parser.add_argument("--no-theorems", action="store_true",
                         help="skip the theorem-check studies")
+    parser.add_argument("--workers", type=workers_type, default=1,
+                        metavar="N",
+                        help="worker processes per sweep (1 = serial, "
+                             "0 = one per CPU)")
+    parser.add_argument("--speedup", action="store_true",
+                        help="also run each sweep serially and report "
+                             "the wall-clock speedup")
     args = parser.parse_args(argv)
     scale = paper_scale() if args.scale == "paper" else bench_scale()
     text = build_report(scale,
-                        include_theorems=not args.no_theorems)
+                        include_theorems=not args.no_theorems,
+                        workers=args.workers,
+                        measure_speedup=args.speedup)
     if args.out:
         Path(args.out).write_text(text)
         print(f"wrote {args.out}")

@@ -1,21 +1,24 @@
 """Seed-replicated sweep runners for offline and online experiments.
 
 Both runners follow the same shape: for every swept value, build the
-configuration, instantiate a fresh problem instance and workload per
-seed, run every algorithm on identical copies, and collect
-:class:`~repro.sim.results.RunRecord` rows into a
-:class:`~repro.sim.results.SweepResult`.
+configuration, and for every seed and algorithm emit one picklable
+:class:`~repro.experiments.executor.RunSpec`.  The spec list is then
+executed by :mod:`~repro.experiments.executor` - serially by default,
+or on a process pool with ``workers > 1`` - and the resulting
+:class:`~repro.sim.results.RunRecord` rows are merged into a
+:class:`~repro.sim.results.SweepResult` in canonical
+(x, seed, algorithm) order, identical for every backend.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from ..config import SimulationConfig
-from ..core.instance import ProblemInstance
-from ..sim.engine import OfflineAlgorithm, run_offline
-from ..sim.online_engine import OnlineEngine, OnlinePolicy
-from ..sim.results import RunRecord, SweepResult
+from ..sim.engine import OfflineAlgorithm
+from ..sim.online_engine import OnlinePolicy
+from ..sim.results import SweepResult
+from .executor import OFFLINE, ONLINE, RunSpec, execute_sweep
 
 #: Builds the configuration for one swept value and seed.
 ConfigFactory = Callable[[float, int], SimulationConfig]
@@ -26,14 +29,44 @@ OfflineFactory = Callable[[], OfflineAlgorithm]
 OnlineFactory = Callable[[], OnlinePolicy]
 
 
-def _metrics_of(result) -> Dict[str, float]:
-    return {
-        "total_reward": result.total_reward,
-        "avg_latency_ms": result.average_latency_ms(),
-        "runtime_s": result.runtime_s,
-        "num_admitted": float(result.num_admitted),
-        "num_rewarded": float(result.num_rewarded),
-    }
+def build_offline_specs(algorithm_factories: Sequence[OfflineFactory],
+                        x_values: Sequence[float],
+                        make_config: ConfigFactory,
+                        num_requests_of: Callable[[float], int],
+                        num_seeds: int = 3) -> List[RunSpec]:
+    """Decompose an offline sweep into specs in canonical order."""
+    specs: List[RunSpec] = []
+    for x in x_values:
+        for seed in range(num_seeds):
+            config = make_config(x, seed)
+            for factory in algorithm_factories:
+                specs.append(RunSpec(
+                    mode=OFFLINE, factory=factory, x=x, seed=seed,
+                    config=config,
+                    num_requests=num_requests_of(x)).validate())
+    return specs
+
+
+def build_online_specs(policy_factories: Sequence[OnlineFactory],
+                       x_values: Sequence[float],
+                       make_config: ConfigFactory,
+                       num_requests_of: Callable[[float], int],
+                       horizon_slots: int,
+                       num_seeds: int = 3) -> List[RunSpec]:
+    """Decompose an online sweep into specs in canonical order."""
+    specs: List[RunSpec] = []
+    for x in x_values:
+        for seed in range(num_seeds):
+            config = make_config(x, seed)
+            for factory in policy_factories:
+                specs.append(RunSpec(
+                    mode=ONLINE, factory=factory, x=x, seed=seed,
+                    config=config,
+                    num_requests=num_requests_of(x),
+                    horizon_slots=horizon_slots,
+                    slot_length_ms=config.online.slot_length_ms,
+                ).validate())
+    return specs
 
 
 def run_offline_sweep(algorithm_factories: Sequence[OfflineFactory],
@@ -41,35 +74,32 @@ def run_offline_sweep(algorithm_factories: Sequence[OfflineFactory],
                       make_config: ConfigFactory,
                       num_requests_of: Callable[[float], int],
                       num_seeds: int = 3,
-                      x_label: str = "x") -> SweepResult:
+                      x_label: str = "x",
+                      workers: Optional[int] = 1,
+                      chunksize: Optional[int] = None) -> SweepResult:
     """Run a batch-algorithm sweep (Figs. 3 and 5).
 
     Args:
-        algorithm_factories: one factory per algorithm.
+        algorithm_factories: one factory per algorithm.  With
+            ``workers > 1`` each factory must be picklable (a
+            module-level class or function).
         x_values: swept parameter values.
         make_config: (x, seed) -> configuration.
         num_requests_of: x -> workload size |R| for that point.
         num_seeds: replications per point.
         x_label: axis label for the result.
+        workers: process count (1 = serial, 0 = one per CPU).  Records
+            are identical for every worker count.
+        chunksize: specs per dispatched chunk when parallel.
 
     Returns:
         A populated :class:`SweepResult`.
     """
-    sweep = SweepResult(x_label)
-    for x in x_values:
-        for seed in range(num_seeds):
-            config = make_config(x, seed)
-            instance = ProblemInstance.build(config, seed=seed)
-            for factory in algorithm_factories:
-                algorithm = factory()
-                workload = instance.new_workload(
-                    num_requests=num_requests_of(x), seed=seed)
-                result = run_offline(algorithm, instance, workload,
-                                     seed=seed)
-                sweep.add(RunRecord(algorithm=result.algorithm, x=x,
-                                    seed=seed,
-                                    metrics=_metrics_of(result)))
-    return sweep
+    specs = build_offline_specs(algorithm_factories, x_values,
+                                make_config, num_requests_of,
+                                num_seeds=num_seeds)
+    return execute_sweep(specs, x_label, workers=workers,
+                         chunksize=chunksize)
 
 
 def run_online_sweep(policy_factories: Sequence[OnlineFactory],
@@ -78,29 +108,18 @@ def run_online_sweep(policy_factories: Sequence[OnlineFactory],
                      num_requests_of: Callable[[float], int],
                      horizon_slots: int,
                      num_seeds: int = 3,
-                     x_label: str = "x") -> SweepResult:
+                     x_label: str = "x",
+                     workers: Optional[int] = 1,
+                     chunksize: Optional[int] = None) -> SweepResult:
     """Run an online-policy sweep (Figs. 4 and 6).
 
     Every policy sees the same arrival sequence per (x, seed); requests
     are re-drawn fresh for each policy so realization state never leaks
-    between runs.
+    between runs.  Accepts the same ``workers`` / ``chunksize`` knobs
+    as :func:`run_offline_sweep`, with the same determinism guarantee.
     """
-    sweep = SweepResult(x_label)
-    for x in x_values:
-        for seed in range(num_seeds):
-            config = make_config(x, seed)
-            instance = ProblemInstance.build(config, seed=seed)
-            for factory in policy_factories:
-                policy = factory()
-                workload = instance.new_workload(
-                    num_requests=num_requests_of(x), seed=seed,
-                    horizon_slots=horizon_slots)
-                engine = OnlineEngine(
-                    instance, workload, horizon_slots=horizon_slots,
-                    slot_length_ms=config.online.slot_length_ms,
-                    rng=seed)
-                result = engine.run(policy)
-                sweep.add(RunRecord(algorithm=result.algorithm, x=x,
-                                    seed=seed,
-                                    metrics=_metrics_of(result)))
-    return sweep
+    specs = build_online_specs(policy_factories, x_values, make_config,
+                               num_requests_of, horizon_slots,
+                               num_seeds=num_seeds)
+    return execute_sweep(specs, x_label, workers=workers,
+                         chunksize=chunksize)

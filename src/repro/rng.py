@@ -10,13 +10,20 @@ independent, we fan a root seed out into named child generators using
 Example:
     >>> forks = RngForks(seed=7)
     >>> topo_rng = forks.child("topology")
-    >>> req_rng = forks.child("requests")
-    >>> forks.child("topology").integers(10) == topo_rng.integers(10)
-    False
+    >>> bool(forks.child("topology").integers(10)
+    ...      == topo_rng.integers(10))
+    True
+    >>> cached = forks.cached_child("requests")
+    >>> forks.cached_child("requests") is cached
+    True
 
-Children are *stable by name*: two :class:`RngForks` built from the same
-seed hand out identical streams for identical names, regardless of the
-order in which the names are requested.
+Children are *stable by name*: identically-named children are seeded
+identically, so :meth:`RngForks.child` *replays* a stream from its
+start on every call (the first draws above match), and two
+:class:`RngForks` built from the same seed hand out identical streams
+for identical names, regardless of the order in which the names are
+requested.  Use :meth:`RngForks.cached_child` when a stream should
+keep advancing across call sites instead.
 """
 
 from __future__ import annotations

@@ -75,6 +75,12 @@ class SweepResult:
                ) -> Tuple[List[float], List[float], List[float]]:
         """Mean +/- std series of one algorithm and metric.
 
+        The spread is the *sample* standard deviation (``ddof=1``, 0
+        for a single seed), matching the t-based intervals of
+        :mod:`repro.sim.stats`.  x-points where the algorithm has no
+        values for the metric are skipped, so ``xs`` may be a subset
+        of :meth:`x_values`.
+
         Returns:
             ``(xs, means, stds)`` over replication seeds.
 
@@ -95,18 +101,27 @@ class SweepResult:
                 continue
             xs.append(x)
             means.append(float(np.mean(values)))
-            stds.append(float(np.std(values)))
+            stds.append(float(np.std(values, ddof=1))
+                        if len(values) > 1 else 0.0)
         if not xs:
             raise ConfigurationError(
                 f"no values of metric {metric!r} for {algorithm!r}")
         return xs, means, stds
 
     def table(self, metric: str) -> Dict[str, List[float]]:
-        """Metric means per algorithm, aligned to :meth:`x_values`."""
+        """Metric means per algorithm, aligned to :meth:`x_values`.
+
+        Every row has one entry per value of :meth:`x_values`;
+        x-points where an algorithm has no values for the metric are
+        padded with NaN so rows stay aligned across algorithms.
+        """
+        all_xs = self.x_values()
         out: Dict[str, List[float]] = {}
         for algorithm in self.algorithms():
-            _, means, _ = self.series(algorithm, metric)
-            out[algorithm] = means
+            xs, means, _ = self.series(algorithm, metric)
+            by_x = dict(zip(xs, means))
+            out[algorithm] = [by_x.get(x, float("nan"))
+                              for x in all_xs]
         return out
 
     def winner_at(self, x: float, metric: str,

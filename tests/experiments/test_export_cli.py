@@ -83,7 +83,7 @@ class TestCli:
         """Smoke-run the CLI on figure 3 with a stubbed tiny driver."""
         import repro.experiments.__main__ as cli
 
-        def tiny_driver(scale):
+        def tiny_driver(scale, workers=1):
             sweep = SweepResult("num_requests")
             sweep.add(RunRecord("Appro", 10, 0,
                                 {"total_reward": 1.0,
@@ -99,13 +99,31 @@ class TestCli:
         assert "Figure 3" in out
         assert (tmp_path / "fig3_records.csv").exists()
 
+    def test_workers_flag_reaches_driver(self, monkeypatch, capsys):
+        import repro.experiments.__main__ as cli
+
+        seen = {}
+
+        def tiny_driver(scale, workers=1):
+            seen["workers"] = workers
+            sweep = SweepResult("num_requests")
+            sweep.add(RunRecord("Appro", 10, 0, {"total_reward": 1.0}))
+            return sweep
+
+        monkeypatch.setitem(cli._FIGURES, "3",
+                            (tiny_driver, ("total_reward",)))
+        assert cli.main(["--figures", "3", "--workers", "2"]) == 0
+        assert seen["workers"] == 2
+        assert cli.main(["--figures", "3"]) == 0
+        assert seen["workers"] == 1
+
 
 class TestCliPlot:
     def test_plot_flag_renders_ascii(self, monkeypatch, capsys):
         import repro.experiments.__main__ as cli
         from repro.sim.results import RunRecord, SweepResult
 
-        def tiny_driver(scale):
+        def tiny_driver(scale, workers=1):
             sweep = SweepResult("num_requests")
             for x in (10, 20):
                 sweep.add(RunRecord("Appro", x, 0,

@@ -37,7 +37,7 @@ class TestMarkdownRendering:
 
 class TestBuildReport:
     def test_stubbed_full_report(self):
-        def tiny_driver(scale):
+        def tiny_driver(scale, workers=1):
             return make_sweep()
 
         text = build_report(
@@ -47,11 +47,41 @@ class TestBuildReport:
         assert text.startswith("# Stub report")
         assert "## Figure 3" in text
         assert "| Appro |" in text
+        assert "## Wall-clock" in text
+        assert "workers=1" in text
+
+    def test_workers_threaded_and_speedup_measured(self):
+        calls = []
+
+        def tiny_driver(scale, workers=1):
+            calls.append(workers)
+            return make_sweep()
+
+        text = build_report(
+            figures=(("3", tiny_driver, ("total_reward",)),),
+            include_theorems=False,
+            workers=2,
+            measure_speedup=True)
+        # One parallel pass plus one serial baseline pass.
+        assert calls == [2, 1]
+        assert "workers=2" in text
+        assert "x |" in text  # a speedup column entry
+
+    def test_no_speedup_pass_by_default(self):
+        calls = []
+
+        def tiny_driver(scale, workers=1):
+            calls.append(workers)
+            return make_sweep()
+
+        build_report(figures=(("3", tiny_driver, ("total_reward",)),),
+                     include_theorems=False, workers=3)
+        assert calls == [3]
 
     def test_cli_writes_file(self, tmp_path, monkeypatch, capsys):
         import repro.experiments.report as report_mod
 
-        def tiny_driver(scale):
+        def tiny_driver(scale, workers=1):
             return make_sweep()
 
         monkeypatch.setattr(
@@ -66,7 +96,7 @@ class TestBuildReport:
     def test_cli_stdout(self, monkeypatch, capsys):
         import repro.experiments.report as report_mod
 
-        def tiny_driver(scale):
+        def tiny_driver(scale, workers=1):
             return make_sweep()
 
         monkeypatch.setattr(

@@ -55,3 +55,50 @@ class TestRngForks:
         first = forks.cached_child("s").integers(0, 10**9, size=3)
         second = forks.cached_child("s").integers(0, 10**9, size=3)
         assert not (first == second).all()
+
+
+class TestReplaySemantics:
+    """Pin the replay behavior the module docstring documents.
+
+    Parallel sweep determinism leans on these semantics: a worker that
+    rebuilds an instance/workload from ``(config, seed)`` must get
+    exactly the draws the serial path got.
+    """
+
+    def test_docstring_example_child_replays(self):
+        # Identically-named children are seeded identically, so a
+        # re-requested child's first draw equals the original's.
+        forks = RngForks(seed=7)
+        topo_rng = forks.child("topology")
+        assert (forks.child("topology").integers(10)
+                == topo_rng.integers(10))
+
+    def test_child_replay_is_unaffected_by_other_draws(self):
+        forks = RngForks(11)
+        reference = forks.child("workload").integers(0, 10**9, size=5)
+        # Interleave unrelated consumption; replay must not move.
+        forks.child("topology").integers(0, 10**9, size=100)
+        forks.cached_child("noise").integers(0, 10**9, size=100)
+        replayed = forks.child("workload").integers(0, 10**9, size=5)
+        assert (reference == replayed).all()
+
+    def test_cached_child_memoizes_one_generator(self):
+        forks = RngForks(3)
+        gen = forks.cached_child("stream")
+        assert forks.cached_child("stream") is gen
+
+    def test_cached_child_starts_where_child_starts(self):
+        # The first cached_child draw equals a fresh child's first
+        # draw: memoization changes continuation, not seeding.
+        a = RngForks(13).cached_child("s").integers(0, 10**9, size=4)
+        b = RngForks(13).child("s").integers(0, 10**9, size=4)
+        assert (a == b).all()
+
+    def test_child_resets_a_cached_stream(self):
+        # child() reseeds from scratch even after cached advancement,
+        # and re-registers the stream for future cached_child calls.
+        forks = RngForks(17)
+        start = forks.child("s").integers(0, 10**9, size=3)
+        forks.cached_child("s").integers(0, 10**9, size=50)
+        replay = forks.child("s").integers(0, 10**9, size=3)
+        assert (start == replay).all()
