@@ -22,6 +22,7 @@ from typing import List
 import numpy as np
 
 from ..exceptions import BanditError, ConfigurationError
+from ..telemetry import get_tracer
 
 
 class SuccessiveElimination:
@@ -164,6 +165,8 @@ class SuccessiveElimination:
             # safe: keep the best empirical arm.
             survivors = [self.best_active_arm()]
         eliminated = set(active) - set(survivors)
+        if eliminated:
+            get_tracer().count("arm_eliminations", len(eliminated))
         for arm in eliminated:
             self._active[arm] = False
 

@@ -21,6 +21,7 @@ from typing import List, Optional, Sequence
 from ..requests.request import ARRequest
 from ..rng import RngLike, ensure_rng
 from ..solver.interface import solve_lp
+from ..telemetry import get_tracer
 from .assignment import OffloadDecision, ScheduleResult
 from .instance import ProblemInstance
 from .lp_relaxation import build_lp_relaxation
@@ -74,7 +75,9 @@ class Appro:
             result.runtime_s = time.perf_counter() - start
             return result
 
-        lp, index = build_lp_relaxation(instance, requests)
+        tracer = get_tracer()
+        with tracer.span("build_lp", algorithm=self.name):
+            lp, index = build_lp_relaxation(instance, requests)
         if lp.num_variables == 0:
             for request in requests:
                 result.add(OffloadDecision(request_id=request.request_id))
@@ -90,13 +93,16 @@ class Appro:
         for _ in range(self.max_rounds):
             if not remaining or stalled_rounds >= 4:
                 break
-            assignments = randomized_round(
-                index, solution.values, remaining,
-                rng=rng, scale=self.rounding_scale)
-            round_outcomes = admit_slot_by_slot(
-                instance, remaining, assignments, ledger, rng=rng)
+            with tracer.span("rounding", algorithm=self.name):
+                assignments = randomized_round(
+                    index, solution.values, remaining,
+                    rng=rng, scale=self.rounding_scale)
+                round_outcomes = admit_slot_by_slot(
+                    instance, remaining, assignments, ledger, rng=rng)
             admitted_ids = {o.request.request_id for o in round_outcomes
                             if o.admitted}
+            tracer.count("rounding_rounds")
+            tracer.count("requests_admitted", len(admitted_ids))
             outcomes.extend(o for o in round_outcomes if o.admitted)
             remaining = [r for r in remaining
                          if r.request_id not in admitted_ids]

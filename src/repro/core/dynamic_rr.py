@@ -34,6 +34,7 @@ from ..config import OnlineConfig
 from ..requests.request import ARRequest
 from ..rng import RngLike, ensure_rng
 from ..solver.interface import solve_lp
+from ..telemetry import get_tracer
 from .lp_relaxation import build_lp_pt
 from .rounding import DEFAULT_ROUNDING_SCALE, admit_slot_by_slot, \
     randomized_round
@@ -119,18 +120,23 @@ class DynamicRR:
         if not pending:
             return []
 
-        threshold = self._bandit.select_value()
-        self._selected_this_slot = True
-        self._last_arm_value = threshold
+        tracer = get_tracer()
+        with tracer.span("bandit_round", algorithm=self.name):
+            threshold = self._bandit.select_value()
+            self._selected_this_slot = True
+            self._last_arm_value = threshold
+            tracer.observe("threshold_mhz", threshold)
 
-        from .threshold import select_slot_requests
-        r_t = select_slot_requests(pending, engine.total_free_mhz(),
-                                   threshold)
+            from .threshold import select_slot_requests
+            r_t = select_slot_requests(pending, engine.total_free_mhz(),
+                                       threshold)
         if not r_t:
             return []
 
-        waiting = {r.request_id: engine.waiting_ms(r, slot) for r in r_t}
-        lp, index = build_lp_pt(engine.instance, r_t, waiting)
+        with tracer.span("build_lp", algorithm=self.name):
+            waiting = {r.request_id: engine.waiting_ms(r, slot)
+                       for r in r_t}
+            lp, index = build_lp_pt(engine.instance, r_t, waiting)
         if lp.num_variables == 0:
             return []
         solution = solve_lp(lp, backend=self.lp_backend)
@@ -141,13 +147,15 @@ class DynamicRR:
         for _ in range(self.max_rounds):
             if not remaining or stalled_rounds >= 4:
                 break
-            assignments = randomized_round(index, solution.values,
-                                           remaining, rng=self._rng,
-                                           scale=self.rounding_scale)
-            outcomes = admit_slot_by_slot(engine.instance, remaining,
-                                          assignments, ledger,
-                                          rng=self._rng,
-                                          reserve_cap_mhz=threshold)
+            with tracer.span("rounding", algorithm=self.name):
+                assignments = randomized_round(index, solution.values,
+                                               remaining, rng=self._rng,
+                                               scale=self.rounding_scale)
+                outcomes = admit_slot_by_slot(engine.instance, remaining,
+                                              assignments, ledger,
+                                              rng=self._rng,
+                                              reserve_cap_mhz=threshold)
+            tracer.count("rounding_rounds")
             admitted_ids = set()
             for outcome in outcomes:
                 if outcome.admitted:

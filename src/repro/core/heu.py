@@ -22,6 +22,7 @@ from ..network.capacity import CapacityLedger
 from ..requests.request import ARRequest
 from ..rng import RngLike, ensure_rng
 from ..solver.interface import solve_lp
+from ..telemetry import get_tracer
 from .assignment import OffloadDecision, ScheduleResult
 from .instance import ProblemInstance
 from .lp_relaxation import build_lp_relaxation
@@ -76,7 +77,9 @@ class Heu:
             result.runtime_s = time.perf_counter() - start
             return result
 
-        lp, index = build_lp_relaxation(instance, requests)
+        tracer = get_tracer()
+        with tracer.span("build_lp", algorithm=self.name):
+            lp, index = build_lp_relaxation(instance, requests)
         if lp.num_variables == 0:
             for request in requests:
                 result.add(OffloadDecision(request_id=request.request_id))
@@ -104,12 +107,14 @@ class Heu:
         for _ in range(self.max_rounds):
             if not remaining or stalled_rounds >= 4:
                 break
-            assignments = randomized_round(
-                index, solution.values, remaining,
-                rng=rng, scale=self.rounding_scale)
-            round_outcomes = admit_slot_by_slot(
-                instance, remaining, assignments, ledger, rng=rng,
-                on_reject=on_reject)
+            with tracer.span("rounding", algorithm=self.name):
+                assignments = randomized_round(
+                    index, solution.values, remaining,
+                    rng=rng, scale=self.rounding_scale)
+                round_outcomes = admit_slot_by_slot(
+                    instance, remaining, assignments, ledger, rng=rng,
+                    on_reject=on_reject)
+            tracer.count("rounding_rounds")
             admitted_ids = set()
             for outcome in round_outcomes:
                 if outcome.admitted:
@@ -145,6 +150,15 @@ class Heu:
         migration - the admission loop re-tests the prefix condition
         (line 12) and calls back if the slot is still closed.
         """
+        with get_tracer().span("migration", algorithm=self.name):
+            return self._migrate_one(instance, ledger, station_id,
+                                     admitted_at, primary_of, migrations)
+
+    def _migrate_one(self, instance: ProblemInstance,
+                     ledger: CapacityLedger, station_id: int,
+                     admitted_at: Dict[int, List[ARRequest]],
+                     primary_of: Dict[int, int],
+                     migrations: Dict[int, Dict[int, int]]) -> bool:
         donors = sorted(admitted_at.get(station_id, []),
                         key=lambda r: (-r.realized_rate_mbps,
                                        r.request_id))
@@ -178,6 +192,7 @@ class Heu:
                                share)
                 migrations[donor.request_id] = trial
                 self.last_num_migrations += 1
+                get_tracer().count("migrations")
                 return True
         return False
 

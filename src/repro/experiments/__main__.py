@@ -8,14 +8,22 @@ optional CSV export::
 
 The bench scale finishes in about a minute; the paper scale runs the
 full Section VI sweeps (several minutes).
+
+Telemetry: ``--trace PATH`` records a :mod:`repro.telemetry` trace of
+every run (one JSONL event stream, merged in canonical RunSpec order)
+and ``--trace-summary`` prints the aggregated per-phase breakdown -
+where the milliseconds went, span by span::
+
+    python -m repro.experiments --figures 3 --trace fig3.jsonl --trace-summary
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List
+from typing import Dict, List
 
+from ..telemetry import collect_sweep_trace, render_summary, write_jsonl
 from .executor import workers_type
 from .export import export_figure
 from .figures import figure3, figure4, figure5, figure6
@@ -50,6 +58,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker processes per sweep (1 = serial, "
                              "0 = one per CPU; results are identical "
                              "for every value)")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="record a telemetry trace of every run "
+                             "and write the merged JSONL here")
+    parser.add_argument("--trace-summary", action="store_true",
+                        help="print the aggregated span breakdown "
+                             "(implies tracing)")
     return parser
 
 
@@ -57,10 +71,16 @@ def main(argv: List[str] = None) -> int:
     args = build_parser().parse_args(argv)
     wanted = list(_FIGURES) if "all" in args.figures else args.figures
     scale = paper_scale() if args.scale == "paper" else bench_scale()
+    tracing = bool(args.trace or args.trace_summary)
+    trace_events: List[Dict] = []
 
     for fig_id in wanted:
         driver, panels = _FIGURES[fig_id]
-        sweep = driver(scale, workers=args.workers)
+        sweep = driver(scale, workers=args.workers, trace=tracing)
+        if tracing:
+            for event in collect_sweep_trace(sweep.records):
+                event["figure"] = fig_id
+                trace_events.append(event)
         print(render_figure(sweep, panels, f"Figure {fig_id}"))
         print()
         if args.plot:
@@ -74,6 +94,14 @@ def main(argv: List[str] = None) -> int:
             for path in paths:
                 print(f"  wrote {path}")
             print()
+
+    if args.trace:
+        path = write_jsonl(args.trace, trace_events)
+        print(f"wrote trace ({len(trace_events)} events) to {path}")
+    if args.trace_summary:
+        print()
+        print("Telemetry summary")
+        print(render_summary(trace_events))
     return 0
 
 

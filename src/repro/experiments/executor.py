@@ -25,6 +25,7 @@ executions of the same spec list therefore produce *identical*
 
 from __future__ import annotations
 
+import dataclasses
 import inspect
 import os
 from concurrent.futures import ProcessPoolExecutor
@@ -38,6 +39,7 @@ from ..rng import RngForks
 from ..sim.engine import run_offline
 from ..sim.online_engine import OnlineEngine
 from ..sim.results import RunRecord, SweepResult
+from ..telemetry import Tracer, use_tracer
 
 #: ``RunSpec.mode`` for batch (Figs. 3/5) runs.
 OFFLINE = "offline"
@@ -65,6 +67,9 @@ class RunSpec:
         horizon_slots: online monitoring period (required for
             :data:`ONLINE` mode).
         slot_length_ms: online slot length.
+        trace: run under a fresh :class:`~repro.telemetry.Tracer` and
+            attach the events to the record's ``trace`` field.  Purely
+            additive: metrics are identical with tracing on or off.
     """
 
     mode: str
@@ -75,6 +80,7 @@ class RunSpec:
     num_requests: int
     horizon_slots: Optional[int] = None
     slot_length_ms: float = 50.0
+    trace: bool = False
 
     def validate(self) -> "RunSpec":
         """Raise on inconsistent specs; return self for chaining."""
@@ -125,9 +131,22 @@ def execute_run(spec: RunSpec) -> RunRecord:
 
     Rebuilds everything from ``(config, seed)`` so the call is
     deterministic regardless of which process runs it or what ran
-    before it.
+    before it.  With ``spec.trace`` the run executes under a fresh
+    :class:`~repro.telemetry.Tracer` (installed only for its
+    duration) and the record carries the trace events.
     """
     spec.validate()
+    if spec.trace:
+        tracer = Tracer()
+        with use_tracer(tracer):
+            record = _execute_untraced(spec)
+        return dataclasses.replace(record,
+                                   trace=tuple(tracer.events()))
+    return _execute_untraced(spec)
+
+
+def _execute_untraced(spec: RunSpec) -> RunRecord:
+    """The run itself, recording through whatever tracer is current."""
     instance = ProblemInstance.build(spec.config, seed=spec.seed)
     algorithm = _fresh_algorithm(spec.factory, spec.seed)
     if spec.mode == OFFLINE:
@@ -233,8 +252,21 @@ def make_backend(workers: Optional[int] = 1,
 
 def execute_specs(specs: Sequence[RunSpec],
                   workers: Optional[int] = 1,
-                  chunksize: Optional[int] = None) -> List[RunRecord]:
-    """Execute a spec list and return records in canonical spec order."""
+                  chunksize: Optional[int] = None,
+                  trace: bool = False) -> List[RunRecord]:
+    """Execute a spec list and return records in canonical spec order.
+
+    Args:
+        specs: the runs.
+        workers: process count (1 = serial, 0 = one per CPU).
+        chunksize: specs per dispatched chunk when parallel.
+        trace: force tracing on for every spec; each run (wherever it
+            executes) records its own trace, carried home on its
+            record in canonical spec order.
+    """
+    if trace:
+        specs = [dataclasses.replace(spec, trace=True)
+                 for spec in specs]
     for spec in specs:
         spec.validate()
     return make_backend(workers, chunksize).map(specs)
@@ -242,9 +274,10 @@ def execute_specs(specs: Sequence[RunSpec],
 
 def execute_sweep(specs: Sequence[RunSpec], x_label: str,
                   workers: Optional[int] = 1,
-                  chunksize: Optional[int] = None) -> SweepResult:
+                  chunksize: Optional[int] = None,
+                  trace: bool = False) -> SweepResult:
     """Execute a spec list and bundle the records into a sweep."""
     sweep = SweepResult(x_label)
     sweep.extend(execute_specs(specs, workers=workers,
-                               chunksize=chunksize))
+                               chunksize=chunksize, trace=trace))
     return sweep

@@ -9,7 +9,11 @@ for a fast run with the same qualitative shapes.
 All drivers accept ``workers``: with ``workers > 1`` the sweep's
 (algorithm x x x seed) grid executes on a process pool via
 :mod:`~repro.experiments.executor`, returning records identical to the
-serial run (``workers=0`` means one worker per CPU).
+serial run (``workers=0`` means one worker per CPU).  They also accept
+``trace``: when True every run records a :mod:`repro.telemetry` trace
+that comes back on its :class:`~repro.sim.results.RunRecord` (merge
+with :func:`repro.telemetry.collect_sweep_trace`); metrics are
+identical with tracing on or off.
 """
 
 from __future__ import annotations
@@ -34,7 +38,8 @@ ONLINE_POLICIES = (DynamicRR, GreedyOnline, OcorpOnline, HeuKktOnline)
 
 
 def figure3(scale: Optional[ExperimentScale] = None,
-            workers: Optional[int] = 1) -> SweepResult:
+            workers: Optional[int] = 1,
+            trace: bool = False) -> SweepResult:
     """Fig. 3: offline algorithms vs number of requests.
 
     Series: total reward (a), average latency (b), running time (c),
@@ -50,11 +55,13 @@ def figure3(scale: Optional[ExperimentScale] = None,
         num_seeds=scale.num_seeds,
         x_label="num_requests",
         workers=workers,
+        trace=trace,
     )
 
 
 def figure4(scale: Optional[ExperimentScale] = None,
-            workers: Optional[int] = 1) -> SweepResult:
+            workers: Optional[int] = 1,
+            trace: bool = False) -> SweepResult:
     """Fig. 4: online algorithms vs number of requests.
 
     Series: total reward (a) and average latency (b) for DynamicRR,
@@ -70,12 +77,14 @@ def figure4(scale: Optional[ExperimentScale] = None,
         num_seeds=scale.num_seeds,
         x_label="num_requests",
         workers=workers,
+        trace=trace,
     )
 
 
 def figure5(scale: Optional[ExperimentScale] = None,
             include_online: bool = True,
-            workers: Optional[int] = 1) -> SweepResult:
+            workers: Optional[int] = 1,
+            trace: bool = False) -> SweepResult:
     """Fig. 5: all algorithms vs number of base stations.
 
     The paper plots Appro, Heu, DynamicRR, Greedy, OCORP and HeuKKT
@@ -92,6 +101,7 @@ def figure5(scale: Optional[ExperimentScale] = None,
         num_seeds=scale.num_seeds,
         x_label="num_stations",
         workers=workers,
+        trace=trace,
     )
     if include_online:
         online = run_online_sweep(
@@ -103,13 +113,15 @@ def figure5(scale: Optional[ExperimentScale] = None,
             num_seeds=scale.num_seeds,
             x_label="num_stations",
             workers=workers,
+            trace=trace,
         )
         sweep.extend(online.records)
     return sweep
 
 
 def figure6(scale: Optional[ExperimentScale] = None,
-            workers: Optional[int] = 1) -> SweepResult:
+            workers: Optional[int] = 1,
+            trace: bool = False) -> SweepResult:
     """Fig. 6: online algorithms vs the maximum data rate of a request.
 
     The max rate sweeps 15..35 MB/s (support minimum scales along);
@@ -125,4 +137,5 @@ def figure6(scale: Optional[ExperimentScale] = None,
         num_seeds=scale.num_seeds,
         x_label="max_rate_mbps",
         workers=workers,
+        trace=trace,
     )

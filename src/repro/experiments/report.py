@@ -24,6 +24,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..sim.results import SweepResult
+from ..telemetry import collect_sweep_trace, render_summary, write_jsonl
 from .executor import workers_type
 from .ablations import (approximation_ratio_study, clairvoyant_study,
                         system_regret_study)
@@ -128,7 +129,9 @@ def build_report(scale: Optional[ExperimentScale] = None,
                  include_theorems: bool = True,
                  title: str = "Reproduction report",
                  workers: int = 1,
-                 measure_speedup: bool = False) -> str:
+                 measure_speedup: bool = False,
+                 trace: bool = False,
+                 trace_sink: Optional[List[Dict]] = None) -> str:
     """Run the sweeps and return the full Markdown report.
 
     Args:
@@ -141,6 +144,12 @@ def build_report(scale: Optional[ExperimentScale] = None,
         measure_speedup: when True and ``workers != 1``, re-run each
             sweep serially and report the wall-clock speedup (doubles
             the runtime; results stay identical by construction).
+        trace: run every sweep with :mod:`repro.telemetry` tracing and
+            append a "Telemetry" section breaking down where the
+            milliseconds went.  Drivers must accept a ``trace`` kwarg
+            (the built-in figure drivers do).
+        trace_sink: optional list that receives the merged trace
+            events (for JSONL export by the caller).
     """
     scale = (scale or bench_scale()).validate()
     parts = [f"# {title}",
@@ -150,10 +159,18 @@ def build_report(scale: Optional[ExperimentScale] = None,
              f"{scale.max_rates_mbps}; {scale.num_seeds} seed(s) per "
              f"point; online horizon {scale.horizon_slots} slots."]
     timings: List[Tuple[str, float, float]] = []
+    trace_events: List[Dict] = []
     for figure_id, driver, panels in figures:
         start = time.perf_counter()
-        sweep = driver(scale, workers=workers)
+        if trace:
+            sweep = driver(scale, workers=workers, trace=True)
+        else:
+            sweep = driver(scale, workers=workers)
         elapsed = time.perf_counter() - start
+        if trace:
+            for event in collect_sweep_trace(sweep.records):
+                event["figure"] = figure_id
+                trace_events.append(event)
         serial_s = float("nan")
         if measure_speedup and workers != 1:
             start = time.perf_counter()
@@ -162,6 +179,11 @@ def build_report(scale: Optional[ExperimentScale] = None,
         timings.append((figure_id, elapsed, serial_s))
         parts.append(render_figure_markdown(sweep, figure_id, panels))
     parts.append(timing_markdown(timings, workers))
+    if trace:
+        parts.append("## Telemetry\n\n"
+                     + render_summary(trace_events, markdown=True))
+        if trace_sink is not None:
+            trace_sink.extend(trace_events)
     if include_theorems:
         parts.append(theorem_checks_markdown(fast=True))
     return "\n\n".join(parts) + "\n"
@@ -185,12 +207,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--speedup", action="store_true",
                         help="also run each sweep serially and report "
                              "the wall-clock speedup")
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="trace every run, write the merged JSONL "
+                             "here, and append a Telemetry section")
+    parser.add_argument("--trace-summary", action="store_true",
+                        help="append the Telemetry section without "
+                             "writing a JSONL file")
     args = parser.parse_args(argv)
     scale = paper_scale() if args.scale == "paper" else bench_scale()
+    tracing = bool(args.trace or args.trace_summary)
+    trace_sink: List[Dict] = []
     text = build_report(scale,
                         include_theorems=not args.no_theorems,
                         workers=args.workers,
-                        measure_speedup=args.speedup)
+                        measure_speedup=args.speedup,
+                        trace=tracing,
+                        trace_sink=trace_sink)
+    if args.trace:
+        path = write_jsonl(args.trace, trace_sink)
+        print(f"wrote trace ({len(trace_sink)} events) to {path}")
     if args.out:
         Path(args.out).write_text(text)
         print(f"wrote {args.out}")

@@ -76,7 +76,8 @@ def run_offline_sweep(algorithm_factories: Sequence[OfflineFactory],
                       num_seeds: int = 3,
                       x_label: str = "x",
                       workers: Optional[int] = 1,
-                      chunksize: Optional[int] = None) -> SweepResult:
+                      chunksize: Optional[int] = None,
+                      trace: bool = False) -> SweepResult:
     """Run a batch-algorithm sweep (Figs. 3 and 5).
 
     Args:
@@ -91,6 +92,9 @@ def run_offline_sweep(algorithm_factories: Sequence[OfflineFactory],
         workers: process count (1 = serial, 0 = one per CPU).  Records
             are identical for every worker count.
         chunksize: specs per dispatched chunk when parallel.
+        trace: record a :mod:`repro.telemetry` trace per run and
+            attach it to each record (off by default; metrics are
+            unchanged either way).
 
     Returns:
         A populated :class:`SweepResult`.
@@ -99,7 +103,7 @@ def run_offline_sweep(algorithm_factories: Sequence[OfflineFactory],
                                 make_config, num_requests_of,
                                 num_seeds=num_seeds)
     return execute_sweep(specs, x_label, workers=workers,
-                         chunksize=chunksize)
+                         chunksize=chunksize, trace=trace)
 
 
 def run_online_sweep(policy_factories: Sequence[OnlineFactory],
@@ -110,16 +114,18 @@ def run_online_sweep(policy_factories: Sequence[OnlineFactory],
                      num_seeds: int = 3,
                      x_label: str = "x",
                      workers: Optional[int] = 1,
-                     chunksize: Optional[int] = None) -> SweepResult:
+                     chunksize: Optional[int] = None,
+                     trace: bool = False) -> SweepResult:
     """Run an online-policy sweep (Figs. 4 and 6).
 
     Every policy sees the same arrival sequence per (x, seed); requests
     are re-drawn fresh for each policy so realization state never leaks
-    between runs.  Accepts the same ``workers`` / ``chunksize`` knobs
-    as :func:`run_offline_sweep`, with the same determinism guarantee.
+    between runs.  Accepts the same ``workers`` / ``chunksize`` /
+    ``trace`` knobs as :func:`run_offline_sweep`, with the same
+    determinism guarantee.
     """
     specs = build_online_specs(policy_factories, x_values, make_config,
                                num_requests_of, horizon_slots,
                                num_seeds=num_seeds)
     return execute_sweep(specs, x_label, workers=workers,
-                         chunksize=chunksize)
+                         chunksize=chunksize, trace=trace)

@@ -21,6 +21,7 @@ from ..core.assignment import ScheduleResult
 from ..core.instance import ProblemInstance
 from ..requests.request import ARRequest
 from ..rng import RngForks
+from ..telemetry import get_tracer
 
 
 class OfflineAlgorithm(Protocol):
@@ -68,7 +69,10 @@ def run_offline(algorithm: OfflineAlgorithm,
     Returns:
         The algorithm's :class:`ScheduleResult`.
     """
-    prepared = _prepare(requests, seed)
-    forks = RngForks(seed)
-    return algorithm.run(instance, prepared,
-                         rng=forks.child(f"algo_{algorithm.name}"))
+    tracer = get_tracer()
+    with tracer.span("prepare_workload"):
+        prepared = _prepare(requests, seed)
+        forks = RngForks(seed)
+    with tracer.span("offline_run", algorithm=algorithm.name):
+        return algorithm.run(instance, prepared,
+                             rng=forks.child(f"algo_{algorithm.name}"))

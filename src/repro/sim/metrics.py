@@ -104,7 +104,11 @@ class RuntimeMeter:
         return self
 
     def __exit__(self, *exc) -> None:
-        assert self._started is not None
+        if self._started is None:
+            # Not an assert: those vanish under ``python -O``, and a
+            # mismatched __exit__ must fail loudly either way.
+            raise ConfigurationError(
+                "RuntimeMeter.__exit__ without a matching __enter__")
         self._total_s += time.perf_counter() - self._started
         self._started = None
 
@@ -126,8 +130,9 @@ def jains_fairness_index(values) -> float:
     1.0 = perfectly equal; 1/n = maximally unfair.  Used on per-request
     waiting times to quantify the scheduling starvation that Section V
     sets out to avoid (a starving minority drives the index down).
-    Zero-valued inputs are shifted by one slot-length epsilon so an
-    all-zero (ideal) vector scores 1.0 rather than dividing by zero.
+    An all-zero (ideal) vector is perfectly equal and scores 1.0; any
+    other input is evaluated exactly - no epsilon shift, which would
+    distort the index whenever legitimate values sit near its scale.
 
     Args:
         values: non-negative per-request values (e.g. waiting ms).
@@ -140,9 +145,10 @@ def jains_fairness_index(values) -> float:
         return 1.0
     if np.any(data < 0):
         raise ConfigurationError("fairness values must be >= 0")
-    shifted = data + 1e-9
-    return float(shifted.sum() ** 2
-                 / (shifted.size * (shifted ** 2).sum()))
+    if not data.any():
+        return 1.0
+    return float(data.sum() ** 2
+                 / (data.size * (data ** 2).sum()))
 
 
 def summarize(reward: RewardMeter, latency: LatencyMeter,

@@ -38,6 +38,7 @@ from ..core.instance import ProblemInstance
 from ..exceptions import ConfigurationError, SchedulingError
 from ..requests.request import ARRequest
 from ..rng import RngLike, ensure_rng
+from ..telemetry import get_tracer
 from .clock import SlotClock
 from .events import Event, EventKind
 
@@ -215,16 +216,20 @@ class OnlineEngine:
             arrived within the horizon.
         """
         start_time = time.perf_counter()
+        tracer = get_tracer()
         policy.begin(self)
         for t in self.clock.ticks():
-            self._admit_arrivals(t)
-            self._drop_hopeless(t)
-            placements = policy.schedule(t, tuple(self._pending))
-            started = self._apply_placements(t, placements)
-            self._progress(t)
-            slot_reward = self._settle_started(t, started)
-            self._complete(t)
-            policy.observe(t, slot_reward)
+            with tracer.span("slot_admission", policy=policy.name):
+                self._admit_arrivals(t)
+                self._drop_hopeless(t)
+                placements = policy.schedule(t, tuple(self._pending))
+                started = self._apply_placements(t, placements)
+                self._progress(t)
+                slot_reward = self._settle_started(t, started)
+                self._complete(t)
+                policy.observe(t, slot_reward)
+            if started:
+                tracer.count("requests_started", len(started))
         self._finalize()
         result = ScheduleResult(algorithm=policy.name)
         for request in self._requests:
@@ -237,7 +242,10 @@ class OnlineEngine:
     # Slot phases
     # ------------------------------------------------------------------
     def _admit_arrivals(self, t: int) -> None:
-        for request in self._arrivals.get(t, ()):
+        arrivals = self._arrivals.get(t, ())
+        if arrivals:
+            get_tracer().count("arrivals", len(arrivals))
+        for request in arrivals:
             self._pending.append(request)
             self.events.append(Event(slot=t, kind=EventKind.ARRIVAL,
                                      request_id=request.request_id))
@@ -245,6 +253,7 @@ class OnlineEngine:
     def _drop_hopeless(self, t: int) -> None:
         """Drop pending requests that can no longer meet their deadline."""
         survivors: List[ARRequest] = []
+        dropped = 0
         for request in self._pending:
             best_case = (self.waiting_ms(request, t)
                          + self.min_placement_delay_ms(request))
@@ -254,8 +263,11 @@ class OnlineEngine:
                     waiting_ms=self.waiting_ms(request, t))
                 self.events.append(Event(slot=t, kind=EventKind.DROP,
                                          request_id=request.request_id))
+                dropped += 1
             else:
                 survivors.append(request)
+        if dropped:
+            get_tracer().count("deadline_drops", dropped)
         self._pending = survivors
 
     def _apply_placements(self, t: int,
@@ -304,6 +316,7 @@ class OnlineEngine:
         request is admitted with :data:`CLOUD_LATENCY_MS` experienced
         latency and earns no reward.
         """
+        get_tracer().count("cloud_served")
         request.realize(self._rng)
         waiting = self.clock.waiting_ms(request.arrival_slot, t)
         latency = waiting + CLOUD_LATENCY_MS
@@ -373,6 +386,8 @@ class OnlineEngine:
     def _complete(self, t: int) -> None:
         """Release the capacity of streams that finished their volume."""
         done = [a for a in self._active.values() if a.remaining_mb <= 1e-9]
+        if done:
+            get_tracer().count("completions", len(done))
         for active in done:
             self.events.append(Event(
                 slot=t, kind=EventKind.COMPLETE,

@@ -10,7 +10,8 @@ mean series the figures plot (with standard deviations for error bars).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import (Any, Dict, Iterable, List, Mapping, Optional,
+                    Sequence, Tuple)
 
 import numpy as np
 
@@ -26,12 +27,17 @@ class RunRecord:
         x: value of the swept parameter.
         seed: replication seed.
         metrics: metric name -> value (e.g. ``total_reward``).
+        trace: telemetry events of the run (see
+            :mod:`repro.telemetry`) when it executed with tracing
+            enabled; None otherwise.  Excluded from determinism
+            comparisons except in canonical form.
     """
 
     algorithm: str
     x: float
     seed: int
     metrics: Mapping[str, float]
+    trace: Optional[Tuple[Dict[str, Any], ...]] = None
 
 
 class SweepResult:

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, Mapping
 
 from ..exceptions import SolverError
+from ..telemetry import get_tracer
 from .branch_and_bound import solve_with_branch_and_bound
 from .model import LinearProgram
 from .scipy_backend import solve_ilp_scipy, solve_lp_scipy
@@ -73,12 +74,13 @@ def solve_lp(lp: LinearProgram,
         InfeasibleProblemError / UnboundedProblemError: from the backend.
     """
     start = time.perf_counter()
-    if backend == "scipy":
-        objective, values = solve_lp_scipy(lp)
-    elif backend == "simplex":
-        objective, values = solve_with_simplex(lp)
-    else:
-        raise SolverError(f"unknown LP backend {backend!r}")
+    with get_tracer().span("lp_solve", backend=backend):
+        if backend == "scipy":
+            objective, values = solve_lp_scipy(lp)
+        elif backend == "simplex":
+            objective, values = solve_with_simplex(lp)
+        else:
+            raise SolverError(f"unknown LP backend {backend!r}")
     elapsed = time.perf_counter() - start
     return Solution(status=SolveStatus.OPTIMAL, objective=objective,
                     values=values, backend=backend, solve_time_s=elapsed)
@@ -100,19 +102,20 @@ def solve_ilp(lp: LinearProgram,
         InfeasibleProblemError: no integral feasible point.
     """
     start = time.perf_counter()
-    if backend == "scipy":
-        objective, values = solve_ilp_scipy(lp)
-    elif backend == "bnb":
-        def oracle(node_lp: LinearProgram):
-            if lp_backend == "scipy":
-                return solve_lp_scipy(node_lp)
-            if lp_backend == "simplex":
-                return solve_with_simplex(node_lp)
-            raise SolverError(f"unknown LP backend {lp_backend!r}")
+    with get_tracer().span("ilp_solve", backend=backend):
+        if backend == "scipy":
+            objective, values = solve_ilp_scipy(lp)
+        elif backend == "bnb":
+            def oracle(node_lp: LinearProgram):
+                if lp_backend == "scipy":
+                    return solve_lp_scipy(node_lp)
+                if lp_backend == "simplex":
+                    return solve_with_simplex(node_lp)
+                raise SolverError(f"unknown LP backend {lp_backend!r}")
 
-        objective, values = solve_with_branch_and_bound(lp, oracle)
-    else:
-        raise SolverError(f"unknown ILP backend {backend!r}")
+            objective, values = solve_with_branch_and_bound(lp, oracle)
+        else:
+            raise SolverError(f"unknown ILP backend {backend!r}")
     elapsed = time.perf_counter() - start
     return Solution(status=SolveStatus.OPTIMAL, objective=objective,
                     values=values, backend=backend, solve_time_s=elapsed)

@@ -1,0 +1,47 @@
+"""Structured observability: spans, counters, and trace export.
+
+The subsystem answers "where did the milliseconds go" for any run -
+an LP solve, an Appro rounding pass, a Heu migration, a DynamicRR
+bandit round, a simulated slot::
+
+    from repro.telemetry import Tracer, use_tracer, render_summary
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        run_offline(Appro(), instance, workload)
+    print(render_summary(tracer.events()))
+
+Instrumented code never imports a concrete tracer; it calls
+:func:`get_tracer` and records through whatever is current.  The
+default is :data:`NULL_TRACER`, whose operations are no-ops, so
+untraced runs pay nothing measurable.  Sweeps enable tracing per
+:class:`~repro.experiments.executor.RunSpec` (``--trace`` on the
+experiment CLIs); each worker traces its own runs and
+:func:`collect_sweep_trace` merges the fragments deterministically in
+canonical spec order.
+"""
+
+from .export import (WALL_CLOCK_FIELDS, canonical_events,
+                     collect_sweep_trace, read_jsonl, write_jsonl)
+from .summary import (SpanStats, TraceSummary, render_summary,
+                      summarize_events)
+from .tracer import (NULL_TRACER, NullTracer, Tracer, get_tracer,
+                     set_tracer, use_tracer)
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "SpanStats",
+    "TraceSummary",
+    "Tracer",
+    "WALL_CLOCK_FIELDS",
+    "canonical_events",
+    "collect_sweep_trace",
+    "get_tracer",
+    "read_jsonl",
+    "render_summary",
+    "set_tracer",
+    "summarize_events",
+    "use_tracer",
+    "write_jsonl",
+]

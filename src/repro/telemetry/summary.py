@@ -1,0 +1,183 @@
+"""Trace aggregation and the per-phase breakdown table.
+
+Answers "where did the milliseconds go": spans are aggregated by name
+(count, total / mean / p95 wall time, exclusive *self* time), counters
+and value series are totalled, and the result renders as a plain-text
+or Markdown table sorted by total time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+#: Annotation fields that distinguish runs inside a merged trace (see
+#: :func:`repro.telemetry.export.collect_sweep_trace`); parent links
+#: are only meaningful within one run.
+RUN_KEY_FIELDS = ("figure", "run")
+
+
+@dataclass
+class SpanStats:
+    """Aggregate statistics of one span name."""
+
+    name: str
+    count: int = 0
+    total_s: float = 0.0
+    self_s: float = 0.0
+    durations: List[float] = field(default_factory=list)
+
+    @property
+    def mean_s(self) -> float:
+        """Mean wall time per span (0 when never opened)."""
+        return self.total_s / self.count if self.count else 0.0
+
+    @property
+    def p95_s(self) -> float:
+        """95th-percentile wall time per span (0 when never opened)."""
+        if not self.durations:
+            return 0.0
+        return float(np.percentile(self.durations, 95))
+
+
+@dataclass
+class TraceSummary:
+    """The aggregated view of one (possibly merged) trace."""
+
+    spans: Dict[str, SpanStats]
+    counters: Dict[str, float]
+    values: Dict[str, List[float]]
+    #: Wall time of top-level (parentless) spans - the denominator of
+    #: the attribution percentages.
+    top_level_s: float
+
+    def attributed_fraction(self, total_s: Optional[float] = None
+                            ) -> float:
+        """Fraction of ``total_s`` covered by top-level spans.
+
+        With no ``total_s`` the fraction is 1.0 whenever any top-level
+        span exists (the trace covers itself).
+        """
+        if total_s is None or total_s <= 0:
+            return 1.0 if self.top_level_s > 0 else 0.0
+        return min(1.0, self.top_level_s / total_s)
+
+
+def _run_key(event: Dict[str, Any]) -> Tuple[Any, ...]:
+    return tuple(event.get(key) for key in RUN_KEY_FIELDS)
+
+
+def summarize_events(events: Iterable[Dict[str, Any]]) -> TraceSummary:
+    """Aggregate a trace event stream.
+
+    Span self time subtracts each span's *direct* children from its
+    duration, resolving parent links per run (merged traces reuse
+    ``seq`` across runs).  Counter and value events with the same name
+    are totalled / concatenated across runs.
+    """
+    spans: Dict[str, SpanStats] = {}
+    counters: Dict[str, float] = {}
+    values: Dict[str, List[float]] = {}
+    span_events: List[Dict[str, Any]] = []
+    for event in events:
+        kind = event.get("kind")
+        if kind == "span":
+            span_events.append(event)
+        elif kind == "counter":
+            name = event["name"]
+            counters[name] = counters.get(name, 0.0) + event["value"]
+        elif kind == "value":
+            values.setdefault(event["name"],
+                              []).extend(event["values"])
+
+    child_s: Dict[Tuple[Any, ...], float] = {}
+    for event in span_events:
+        if event.get("parent") is not None:
+            key = _run_key(event) + (event["parent"],)
+            child_s[key] = (child_s.get(key, 0.0)
+                            + event.get("duration_s", 0.0))
+
+    top_level_s = 0.0
+    for event in span_events:
+        stats = spans.setdefault(event["name"], SpanStats(event["name"]))
+        duration = event.get("duration_s", 0.0)
+        stats.count += 1
+        stats.total_s += duration
+        stats.durations.append(duration)
+        key = _run_key(event) + (event["seq"],)
+        stats.self_s += max(0.0, duration - child_s.get(key, 0.0))
+        if event.get("parent") is None:
+            top_level_s += duration
+    return TraceSummary(spans=spans, counters=counters, values=values,
+                        top_level_s=top_level_s)
+
+
+def _format_row(cells: List[str], widths: List[int],
+                markdown: bool) -> str:
+    if markdown:
+        return "| " + " | ".join(cells) + " |"
+    return "  ".join(cell.rjust(width) if i else cell.ljust(width)
+                     for i, (cell, width) in enumerate(zip(cells, widths)))
+
+
+def render_summary(events: Iterable[Dict[str, Any]],
+                   total_s: Optional[float] = None,
+                   markdown: bool = False) -> str:
+    """Render the per-phase breakdown of a trace.
+
+    Args:
+        events: a trace event stream (merged sweeps welcome).
+        total_s: run wall time the percentages are taken against; the
+            top-level span total when None.
+        markdown: emit a Markdown table instead of aligned text.
+
+    Returns:
+        A table of spans (count, total / mean / p95 / self wall time,
+        share of total) sorted by total time, followed by counters and
+        value series when present.
+    """
+    summary = summarize_events(events)
+    denominator = total_s if total_s and total_s > 0 \
+        else summary.top_level_s
+    header = ["span", "count", "total_ms", "mean_ms", "p95_ms",
+              "self_ms", "%"]
+    rows: List[List[str]] = []
+    ordered = sorted(summary.spans.values(),
+                     key=lambda s: (-s.total_s, s.name))
+    for stats in ordered:
+        share = (100.0 * stats.total_s / denominator
+                 if denominator > 0 else 0.0)
+        rows.append([stats.name, str(stats.count),
+                     f"{stats.total_s * 1e3:.2f}",
+                     f"{stats.mean_s * 1e3:.3f}",
+                     f"{stats.p95_s * 1e3:.3f}",
+                     f"{stats.self_s * 1e3:.2f}",
+                     f"{share:.1f}"])
+    widths = [max(len(header[i]), *(len(r[i]) for r in rows))
+              if rows else len(header[i]) for i in range(len(header))]
+    lines = [_format_row(header, widths, markdown)]
+    if markdown:
+        lines.append("|---" * len(header) + "|")
+    for row in rows:
+        lines.append(_format_row(row, widths, markdown))
+    if not rows:
+        lines.append("(no spans recorded)")
+
+    if summary.counters:
+        lines.append("")
+        lines.append("counters:" if not markdown else "**Counters**")
+        for name in sorted(summary.counters):
+            value = summary.counters[name]
+            text = f"{name} = {value:g}"
+            lines.append(f"- {text}" if markdown else f"  {text}")
+    if summary.values:
+        lines.append("")
+        lines.append("values:" if not markdown else "**Values**")
+        for name in sorted(summary.values):
+            data = np.asarray(summary.values[name], dtype=float)
+            text = (f"{name}: n={data.size} mean={data.mean():g} "
+                    f"min={data.min():g} max={data.max():g}")
+            lines.append(f"- {text}" if markdown else f"  {text}")
+    return "\n".join(lines)

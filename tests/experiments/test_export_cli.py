@@ -83,7 +83,7 @@ class TestCli:
         """Smoke-run the CLI on figure 3 with a stubbed tiny driver."""
         import repro.experiments.__main__ as cli
 
-        def tiny_driver(scale, workers=1):
+        def tiny_driver(scale, workers=1, trace=False):
             sweep = SweepResult("num_requests")
             sweep.add(RunRecord("Appro", 10, 0,
                                 {"total_reward": 1.0,
@@ -104,7 +104,7 @@ class TestCli:
 
         seen = {}
 
-        def tiny_driver(scale, workers=1):
+        def tiny_driver(scale, workers=1, trace=False):
             seen["workers"] = workers
             sweep = SweepResult("num_requests")
             sweep.add(RunRecord("Appro", 10, 0, {"total_reward": 1.0}))
@@ -123,7 +123,7 @@ class TestCliPlot:
         import repro.experiments.__main__ as cli
         from repro.sim.results import RunRecord, SweepResult
 
-        def tiny_driver(scale, workers=1):
+        def tiny_driver(scale, workers=1, trace=False):
             sweep = SweepResult("num_requests")
             for x in (10, 20):
                 sweep.add(RunRecord("Appro", x, 0,

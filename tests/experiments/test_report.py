@@ -37,7 +37,7 @@ class TestMarkdownRendering:
 
 class TestBuildReport:
     def test_stubbed_full_report(self):
-        def tiny_driver(scale, workers=1):
+        def tiny_driver(scale, workers=1, trace=False):
             return make_sweep()
 
         text = build_report(
@@ -53,7 +53,7 @@ class TestBuildReport:
     def test_workers_threaded_and_speedup_measured(self):
         calls = []
 
-        def tiny_driver(scale, workers=1):
+        def tiny_driver(scale, workers=1, trace=False):
             calls.append(workers)
             return make_sweep()
 
@@ -70,7 +70,7 @@ class TestBuildReport:
     def test_no_speedup_pass_by_default(self):
         calls = []
 
-        def tiny_driver(scale, workers=1):
+        def tiny_driver(scale, workers=1, trace=False):
             calls.append(workers)
             return make_sweep()
 
@@ -81,7 +81,7 @@ class TestBuildReport:
     def test_cli_writes_file(self, tmp_path, monkeypatch, capsys):
         import repro.experiments.report as report_mod
 
-        def tiny_driver(scale, workers=1):
+        def tiny_driver(scale, workers=1, trace=False):
             return make_sweep()
 
         monkeypatch.setattr(
@@ -96,7 +96,7 @@ class TestBuildReport:
     def test_cli_stdout(self, monkeypatch, capsys):
         import repro.experiments.report as report_mod
 
-        def tiny_driver(scale, workers=1):
+        def tiny_driver(scale, workers=1, trace=False):
             return make_sweep()
 
         monkeypatch.setattr(

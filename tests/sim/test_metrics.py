@@ -6,7 +6,7 @@ import pytest
 
 from repro.exceptions import ConfigurationError
 from repro.sim.metrics import (LatencyMeter, RewardMeter, RuntimeMeter,
-                               summarize)
+                               jains_fairness_index, summarize)
 
 
 class TestRewardMeter:
@@ -24,6 +24,8 @@ class TestRewardMeter:
         meter = RewardMeter()
         assert meter.total == 0.0
         assert meter.mean() == 0.0
+        assert meter.num_requests == 0
+        assert meter.num_rewarded == 0
 
     def test_negative_rejected(self):
         with pytest.raises(ConfigurationError):
@@ -51,6 +53,20 @@ class TestLatencyMeter:
             LatencyMeter().record(-1.0, 100.0)
         with pytest.raises(ConfigurationError):
             LatencyMeter().percentile_ms(101)
+        with pytest.raises(ConfigurationError):
+            LatencyMeter().percentile_ms(-0.5)
+
+    def test_percentile_extremes(self):
+        meter = LatencyMeter()
+        for value in (10.0, 20.0, 30.0, 40.0):
+            meter.record(value, deadline_ms=25.0)
+        assert meter.percentile_ms(0) == pytest.approx(10.0)
+        assert meter.percentile_ms(100) == pytest.approx(40.0)
+
+    def test_exact_deadline_counts_as_hit(self):
+        meter = LatencyMeter()
+        meter.record(25.0, deadline_ms=25.0)
+        assert meter.deadline_hit_rate() == pytest.approx(1.0)
 
 
 class TestRuntimeMeter:
@@ -67,6 +83,38 @@ class TestRuntimeMeter:
         assert meter.total_s == pytest.approx(2.0)
         with pytest.raises(ConfigurationError):
             meter.add(-1.0)
+
+    def test_exit_without_enter_raises(self):
+        meter = RuntimeMeter()
+        with pytest.raises(ConfigurationError):
+            meter.__exit__(None, None, None)
+        # And the meter stays usable afterwards.
+        meter.add(0.25)
+        assert meter.total_s == pytest.approx(0.25)
+
+
+class TestJainsFairnessIndex:
+    def test_equal_values_are_perfectly_fair(self):
+        assert jains_fairness_index([7.0, 7.0, 7.0]) == pytest.approx(1.0)
+
+    def test_all_zero_is_perfectly_fair(self):
+        assert jains_fairness_index([0.0, 0.0, 0.0]) == 1.0
+
+    def test_empty_is_perfectly_fair(self):
+        assert jains_fairness_index([]) == 1.0
+
+    def test_exact_value_without_epsilon_shift(self):
+        # (1+0)^2 / (2 * (1+0)) = 0.5 exactly; an epsilon shift would
+        # nudge this off.
+        assert jains_fairness_index([1.0, 0.0]) == 0.5
+
+    def test_maximally_unfair_approaches_one_over_n(self):
+        assert jains_fairness_index([0.0, 0.0, 0.0, 1000.0]) == (
+            pytest.approx(0.25))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            jains_fairness_index([1.0, -2.0])
 
 
 class TestSummarize:

@@ -1,0 +1,112 @@
+"""Tests for trace aggregation and the breakdown renderer."""
+
+import pytest
+
+from repro.telemetry import Tracer, render_summary, summarize_events
+from repro.telemetry.export import collect_sweep_trace
+from repro.sim.results import RunRecord
+
+
+class StepClock:
+    """Returns preprogrammed instants, then keeps stepping by 1."""
+
+    def __init__(self, *instants):
+        self._instants = list(instants)
+
+    def __call__(self):
+        if self._instants:
+            return self._instants.pop(0)
+        return 0.0
+
+
+def nested_trace():
+    # outer: 0 -> 10 (duration 10); inner: 2 -> 5 (duration 3).
+    tracer = Tracer(clock=StepClock(0.0, 2.0, 5.0, 10.0))
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            pass
+    tracer.count("drops", 4)
+    tracer.observe("threshold_mhz", 500.0)
+    tracer.observe("threshold_mhz", 700.0)
+    return tracer.events()
+
+
+class TestSummarizeEvents:
+    def test_span_stats(self):
+        summary = summarize_events(nested_trace())
+        outer = summary.spans["outer"]
+        inner = summary.spans["inner"]
+        assert outer.count == 1
+        assert outer.total_s == pytest.approx(10.0)
+        assert outer.mean_s == pytest.approx(10.0)
+        assert inner.total_s == pytest.approx(3.0)
+
+    def test_self_time_subtracts_direct_children(self):
+        summary = summarize_events(nested_trace())
+        assert summary.spans["outer"].self_s == pytest.approx(7.0)
+        assert summary.spans["inner"].self_s == pytest.approx(3.0)
+
+    def test_top_level_total_counts_only_parentless_spans(self):
+        summary = summarize_events(nested_trace())
+        assert summary.top_level_s == pytest.approx(10.0)
+
+    def test_counters_and_values_totalled(self):
+        summary = summarize_events(nested_trace() + nested_trace())
+        assert summary.counters["drops"] == pytest.approx(8.0)
+        assert summary.values["threshold_mhz"] == [500.0, 700.0,
+                                                   500.0, 700.0]
+
+    def test_p95(self):
+        tracer = Tracer(clock=StepClock(*[float(i) for i in
+                                          range(0, 2 * 100, 1)]))
+        # 100 spans of duration 1.0 each.
+        for _ in range(100):
+            with tracer.span("s"):
+                pass
+        summary = summarize_events(tracer.events())
+        assert summary.spans["s"].p95_s == pytest.approx(1.0)
+
+    def test_merged_runs_do_not_cross_link_parents(self):
+        records = [RunRecord("A", 1.0, 0, {}, trace=tuple(nested_trace())),
+                   RunRecord("B", 1.0, 0, {}, trace=tuple(nested_trace()))]
+        merged = collect_sweep_trace(records)
+        summary = summarize_events(merged)
+        # Two runs: outer self time doubles, not corrupted by reused
+        # seq numbers across runs.
+        assert summary.spans["outer"].self_s == pytest.approx(14.0)
+        assert summary.top_level_s == pytest.approx(20.0)
+
+    def test_attributed_fraction(self):
+        summary = summarize_events(nested_trace())
+        assert summary.attributed_fraction(10.0) == pytest.approx(1.0)
+        assert summary.attributed_fraction(20.0) == pytest.approx(0.5)
+        assert summary.attributed_fraction(None) == 1.0
+        assert summarize_events([]).attributed_fraction(None) == 0.0
+
+
+class TestRenderSummary:
+    def test_text_table_contains_spans_sorted_by_total(self):
+        text = render_summary(nested_trace())
+        lines = text.splitlines()
+        assert "span" in lines[0]
+        outer_at = next(i for i, line in enumerate(lines)
+                        if line.startswith("outer"))
+        inner_at = next(i for i, line in enumerate(lines)
+                        if line.startswith("inner"))
+        assert outer_at < inner_at
+        assert "drops = 4" in text
+        assert "threshold_mhz" in text
+
+    def test_markdown_table(self):
+        text = render_summary(nested_trace(), markdown=True)
+        assert text.splitlines()[0].startswith("| span |")
+        assert "|---" in text.splitlines()[1]
+
+    def test_total_override_changes_share(self):
+        text = render_summary(nested_trace(), total_s=20.0)
+        outer_row = next(line for line in text.splitlines()
+                         if line.startswith("outer"))
+        assert outer_row.rstrip().endswith("50.0")
+
+    def test_empty_trace(self):
+        assert "(no spans recorded)" in render_summary([])
