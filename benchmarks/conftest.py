@@ -24,6 +24,28 @@ def bench_workers() -> int:
     return int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 
 
+def record_bench(name, sweeps, phases=None, extra=None):
+    """Append a run manifest to the ledger named by the environment.
+
+    Set ``REPRO_BENCH_LEDGER=path/to/ledger.jsonl`` to make every
+    figure bench append its provenance manifest (config hash, seeds,
+    git rev, per-phase wall-clock, peak RSS, headline metrics) as it
+    runs; diff two such ledgers with ``python -m repro.experiments
+    bench-diff``.  A no-op when the variable is unset, so plain
+    benchmark runs stay side-effect free.
+    """
+    path = os.environ.get("REPRO_BENCH_LEDGER")
+    if not path:
+        return None
+    from repro.telemetry import append_ledger, manifest_from_sweeps
+
+    manifest = manifest_from_sweeps(
+        name, sweeps, workers=bench_workers(), phases=phases,
+        extra=extra or {"suite": "benchmarks"})
+    append_ledger(path, manifest)
+    return manifest
+
+
 def reward_series(sweep, algorithm):
     """Mean total-reward series of one algorithm."""
     _xs, means, _stds = sweep.series(algorithm, "total_reward")

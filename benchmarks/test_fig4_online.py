@@ -12,9 +12,12 @@ Paper shapes asserted here:
 * Rewards grow with |R| then flatten (capacity saturation).
 """
 
+import time
+
 import pytest
 
-from conftest import bench_workers, latency_series, reward_series, series_sum
+from conftest import (bench_workers, latency_series, record_bench,
+                      reward_series, series_sum)
 from repro.experiments import bench_scale, figure4, render_figure
 
 _CACHE = {}
@@ -22,8 +25,11 @@ _CACHE = {}
 
 def run_figure4():
     if "sweep" not in _CACHE:
+        started = time.perf_counter()
         _CACHE["sweep"] = figure4(bench_scale(),
                                   workers=bench_workers())
+        record_bench("bench-fig4", {"fig4": _CACHE["sweep"]},
+                     phases={"fig4": time.perf_counter() - started})
     return _CACHE["sweep"]
 
 

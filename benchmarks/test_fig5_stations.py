@@ -11,9 +11,12 @@ Paper shapes asserted here:
   available).
 """
 
+import time
+
 import pytest
 
-from conftest import bench_workers, latency_series, reward_series, series_sum
+from conftest import (bench_workers, latency_series, record_bench,
+                      reward_series, series_sum)
 from repro.experiments import bench_scale, figure5, render_figure
 
 _CACHE = {}
@@ -21,8 +24,11 @@ _CACHE = {}
 
 def run_figure5():
     if "sweep" not in _CACHE:
+        started = time.perf_counter()
         _CACHE["sweep"] = figure5(bench_scale(),
                                   workers=bench_workers())
+        record_bench("bench-fig5", {"fig5": _CACHE["sweep"]},
+                     phases={"fig5": time.perf_counter() - started})
     return _CACHE["sweep"]
 
 

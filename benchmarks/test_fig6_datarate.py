@@ -9,9 +9,12 @@ Paper shapes asserted here:
   request, heavier congestion).
 """
 
+import time
+
 import pytest
 
-from conftest import bench_workers, latency_series, reward_series, series_sum
+from conftest import (bench_workers, latency_series, record_bench,
+                      reward_series, series_sum)
 from repro.experiments import bench_scale, figure6, render_figure
 
 _CACHE = {}
@@ -19,8 +22,11 @@ _CACHE = {}
 
 def run_figure6():
     if "sweep" not in _CACHE:
+        started = time.perf_counter()
         _CACHE["sweep"] = figure6(bench_scale(),
                                   workers=bench_workers())
+        record_bench("bench-fig6", {"fig6": _CACHE["sweep"]},
+                     phases={"fig6": time.perf_counter() - started})
     return _CACHE["sweep"]
 
 

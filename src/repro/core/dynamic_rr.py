@@ -81,6 +81,7 @@ class DynamicRR:
         self._reward_scale = 1.0
         self._selected_this_slot = False
         self._last_arm_value: Optional[float] = None
+        self._cumulative_reward = 0.0
         #: Regret accounting of the latest run (for the Theorem 3 bench).
         self.tracker = RegretTracker()
 
@@ -107,6 +108,7 @@ class DynamicRR:
             explore_fraction=0.2,
             confidence_scale=self.config.confidence_scale)
         self.tracker = RegretTracker()
+        self._cumulative_reward = 0.0
         self._reward_scale = self._estimate_reward_scale(engine)
 
     def schedule(self, slot: int,
@@ -169,13 +171,33 @@ class DynamicRR:
         return placements
 
     def observe(self, slot: int, slot_reward: float) -> None:
-        """Feed the slot's settled reward back to the bandit."""
+        """Feed the slot's settled reward back to the bandit.
+
+        Also records the learning trajectory through the tracer (all
+        run-deterministic, so traces stay canonical): the cumulative
+        settled reward after this round and how many arms survive
+        elimination - together with the per-round ``threshold_mhz``
+        observed in :meth:`schedule`, this makes the Theorem 3 learning
+        curve directly inspectable from any traced sweep.
+        """
         if not self._selected_this_slot or self._bandit is None:
             return
         normalized = min(1.0, max(0.0, slot_reward / self._reward_scale))
         self._bandit.record(normalized)
         arm = self._bandit.grid.nearest_arm(self._last_arm_value)
         self.tracker.record(arm, normalized)
+        self._cumulative_reward += slot_reward
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.observe("bandit_cumulative_reward",
+                           self._cumulative_reward)
+            # Every shipped policy exposes active_arms(); a custom one
+            # without it simply skips the surviving-arm series.
+            active_arms = getattr(self._bandit.policy, "active_arms",
+                                  None)
+            if active_arms is not None:
+                tracer.observe("surviving_arms",
+                               float(len(active_arms())))
 
     # ------------------------------------------------------------------
     # Internals

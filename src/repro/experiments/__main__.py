@@ -15,16 +15,32 @@ and ``--trace-summary`` prints the aggregated per-phase breakdown -
 where the milliseconds went, span by span::
 
     python -m repro.experiments --figures 3 --trace fig3.jsonl --trace-summary
+
+Observability across runs: ``--progress`` adds a live stderr heartbeat
+(completed/total specs, throughput, ETA) while sweeps execute;
+``--ledger PATH`` appends a :class:`~repro.telemetry.RunManifest`
+(config hash, git rev, seeds, peak RSS, per-figure wall-clock,
+headline metrics per algorithm) to a JSONL ledger and ``--bench-out
+PATH`` exports it as a ``BENCH_<name>.json`` snapshot.  The
+``bench-diff`` subcommand compares two such files and exits non-zero
+on regression::
+
+    python -m repro.experiments --figures 3 --bench-out BENCH_new.json
+    python -m repro.experiments bench-diff BENCH_old.json BENCH_new.json --tol 0.05
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Dict, List
+import time
+from typing import Dict, List, Optional
 
-from ..telemetry import collect_sweep_trace, render_summary, write_jsonl
-from .executor import workers_type
+from ..telemetry import (ProgressReporter, collect_sweep_trace,
+                         manifest_from_sweeps, render_summary,
+                         write_jsonl)
+from ..telemetry.ledger import append_ledger, write_bench
+from .executor import resolve_workers, workers_type
 from .export import export_figure
 from .figures import figure3, figure4, figure5, figure6
 from .reporting import render_ascii_plot, render_figure
@@ -42,7 +58,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's figures (ICDCS 2021 MEC/AR "
-                    "offloading reproduction).")
+                    "offloading reproduction).  The bench-diff "
+                    "subcommand (python -m repro.experiments "
+                    "bench-diff OLD NEW) compares two run ledgers.")
     parser.add_argument("--figures", nargs="+", default=["all"],
                         choices=["3", "4", "5", "6", "all"],
                         help="which figures to run (default: all)")
@@ -64,19 +82,48 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--trace-summary", action="store_true",
                         help="print the aggregated span breakdown "
                              "(implies tracing)")
+    parser.add_argument("--progress", action="store_true",
+                        help="live stderr heartbeat while sweeps run "
+                             "(completed/total specs, throughput, ETA; "
+                             "records are unchanged)")
+    parser.add_argument("--ledger", default=None, metavar="PATH",
+                        help="append a RunManifest for this invocation "
+                             "to a JSONL run ledger")
+    parser.add_argument("--bench-out", default=None, metavar="PATH",
+                        help="export the RunManifest as a "
+                             "BENCH_<name>.json snapshot")
+    parser.add_argument("--bench-name", default=None, metavar="NAME",
+                        help="manifest name (default: "
+                             "figures-<ids>-<scale>)")
     return parser
 
 
-def main(argv: List[str] = None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "bench-diff":
+        from ..telemetry.regression import main as bench_diff_main
+        return bench_diff_main(argv[1:])
     args = build_parser().parse_args(argv)
     wanted = list(_FIGURES) if "all" in args.figures else args.figures
     scale = paper_scale() if args.scale == "paper" else bench_scale()
     tracing = bool(args.trace or args.trace_summary)
     trace_events: List[Dict] = []
+    reporter = ProgressReporter() if args.progress else None
+    sweeps: Dict[str, object] = {}
+    phases: Dict[str, float] = {}
 
     for fig_id in wanted:
         driver, panels = _FIGURES[fig_id]
-        sweep = driver(scale, workers=args.workers, trace=tracing)
+        driver_kwargs = {"workers": args.workers, "trace": tracing}
+        if reporter is not None:
+            # Only passed when live: stubbed/third-party drivers
+            # without the knob keep working unless it is asked for.
+            reporter.set_phase(f"fig{fig_id}")
+            driver_kwargs["progress"] = reporter
+        started = time.perf_counter()
+        sweep = driver(scale, **driver_kwargs)
+        phases[f"fig{fig_id}"] = time.perf_counter() - started
+        sweeps[f"fig{fig_id}"] = sweep
         if tracing:
             for event in collect_sweep_trace(sweep.records):
                 event["figure"] = fig_id
@@ -94,6 +141,22 @@ def main(argv: List[str] = None) -> int:
             for path in paths:
                 print(f"  wrote {path}")
             print()
+
+    if args.ledger or args.bench_out:
+        name = args.bench_name or (
+            f"figures-{'-'.join(wanted)}-{args.scale}")
+        manifest = manifest_from_sweeps(
+            name, sweeps,
+            config={"scale": scale, "figures": wanted},
+            workers=resolve_workers(args.workers),
+            phases=phases,
+            extra={"scale": args.scale, "figures": wanted})
+        if args.ledger:
+            path = append_ledger(args.ledger, manifest)
+            print(f"appended manifest {name!r} to {path}")
+        if args.bench_out:
+            path = write_bench(args.bench_out, manifest)
+            print(f"wrote manifest {name!r} to {path}")
 
     if args.trace:
         path = write_jsonl(args.trace, trace_events)

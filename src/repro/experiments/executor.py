@@ -28,9 +28,9 @@ from __future__ import annotations
 import dataclasses
 import inspect
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..config import SimulationConfig
 from ..core.instance import ProblemInstance
@@ -39,7 +39,11 @@ from ..rng import RngForks
 from ..sim.engine import run_offline
 from ..sim.online_engine import OnlineEngine
 from ..sim.results import RunRecord, SweepResult
-from ..telemetry import Tracer, use_tracer
+from ..telemetry import ProgressReporter, Tracer, use_tracer
+
+#: ``progress`` knob: off, on (executor builds a stderr reporter), or
+#: a caller-configured reporter.
+ProgressKnob = Union[bool, ProgressReporter, None]
 
 #: ``RunSpec.mode`` for batch (Figs. 3/5) runs.
 OFFLINE = "offline"
@@ -166,6 +170,11 @@ def _execute_untraced(spec: RunSpec) -> RunRecord:
                      seed=spec.seed, metrics=run_metrics(result))
 
 
+def _execute_chunk(specs: Sequence[RunSpec]) -> List[RunRecord]:
+    """Execute one dispatched chunk in a worker (picklable target)."""
+    return [execute_run(spec) for spec in specs]
+
+
 def workers_type(value: str) -> int:
     """argparse type for a ``--workers`` option: non-negative int."""
     import argparse
@@ -204,9 +213,20 @@ class SerialBackend:
 
     name = "serial"
 
-    def map(self, specs: Sequence[RunSpec]) -> List[RunRecord]:
-        """Execute all specs, preserving order."""
-        return [execute_run(spec) for spec in specs]
+    def map(self, specs: Sequence[RunSpec],
+            progress: Optional[ProgressReporter] = None
+            ) -> List[RunRecord]:
+        """Execute all specs, preserving order.
+
+        ``progress`` (when given) is advanced once per completed spec;
+        it observes execution and cannot affect any record.
+        """
+        records: List[RunRecord] = []
+        for spec in specs:
+            records.append(execute_run(spec))
+            if progress is not None:
+                progress.advance(1)
+        return records
 
 
 class ProcessBackend:
@@ -231,29 +251,82 @@ class ProcessBackend:
         self.workers = workers
         self.chunksize = chunksize
 
-    def map(self, specs: Sequence[RunSpec]) -> List[RunRecord]:
-        """Execute all specs on the pool, preserving spec order."""
+    def map(self, specs: Sequence[RunSpec],
+            progress: Optional[ProgressReporter] = None
+            ) -> List[RunRecord]:
+        """Execute all specs on the pool, preserving spec order.
+
+        Without ``progress`` the specs stream through ``pool.map``
+        with chunked dispatch.  With ``progress`` the same chunks are
+        submitted as futures so the reporter advances as each chunk
+        *completes* (completion order is nondeterministic; the results
+        are still assembled in canonical spec order, so records are
+        identical either way - every run is self-contained).
+        """
         if not specs:
             return []
         chunk = self.chunksize or default_chunksize(len(specs),
                                                     self.workers)
+        if progress is None:
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                return list(pool.map(execute_run, specs,
+                                     chunksize=chunk))
+        chunks = [list(specs[i:i + chunk])
+                  for i in range(0, len(specs), chunk)]
+        results: List[Optional[List[RunRecord]]] = [None] * len(chunks)
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            return list(pool.map(execute_run, specs, chunksize=chunk))
+            futures = {pool.submit(_execute_chunk, part): index
+                       for index, part in enumerate(chunks)}
+            for future in as_completed(futures):
+                index = futures[future]
+                results[index] = future.result()
+                progress.advance(len(chunks[index]))
+        return [record for part in results for record in part]
+
+
+def validate_chunksize(chunksize: Optional[int]) -> Optional[int]:
+    """Reject non-positive chunk sizes up front.
+
+    ``ProcessPoolExecutor.map`` raises a bare ``ValueError`` deep
+    inside dispatch for ``chunksize < 1``; validating at construction
+    turns the mistake into a :class:`ConfigurationError` on every
+    path - including serial ones that would silently ignore the knob.
+    """
+    if chunksize is not None and chunksize < 1:
+        raise ConfigurationError(
+            f"chunksize must be >= 1, got {chunksize}")
+    return chunksize
 
 
 def make_backend(workers: Optional[int] = 1,
                  chunksize: Optional[int] = None):
     """Pick the backend matching a resolved worker count."""
+    validate_chunksize(chunksize)
     resolved = resolve_workers(workers)
     if resolved <= 1:
         return SerialBackend()
     return ProcessBackend(resolved, chunksize=chunksize)
 
 
+def resolve_progress(progress: ProgressKnob) -> Optional[ProgressReporter]:
+    """Normalize the ``progress`` knob to a reporter or None.
+
+    ``True`` builds a default stderr reporter; a
+    :class:`~repro.telemetry.ProgressReporter` instance passes
+    through; falsy values disable progress.
+    """
+    if isinstance(progress, ProgressReporter):
+        return progress
+    if progress:
+        return ProgressReporter()
+    return None
+
+
 def execute_specs(specs: Sequence[RunSpec],
                   workers: Optional[int] = 1,
                   chunksize: Optional[int] = None,
-                  trace: bool = False) -> List[RunRecord]:
+                  trace: bool = False,
+                  progress: ProgressKnob = None) -> List[RunRecord]:
     """Execute a spec list and return records in canonical spec order.
 
     Args:
@@ -263,21 +336,35 @@ def execute_specs(specs: Sequence[RunSpec],
         trace: force tracing on for every spec; each run (wherever it
             executes) records its own trace, carried home on its
             record in canonical spec order.
+        progress: live heartbeat - ``True`` for the default stderr
+            reporter or a pre-configured
+            :class:`~repro.telemetry.ProgressReporter`.  Observation
+            only: records are byte-identical with progress on or off.
     """
+    validate_chunksize(chunksize)
     if trace:
         specs = [dataclasses.replace(spec, trace=True)
                  for spec in specs]
     for spec in specs:
         spec.validate()
-    return make_backend(workers, chunksize).map(specs)
+    reporter = resolve_progress(progress)
+    if reporter is not None:
+        reporter.start(len(specs))
+    records = make_backend(workers, chunksize).map(specs,
+                                                   progress=reporter)
+    if reporter is not None:
+        reporter.finish()
+    return records
 
 
 def execute_sweep(specs: Sequence[RunSpec], x_label: str,
                   workers: Optional[int] = 1,
                   chunksize: Optional[int] = None,
-                  trace: bool = False) -> SweepResult:
+                  trace: bool = False,
+                  progress: ProgressKnob = None) -> SweepResult:
     """Execute a spec list and bundle the records into a sweep."""
     sweep = SweepResult(x_label)
     sweep.extend(execute_specs(specs, workers=workers,
-                               chunksize=chunksize, trace=trace))
+                               chunksize=chunksize, trace=trace,
+                               progress=progress))
     return sweep

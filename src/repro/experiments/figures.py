@@ -13,7 +13,9 @@ serial run (``workers=0`` means one worker per CPU).  They also accept
 ``trace``: when True every run records a :mod:`repro.telemetry` trace
 that comes back on its :class:`~repro.sim.results.RunRecord` (merge
 with :func:`repro.telemetry.collect_sweep_trace`); metrics are
-identical with tracing on or off.
+identical with tracing on or off.  ``progress`` (True or a
+:class:`~repro.telemetry.ProgressReporter`) adds a live stderr
+heartbeat while the sweep runs - observation only, records unchanged.
 """
 
 from __future__ import annotations
@@ -26,6 +28,7 @@ from ..core.appro import Appro
 from ..core.dynamic_rr import DynamicRR
 from ..core.heu import Heu
 from ..sim.results import SweepResult
+from .executor import ProgressKnob
 from .runner import run_offline_sweep, run_online_sweep
 from .settings import (ExperimentScale, base_config, bench_scale,
                        config_with_max_rate, config_with_stations)
@@ -39,7 +42,8 @@ ONLINE_POLICIES = (DynamicRR, GreedyOnline, OcorpOnline, HeuKktOnline)
 
 def figure3(scale: Optional[ExperimentScale] = None,
             workers: Optional[int] = 1,
-            trace: bool = False) -> SweepResult:
+            trace: bool = False,
+            progress: ProgressKnob = None) -> SweepResult:
     """Fig. 3: offline algorithms vs number of requests.
 
     Series: total reward (a), average latency (b), running time (c),
@@ -56,12 +60,14 @@ def figure3(scale: Optional[ExperimentScale] = None,
         x_label="num_requests",
         workers=workers,
         trace=trace,
+        progress=progress,
     )
 
 
 def figure4(scale: Optional[ExperimentScale] = None,
             workers: Optional[int] = 1,
-            trace: bool = False) -> SweepResult:
+            trace: bool = False,
+            progress: ProgressKnob = None) -> SweepResult:
     """Fig. 4: online algorithms vs number of requests.
 
     Series: total reward (a) and average latency (b) for DynamicRR,
@@ -78,13 +84,15 @@ def figure4(scale: Optional[ExperimentScale] = None,
         x_label="num_requests",
         workers=workers,
         trace=trace,
+        progress=progress,
     )
 
 
 def figure5(scale: Optional[ExperimentScale] = None,
             include_online: bool = True,
             workers: Optional[int] = 1,
-            trace: bool = False) -> SweepResult:
+            trace: bool = False,
+            progress: ProgressKnob = None) -> SweepResult:
     """Fig. 5: all algorithms vs number of base stations.
 
     The paper plots Appro, Heu, DynamicRR, Greedy, OCORP and HeuKKT
@@ -102,6 +110,7 @@ def figure5(scale: Optional[ExperimentScale] = None,
         x_label="num_stations",
         workers=workers,
         trace=trace,
+        progress=progress,
     )
     if include_online:
         online = run_online_sweep(
@@ -114,6 +123,7 @@ def figure5(scale: Optional[ExperimentScale] = None,
             x_label="num_stations",
             workers=workers,
             trace=trace,
+            progress=progress,
         )
         sweep.extend(online.records)
     return sweep
@@ -121,7 +131,8 @@ def figure5(scale: Optional[ExperimentScale] = None,
 
 def figure6(scale: Optional[ExperimentScale] = None,
             workers: Optional[int] = 1,
-            trace: bool = False) -> SweepResult:
+            trace: bool = False,
+            progress: ProgressKnob = None) -> SweepResult:
     """Fig. 6: online algorithms vs the maximum data rate of a request.
 
     The max rate sweeps 15..35 MB/s (support minimum scales along);
@@ -138,4 +149,5 @@ def figure6(scale: Optional[ExperimentScale] = None,
         x_label="max_rate_mbps",
         workers=workers,
         trace=trace,
+        progress=progress,
     )

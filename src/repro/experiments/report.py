@@ -24,8 +24,12 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..sim.results import SweepResult
-from ..telemetry import collect_sweep_trace, render_summary, write_jsonl
-from .executor import workers_type
+from ..telemetry import (ProgressReporter, collect_sweep_trace,
+                         manifest_from_sweeps, render_summary,
+                         write_jsonl)
+from ..telemetry.ledger import append_ledger, write_bench
+from .executor import ProgressKnob, resolve_progress, resolve_workers, \
+    workers_type
 from .ablations import (approximation_ratio_study, clairvoyant_study,
                         system_regret_study)
 from .figures import figure3, figure4, figure5, figure6
@@ -97,6 +101,70 @@ def theorem_checks_markdown(fast: bool = True) -> str:
     return "\n".join(lines)
 
 
+#: Tracer value series that make up the bandit learning trajectory.
+_BANDIT_SERIES = ("threshold_mhz", "surviving_arms",
+                  "bandit_cumulative_reward")
+
+
+def bandit_diagnostics_markdown(events: Sequence[Dict],
+                                max_rows: int = 10) -> Optional[str]:
+    """Render the DynamicRR learning trajectory from a merged trace.
+
+    Scans the trace for the per-round value series DynamicRR records
+    (threshold choice, surviving-arm count, cumulative settled reward)
+    and renders the first traced run as a round-by-round table - the
+    Theorem 3 regret curve made inspectable.  Returns None when no run
+    recorded a bandit trajectory (e.g. an offline-only report).
+    """
+    runs: Dict[Tuple, Dict[str, List[float]]] = {}
+    for event in events:
+        if event.get("kind") != "value" \
+                or event.get("name") not in _BANDIT_SERIES:
+            continue
+        key = (str(event.get("figure")), event.get("run"),
+               event.get("algorithm"), event.get("x"),
+               event.get("seed"))
+        runs.setdefault(key, {})[event["name"]] = list(event["values"])
+    complete = {key: series for key, series in runs.items()
+                if "threshold_mhz" in series
+                and "bandit_cumulative_reward" in series}
+    if not complete:
+        return None
+    first_key = sorted(complete)[0]
+    series = complete[first_key]
+    figure, _run, algorithm, x, seed = first_key
+    thresholds = series["threshold_mhz"]
+    cumulative = series["bandit_cumulative_reward"]
+    surviving = series.get("surviving_arms", [])
+    rounds = min(len(thresholds), len(cumulative))
+    step = max(1, -(-rounds // max_rows))  # ceil division
+    indices = list(range(0, rounds, step))
+    if indices and indices[-1] != rounds - 1:
+        indices.append(rounds - 1)
+    lines = [
+        "## Bandit diagnostics (DynamicRR)",
+        "",
+        f"Traced learning runs: {len(complete)}.  Trajectory below: "
+        f"figure {figure}, {algorithm}, x={x:g}, seed={seed} "
+        f"({rounds} bandit rounds).",
+        "",
+        "| round | threshold (MHz) | surviving arms | "
+        "cumulative reward |",
+        "|---|---|---|---|",
+    ]
+    for i in indices:
+        arms = f"{surviving[i]:.0f}" if i < len(surviving) else "-"
+        lines.append(f"| {i + 1} | {thresholds[i]:.0f} | {arms} | "
+                     f"{cumulative[i]:.1f} |")
+    if surviving:
+        lines.append("")
+        lines.append(
+            f"Final surviving arms: {surviving[-1]:.0f}; the "
+            f"threshold trajectory converging while arms die off is "
+            f"Theorem 3's sublinear regret at work.")
+    return "\n".join(lines)
+
+
 def timing_markdown(timings: Sequence[Tuple[str, float, float]],
                     workers: int) -> str:
     """Render per-figure wall-clock (and speedup when measured).
@@ -131,7 +199,9 @@ def build_report(scale: Optional[ExperimentScale] = None,
                  workers: int = 1,
                  measure_speedup: bool = False,
                  trace: bool = False,
-                 trace_sink: Optional[List[Dict]] = None) -> str:
+                 trace_sink: Optional[List[Dict]] = None,
+                 progress: ProgressKnob = None,
+                 manifest_sink: Optional[List] = None) -> str:
     """Run the sweeps and return the full Markdown report.
 
     Args:
@@ -145,11 +215,18 @@ def build_report(scale: Optional[ExperimentScale] = None,
             sweep serially and report the wall-clock speedup (doubles
             the runtime; results stay identical by construction).
         trace: run every sweep with :mod:`repro.telemetry` tracing and
-            append a "Telemetry" section breaking down where the
-            milliseconds went.  Drivers must accept a ``trace`` kwarg
-            (the built-in figure drivers do).
+            append "Telemetry" and "Bandit diagnostics" sections.
+            Drivers must accept a ``trace`` kwarg (the built-in figure
+            drivers do).
         trace_sink: optional list that receives the merged trace
             events (for JSONL export by the caller).
+        progress: live stderr heartbeat while sweeps run (``True`` or
+            a :class:`~repro.telemetry.ProgressReporter`); records are
+            unchanged.
+        manifest_sink: optional list that receives one
+            :class:`~repro.telemetry.RunManifest` condensing every
+            sweep of this report (for ledger/BENCH export by the
+            caller).
     """
     scale = (scale or bench_scale()).validate()
     parts = [f"# {title}",
@@ -160,13 +237,22 @@ def build_report(scale: Optional[ExperimentScale] = None,
              f"point; online horizon {scale.horizon_slots} slots."]
     timings: List[Tuple[str, float, float]] = []
     trace_events: List[Dict] = []
+    sweeps: Dict[str, SweepResult] = {}
+    reporter = resolve_progress(progress)
     for figure_id, driver, panels in figures:
-        start = time.perf_counter()
+        if reporter is not None:
+            reporter.set_phase(f"fig{figure_id}")
+        driver_kwargs: Dict = {"workers": workers}
         if trace:
-            sweep = driver(scale, workers=workers, trace=True)
-        else:
-            sweep = driver(scale, workers=workers)
+            driver_kwargs["trace"] = True
+        if reporter is not None:
+            # Only the knobs in use are passed, so third-party drivers
+            # without the newer kwargs keep working untraced.
+            driver_kwargs["progress"] = reporter
+        start = time.perf_counter()
+        sweep = driver(scale, **driver_kwargs)
         elapsed = time.perf_counter() - start
+        sweeps[f"fig{figure_id}"] = sweep
         if trace:
             for event in collect_sweep_trace(sweep.records):
                 event["figure"] = figure_id
@@ -182,8 +268,20 @@ def build_report(scale: Optional[ExperimentScale] = None,
     if trace:
         parts.append("## Telemetry\n\n"
                      + render_summary(trace_events, markdown=True))
+        diagnostics = bandit_diagnostics_markdown(trace_events)
+        if diagnostics is not None:
+            parts.append(diagnostics)
         if trace_sink is not None:
             trace_sink.extend(trace_events)
+    if manifest_sink is not None and sweeps:
+        manifest_sink.append(manifest_from_sweeps(
+            "report", sweeps,
+            config={"scale": scale,
+                    "figures": [f[0] for f in figures]},
+            workers=resolve_workers(workers),
+            phases={f"fig{fid}": elapsed
+                    for fid, elapsed, _serial in timings},
+            extra={"title": title}))
     if include_theorems:
         parts.append(theorem_checks_markdown(fast=True))
     return "\n\n".join(parts) + "\n"
@@ -209,23 +307,45 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "the wall-clock speedup")
     parser.add_argument("--trace", default=None, metavar="FILE",
                         help="trace every run, write the merged JSONL "
-                             "here, and append a Telemetry section")
+                             "here, and append Telemetry + Bandit "
+                             "diagnostics sections")
     parser.add_argument("--trace-summary", action="store_true",
                         help="append the Telemetry section without "
                              "writing a JSONL file")
+    parser.add_argument("--progress", action="store_true",
+                        help="live stderr heartbeat while sweeps run")
+    parser.add_argument("--ledger", default=None, metavar="PATH",
+                        help="append this report's RunManifest to a "
+                             "JSONL run ledger")
+    parser.add_argument("--bench-out", default=None, metavar="PATH",
+                        help="export this report's RunManifest as a "
+                             "BENCH_<name>.json snapshot")
     args = parser.parse_args(argv)
     scale = paper_scale() if args.scale == "paper" else bench_scale()
     tracing = bool(args.trace or args.trace_summary)
     trace_sink: List[Dict] = []
+    manifest_sink: List = []
     text = build_report(scale,
                         include_theorems=not args.no_theorems,
                         workers=args.workers,
                         measure_speedup=args.speedup,
                         trace=tracing,
-                        trace_sink=trace_sink)
+                        trace_sink=trace_sink,
+                        progress=ProgressReporter() if args.progress
+                        else None,
+                        manifest_sink=manifest_sink
+                        if (args.ledger or args.bench_out) else None)
     if args.trace:
         path = write_jsonl(args.trace, trace_sink)
         print(f"wrote trace ({len(trace_sink)} events) to {path}")
+    if manifest_sink:
+        manifest = manifest_sink[0]
+        if args.ledger:
+            path = append_ledger(args.ledger, manifest)
+            print(f"appended manifest {manifest.name!r} to {path}")
+        if args.bench_out:
+            path = write_bench(args.bench_out, manifest)
+            print(f"wrote manifest {manifest.name!r} to {path}")
     if args.out:
         Path(args.out).write_text(text)
         print(f"wrote {args.out}")

@@ -18,7 +18,8 @@ from ..config import SimulationConfig
 from ..sim.engine import OfflineAlgorithm
 from ..sim.online_engine import OnlinePolicy
 from ..sim.results import SweepResult
-from .executor import OFFLINE, ONLINE, RunSpec, execute_sweep
+from .executor import (OFFLINE, ONLINE, ProgressKnob, RunSpec,
+                       execute_sweep)
 
 #: Builds the configuration for one swept value and seed.
 ConfigFactory = Callable[[float, int], SimulationConfig]
@@ -77,7 +78,8 @@ def run_offline_sweep(algorithm_factories: Sequence[OfflineFactory],
                       x_label: str = "x",
                       workers: Optional[int] = 1,
                       chunksize: Optional[int] = None,
-                      trace: bool = False) -> SweepResult:
+                      trace: bool = False,
+                      progress: ProgressKnob = None) -> SweepResult:
     """Run a batch-algorithm sweep (Figs. 3 and 5).
 
     Args:
@@ -95,6 +97,9 @@ def run_offline_sweep(algorithm_factories: Sequence[OfflineFactory],
         trace: record a :mod:`repro.telemetry` trace per run and
             attach it to each record (off by default; metrics are
             unchanged either way).
+        progress: live stderr heartbeat - ``True`` or a configured
+            :class:`~repro.telemetry.ProgressReporter` (observation
+            only; records are identical with progress on or off).
 
     Returns:
         A populated :class:`SweepResult`.
@@ -103,7 +108,8 @@ def run_offline_sweep(algorithm_factories: Sequence[OfflineFactory],
                                 make_config, num_requests_of,
                                 num_seeds=num_seeds)
     return execute_sweep(specs, x_label, workers=workers,
-                         chunksize=chunksize, trace=trace)
+                         chunksize=chunksize, trace=trace,
+                         progress=progress)
 
 
 def run_online_sweep(policy_factories: Sequence[OnlineFactory],
@@ -115,17 +121,19 @@ def run_online_sweep(policy_factories: Sequence[OnlineFactory],
                      x_label: str = "x",
                      workers: Optional[int] = 1,
                      chunksize: Optional[int] = None,
-                     trace: bool = False) -> SweepResult:
+                     trace: bool = False,
+                     progress: ProgressKnob = None) -> SweepResult:
     """Run an online-policy sweep (Figs. 4 and 6).
 
     Every policy sees the same arrival sequence per (x, seed); requests
     are re-drawn fresh for each policy so realization state never leaks
     between runs.  Accepts the same ``workers`` / ``chunksize`` /
-    ``trace`` knobs as :func:`run_offline_sweep`, with the same
-    determinism guarantee.
+    ``trace`` / ``progress`` knobs as :func:`run_offline_sweep`, with
+    the same determinism guarantee.
     """
     specs = build_online_specs(policy_factories, x_values, make_config,
                                num_requests_of, horizon_slots,
                                num_seeds=num_seeds)
     return execute_sweep(specs, x_label, workers=workers,
-                         chunksize=chunksize, trace=trace)
+                         chunksize=chunksize, trace=trace,
+                         progress=progress)

@@ -100,6 +100,12 @@ class RuntimeMeter:
         self._started: Optional[float] = None
 
     def __enter__(self) -> "RuntimeMeter":
+        if self._started is not None:
+            # Re-entering silently would reset the start stamp and
+            # drop the time accrued since the outer __enter__.
+            raise ConfigurationError(
+                "RuntimeMeter.__enter__ while already started; the "
+                "meter is not re-entrant")
         self._started = time.perf_counter()
         return self
 

@@ -19,29 +19,65 @@ untraced runs pay nothing measurable.  Sweeps enable tracing per
 experiment CLIs); each worker traces its own runs and
 :func:`collect_sweep_trace` merges the fragments deterministically in
 canonical spec order.
+
+Beyond in-process tracing, the subsystem persists observability
+*across* runs: :mod:`~repro.telemetry.ledger` condenses a sweep into a
+:class:`RunManifest` (config hash, git rev, seeds, peak RSS, per-phase
+wall-clock, headline metrics per algorithm) appended to a JSONL ledger
+or exported as ``BENCH_<name>.json``; :mod:`~repro.telemetry.regression`
+diffs two ledgers with tolerance gates (``python -m repro.experiments
+bench-diff OLD NEW``); and :mod:`~repro.telemetry.progress` provides
+the live stderr heartbeat behind the CLIs' ``--progress`` flag.
 """
 
 from .export import (WALL_CLOCK_FIELDS, canonical_events,
                      collect_sweep_trace, read_jsonl, write_jsonl)
+from .ledger import (MANIFEST_SCHEMA, WALL_CLOCK_METRICS, RunManifest,
+                     append_ledger, config_hash, git_revision,
+                     latest_by_name, load_manifests,
+                     manifest_from_sweeps, peak_rss_kb, read_ledger,
+                     write_bench)
+from .progress import ProgressReporter
+from .regression import (DEFAULT_METRIC_TOL, DEFAULT_WALL_TOL, Delta,
+                         DiffReport, diff_ledgers, diff_manifests)
 from .summary import (SpanStats, TraceSummary, render_summary,
                       summarize_events)
 from .tracer import (NULL_TRACER, NullTracer, Tracer, get_tracer,
                      set_tracer, use_tracer)
 
 __all__ = [
+    "DEFAULT_METRIC_TOL",
+    "DEFAULT_WALL_TOL",
+    "Delta",
+    "DiffReport",
+    "MANIFEST_SCHEMA",
     "NULL_TRACER",
     "NullTracer",
+    "ProgressReporter",
+    "RunManifest",
     "SpanStats",
     "TraceSummary",
     "Tracer",
     "WALL_CLOCK_FIELDS",
+    "WALL_CLOCK_METRICS",
+    "append_ledger",
     "canonical_events",
     "collect_sweep_trace",
+    "config_hash",
+    "diff_ledgers",
+    "diff_manifests",
     "get_tracer",
+    "git_revision",
+    "latest_by_name",
+    "load_manifests",
+    "manifest_from_sweeps",
+    "peak_rss_kb",
     "read_jsonl",
+    "read_ledger",
     "render_summary",
     "set_tracer",
     "summarize_events",
     "use_tracer",
+    "write_bench",
     "write_jsonl",
 ]

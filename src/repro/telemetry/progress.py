@@ -1,0 +1,157 @@
+"""Live sweep progress: an opt-in stderr heartbeat.
+
+A multi-minute parallel sweep is silent until it finishes; a
+:class:`ProgressReporter` turns completions into periodic one-line
+heartbeats::
+
+    [fig4] 36/96 specs (37.5%) | 4.1 spec/s | ETA 15s | phase=fig4
+
+The reporter is **observation only**: it never touches a spec, a
+record, or any RNG stream, so results are byte-identical with progress
+on or off (the executor tests assert exactly that).  Both executor
+backends drive it - the serial backend after every run, the process
+backend as chunks complete - and the experiment CLIs expose it as
+``--progress``.
+
+Output goes to ``stderr`` by default so heartbeats never corrupt
+piped tables, traces, or exported CSV on ``stdout``.  Emission is
+throttled to one line per ``min_interval_s`` (the first and final
+updates always print); tests inject a fake clock and a ``StringIO``
+stream.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, Optional, TextIO
+
+from ..exceptions import ConfigurationError
+
+
+def _format_eta(seconds: float) -> str:
+    if seconds < 0 or seconds != seconds or seconds == float("inf"):
+        return "?"
+    seconds = int(round(seconds))
+    if seconds < 60:
+        return f"{seconds}s"
+    if seconds < 3600:
+        return f"{seconds // 60}m{seconds % 60:02d}s"
+    return f"{seconds // 3600}h{(seconds % 3600) // 60:02d}m"
+
+
+class ProgressReporter:
+    """Counts completed specs and emits throttled heartbeat lines.
+
+    Args:
+        stream: sink for heartbeat lines (``sys.stderr`` when None).
+        label: prefix identifying the sweep (``[label]``).
+        min_interval_s: minimum seconds between heartbeats (0 emits on
+            every advance - useful in tests).
+        clock: monotonic time source; injectable for tests.
+
+    A reporter is reusable: each :meth:`start` begins a fresh cycle
+    (the experiment CLIs reuse one reporter across figures, relabelling
+    the phase per figure).
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None,
+                 label: str = "sweep",
+                 min_interval_s: float = 0.5,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if min_interval_s < 0:
+            raise ConfigurationError(
+                f"min_interval_s must be >= 0, got {min_interval_s}")
+        self._stream = stream
+        self._label = label
+        self._min_interval_s = min_interval_s
+        self._clock = clock
+        self._total = 0
+        self._done = 0
+        self._phase: Optional[str] = None
+        self._started_at = 0.0
+        self._last_emit: Optional[float] = None
+        self._lines_emitted = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self, total: int, phase: Optional[str] = None) -> None:
+        """Begin a cycle of ``total`` specs; emits the opening line.
+
+        The phase label persists across cycles unless a new one is
+        given here (callers like the figure CLIs set the phase before
+        handing the reporter to the executor, which starts the cycle).
+        """
+        if total < 0:
+            raise ConfigurationError(
+                f"total must be >= 0, got {total}")
+        self._total = total
+        self._done = 0
+        if phase is not None:
+            self._phase = phase
+        self._started_at = self._clock()
+        self._last_emit = None
+        self._emit(force=True)
+
+    def set_phase(self, phase: Optional[str]) -> None:
+        """Relabel the current phase (shown on subsequent heartbeats)."""
+        self._phase = phase
+
+    def advance(self, n: int = 1) -> None:
+        """Record ``n`` more completed specs; maybe emit a heartbeat."""
+        if n < 0:
+            raise ConfigurationError(f"advance must be >= 0, got {n}")
+        self._done += n
+        self._emit(force=self._done >= self._total)
+
+    def finish(self) -> None:
+        """Emit the closing line (always prints)."""
+        self._emit(force=True)
+
+    # ------------------------------------------------------------------
+    # Introspection (tests / callers)
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> int:
+        """Specs completed in the current cycle."""
+        return self._done
+
+    @property
+    def total(self) -> int:
+        """Specs expected in the current cycle."""
+        return self._total
+
+    @property
+    def lines_emitted(self) -> int:
+        """Heartbeat lines written since construction."""
+        return self._lines_emitted
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    def _emit(self, force: bool = False) -> None:
+        now = self._clock()
+        if not force and self._last_emit is not None \
+                and now - self._last_emit < self._min_interval_s:
+            return
+        self._last_emit = now
+        elapsed = max(now - self._started_at, 0.0)
+        percent = (100.0 * self._done / self._total
+                   if self._total else 100.0)
+        rate = self._done / elapsed if elapsed > 0 else 0.0
+        remaining = self._total - self._done
+        eta = remaining / rate if rate > 0 else float("inf")
+        parts = [f"[{self._label}] {self._done}/{self._total} specs "
+                 f"({percent:.1f}%)",
+                 f"{rate:.1f} spec/s" if rate > 0 else "- spec/s",
+                 f"ETA {_format_eta(eta) if remaining else '0s'}"]
+        if self._phase:
+            parts.append(f"phase={self._phase}")
+        stream = self._stream if self._stream is not None \
+            else sys.stderr
+        stream.write(" | ".join(parts) + "\n")
+        flush = getattr(stream, "flush", None)
+        if flush is not None:
+            flush()
+        self._lines_emitted += 1

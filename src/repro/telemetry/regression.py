@@ -1,0 +1,253 @@
+"""Benchmark-regression tracking: diff two run ledgers and gate CI.
+
+``bench-diff`` compares the manifests of an *old* (baseline) and *new*
+(candidate) ledger or ``BENCH_*.json`` snapshot and reports, per run
+name and algorithm, the delta of every headline metric and of the
+wall-clock measurements (per-phase seconds, ``runtime_s``, peak RSS).
+
+Two tolerance regimes apply, following the determinism convention of
+:mod:`repro.telemetry.ledger`:
+
+* **deterministic metrics** (total reward, latency, admission counts)
+  are a pure function of config + seeds, so any relative delta beyond
+  ``metric_tol`` - in either direction - **gates** (a reward *increase*
+  still means the reproduction changed and the baseline is stale);
+* **wall-clock quantities** legitimately vary between machines and
+  runs, so they are **advisory** by default and gate only when
+  explicitly requested (``gate_wall=True`` / ``--gate-wall``), against
+  the looser ``wall_tol``, and only in the slower direction.
+
+Exit codes of the CLI (``python -m repro.experiments bench-diff``):
+0 = within tolerance, 1 = regression, 2 = unusable inputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import ConfigurationError
+from .ledger import (WALL_CLOCK_METRICS, RunManifest, latest_by_name,
+                     load_manifests)
+
+#: Default relative tolerance for deterministic metrics.
+DEFAULT_METRIC_TOL = 1e-9
+#: Default relative tolerance for wall-clock quantities (when gated).
+DEFAULT_WALL_TOL = 0.25
+
+#: Denominator floor so deltas against ~0 baselines stay finite.
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One compared quantity of one run name.
+
+    Attributes:
+        run: manifest name the quantity belongs to.
+        key: ``"<algorithm>.<metric>"`` or ``"phase.<name>"`` etc.
+        old: baseline value.
+        new: candidate value.
+        wall_clock: True for advisory wall-clock quantities.
+        regressed: True when the delta exceeded its tolerance gate.
+    """
+
+    run: str
+    key: str
+    old: float
+    new: float
+    wall_clock: bool
+    regressed: bool
+
+    @property
+    def abs_delta(self) -> float:
+        """``new - old``."""
+        return self.new - self.old
+
+    @property
+    def rel_delta(self) -> float:
+        """``(new - old) / max(|old|, eps)``."""
+        return self.abs_delta / max(abs(self.old), _EPS)
+
+
+@dataclass
+class DiffReport:
+    """Everything ``bench-diff`` found between two ledgers."""
+
+    deltas: List[Delta] = field(default_factory=list)
+    #: Run names / metric keys present on only one side (advisory).
+    missing: List[str] = field(default_factory=list)
+    #: Run names compared.
+    compared_runs: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[Delta]:
+        """The deltas that exceeded their gate."""
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def ok(self) -> bool:
+        """True when something was compared and nothing regressed."""
+        return bool(self.compared_runs) and not self.regressions
+
+    def render(self) -> str:
+        """The human-readable diff report."""
+        if not self.compared_runs:
+            return "bench-diff: no common run names to compare"
+        lines: List[str] = []
+        for run in self.compared_runs:
+            lines.append(f"run {run!r}:")
+            rows = [d for d in self.deltas if d.run == run]
+            width = max((len(d.key) for d in rows), default=3)
+            for d in rows:
+                mark = "REGRESSION" if d.regressed else (
+                    "~" if d.wall_clock else "ok")
+                lines.append(
+                    f"  {d.key.ljust(width)}  {d.old:>14.6g} -> "
+                    f"{d.new:>14.6g}  ({d.rel_delta:+8.2%})  {mark}")
+            if not rows:
+                lines.append("  (no overlapping quantities)")
+        for item in self.missing:
+            lines.append(f"  only on one side: {item}")
+        n_wall = sum(1 for d in self.deltas if d.wall_clock)
+        lines.append(
+            f"compared {len(self.compared_runs)} run(s), "
+            f"{len(self.deltas) - n_wall} metric / {n_wall} wall-clock "
+            f"quantities; {len(self.regressions)} regression(s)")
+        return "\n".join(lines)
+
+
+def _flatten(manifest: RunManifest
+             ) -> Tuple[Dict[str, float], Dict[str, float]]:
+    """Split one manifest into (deterministic, wall-clock) flat maps."""
+    metric: Dict[str, float] = {}
+    wall: Dict[str, float] = {}
+    for algo, row in manifest.metrics.items():
+        for name, value in row.items():
+            target = wall if name in WALL_CLOCK_METRICS else metric
+            target[f"{algo}.{name}"] = float(value)
+    for phase, seconds in manifest.phases.items():
+        wall[f"phase.{phase}"] = float(seconds)
+    if manifest.peak_rss_kb is not None:
+        wall["peak_rss_kb"] = float(manifest.peak_rss_kb)
+    return metric, wall
+
+
+def diff_manifests(old: RunManifest, new: RunManifest,
+                   metric_tol: float = DEFAULT_METRIC_TOL,
+                   wall_tol: float = DEFAULT_WALL_TOL,
+                   gate_wall: bool = False,
+                   report: Optional[DiffReport] = None) -> DiffReport:
+    """Compare two manifests of the same run name.
+
+    Deterministic metrics gate on ``|rel delta| > metric_tol`` (both
+    directions - any drift means the baseline is stale).  Wall-clock
+    quantities gate only with ``gate_wall`` and only on slowdowns
+    beyond ``wall_tol``.
+    """
+    if metric_tol < 0 or wall_tol < 0:
+        raise ConfigurationError(
+            f"tolerances must be >= 0, got {metric_tol}/{wall_tol}")
+    out = report if report is not None else DiffReport()
+    out.compared_runs.append(new.name)
+    old_metric, old_wall = _flatten(old)
+    new_metric, new_wall = _flatten(new)
+    for key in sorted(set(old_metric) | set(new_metric)):
+        if key not in old_metric or key not in new_metric:
+            out.missing.append(f"{new.name}: {key}")
+            continue
+        a, b = old_metric[key], new_metric[key]
+        rel = (b - a) / max(abs(a), _EPS)
+        out.deltas.append(Delta(run=new.name, key=key, old=a, new=b,
+                                wall_clock=False,
+                                regressed=abs(rel) > metric_tol))
+    for key in sorted(set(old_wall) & set(new_wall)):
+        a, b = old_wall[key], new_wall[key]
+        rel = (b - a) / max(abs(a), _EPS)
+        out.deltas.append(Delta(run=new.name, key=key, old=a, new=b,
+                                wall_clock=True,
+                                regressed=gate_wall and rel > wall_tol))
+    return out
+
+
+def diff_ledgers(old: Sequence[RunManifest],
+                 new: Sequence[RunManifest],
+                 metric_tol: float = DEFAULT_METRIC_TOL,
+                 wall_tol: float = DEFAULT_WALL_TOL,
+                 gate_wall: bool = False,
+                 name: Optional[str] = None) -> DiffReport:
+    """Compare the head manifests of two ledgers, per common run name.
+
+    Args:
+        old: baseline manifests (ledger order; last entry per name
+            wins).
+        new: candidate manifests.
+        metric_tol: relative gate for deterministic metrics.
+        wall_tol: relative gate for wall-clock (when ``gate_wall``).
+        gate_wall: also gate on wall-clock slowdowns.
+        name: restrict the comparison to one run name.
+    """
+    old_by = latest_by_name(old)
+    new_by = latest_by_name(new)
+    if name is not None:
+        old_by = {k: v for k, v in old_by.items() if k == name}
+        new_by = {k: v for k, v in new_by.items() if k == name}
+    report = DiffReport()
+    for run in sorted(set(old_by) | set(new_by)):
+        if run not in old_by or run not in new_by:
+            report.missing.append(f"run {run!r}")
+            continue
+        diff_manifests(old_by[run], new_by[run], metric_tol=metric_tol,
+                       wall_tol=wall_tol, gate_wall=gate_wall,
+                       report=report)
+    return report
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments bench-diff",
+        description="Compare two run ledgers / BENCH_*.json snapshots "
+                    "and exit non-zero on regression.")
+    parser.add_argument("old", help="baseline ledger or BENCH file")
+    parser.add_argument("new", help="candidate ledger or BENCH file")
+    parser.add_argument("--tol", type=float,
+                        default=DEFAULT_METRIC_TOL, metavar="REL",
+                        help="relative tolerance for deterministic "
+                             "metrics (default: exact up to float "
+                             "noise)")
+    parser.add_argument("--wall-tol", type=float,
+                        default=DEFAULT_WALL_TOL, metavar="REL",
+                        help="relative slowdown tolerated on "
+                             "wall-clock quantities when gated "
+                             f"(default {DEFAULT_WALL_TOL})")
+    parser.add_argument("--gate-wall", action="store_true",
+                        help="fail on wall-clock slowdowns too "
+                             "(advisory-only by default)")
+    parser.add_argument("--name", default=None, metavar="RUN",
+                        help="compare only this run name")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        old = load_manifests(args.old)
+        new = load_manifests(args.new)
+        report = diff_ledgers(old, new, metric_tol=args.tol,
+                              wall_tol=args.wall_tol,
+                              gate_wall=args.gate_wall,
+                              name=args.name)
+    except (OSError, ConfigurationError) as error:
+        print(f"bench-diff: {error}", file=sys.stderr)
+        return 2
+    print(report.render())
+    if not report.compared_runs:
+        return 2
+    return 1 if report.regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

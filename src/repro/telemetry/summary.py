@@ -19,6 +19,20 @@ import numpy as np
 RUN_KEY_FIELDS = ("figure", "run")
 
 
+def percentile_linear(data, q: float) -> float:
+    """``np.percentile`` with the interpolation method pinned.
+
+    NumPy 1.22 renamed ``interpolation=`` to ``method=`` and added new
+    estimators; pinning ``"linear"`` explicitly keeps p95 tables
+    byte-stable across NumPy versions (and documents which estimator
+    the summary uses).  Falls back to the pre-1.22 spelling.
+    """
+    try:
+        return float(np.percentile(data, q, method="linear"))
+    except TypeError:  # numpy < 1.22
+        return float(np.percentile(data, q, interpolation="linear"))
+
+
 @dataclass
 class SpanStats:
     """Aggregate statistics of one span name."""
@@ -36,10 +50,14 @@ class SpanStats:
 
     @property
     def p95_s(self) -> float:
-        """95th-percentile wall time per span (0 when never opened)."""
+        """95th-percentile wall time per span (0 when never opened).
+
+        Linear interpolation, pinned explicitly so the estimate cannot
+        drift with the NumPy default (see :func:`percentile_linear`).
+        """
         if not self.durations:
             return 0.0
-        return float(np.percentile(self.durations, 95))
+        return percentile_linear(self.durations, 95)
 
 
 @dataclass

@@ -20,7 +20,8 @@ from repro.experiments.executor import (OFFLINE, ONLINE, ProcessBackend,
                                         _fresh_algorithm,
                                         default_chunksize, execute_run,
                                         execute_specs, execute_sweep,
-                                        make_backend, resolve_workers)
+                                        make_backend, resolve_workers,
+                                        validate_chunksize)
 from repro.experiments.runner import (build_offline_specs,
                                       build_online_specs,
                                       run_offline_sweep,
@@ -142,6 +143,21 @@ class TestWorkerKnob:
 
     def test_empty_spec_list(self):
         assert execute_specs([], workers=4) == []
+
+    def test_nonpositive_chunksize_rejected_everywhere(self):
+        # The guard must fire at construction on every path - even
+        # serial ones, which would otherwise silently ignore the knob.
+        for bad in (0, -3):
+            with pytest.raises(ConfigurationError):
+                validate_chunksize(bad)
+            with pytest.raises(ConfigurationError):
+                make_backend(1, chunksize=bad)
+            with pytest.raises(ConfigurationError):
+                make_backend(4, chunksize=bad)
+            with pytest.raises(ConfigurationError):
+                execute_specs([], workers=1, chunksize=bad)
+        assert validate_chunksize(None) is None
+        assert validate_chunksize(2) == 2
 
 
 class TestSerialParallelEquivalence:

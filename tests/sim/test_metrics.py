@@ -92,6 +92,18 @@ class TestRuntimeMeter:
         meter.add(0.25)
         assert meter.total_s == pytest.approx(0.25)
 
+    def test_enter_while_started_raises(self):
+        # Re-entering would silently reset the start stamp and drop
+        # the time accrued since the outer __enter__.
+        meter = RuntimeMeter()
+        with meter:
+            with pytest.raises(ConfigurationError):
+                meter.__enter__()
+        # The outer cycle still closed cleanly and accrued time.
+        assert meter.total_s > 0.0
+        with meter:
+            pass
+
 
 class TestJainsFairnessIndex:
     def test_equal_values_are_perfectly_fair(self):

@@ -1,9 +1,11 @@
 """Tests for trace aggregation and the breakdown renderer."""
 
+import numpy as np
 import pytest
 
 from repro.telemetry import Tracer, render_summary, summarize_events
 from repro.telemetry.export import collect_sweep_trace
+from repro.telemetry.summary import percentile_linear
 from repro.sim.results import RunRecord
 
 
@@ -82,6 +84,37 @@ class TestSummarizeEvents:
         assert summary.attributed_fraction(20.0) == pytest.approx(0.5)
         assert summary.attributed_fraction(None) == 1.0
         assert summarize_events([]).attributed_fraction(None) == 0.0
+
+
+class TestPercentileLinear:
+    """The p95 estimator is pinned to linear interpolation so the
+    summary cannot drift if a future NumPy changes the default."""
+
+    def test_matches_linear_interpolation(self):
+        data = [0.0, 1.0, 2.0, 3.0]
+        # Linear interpolation: p50 of [0..3] sits between 1 and 2.
+        assert percentile_linear(data, 50) == pytest.approx(1.5)
+        assert percentile_linear(data, 95) == pytest.approx(2.85)
+
+    def test_matches_numpy_linear_spelling(self):
+        rng = np.random.default_rng(7)
+        data = rng.uniform(0, 10, size=101)
+        try:
+            expected = float(np.percentile(data, 95, method="linear"))
+        except TypeError:  # numpy < 1.22
+            expected = float(np.percentile(data, 95,
+                                           interpolation="linear"))
+        assert percentile_linear(data, 95) == expected
+
+    def test_p95_uses_pinned_estimator(self):
+        tracer = Tracer(clock=StepClock(0.0, 1.0, 1.0, 3.0))
+        with tracer.span("s"):
+            pass
+        with tracer.span("s"):
+            pass
+        summary = summarize_events(tracer.events())
+        # Durations [1.0, 2.0]: linear p95 = 1.95 exactly.
+        assert summary.spans["s"].p95_s == pytest.approx(1.95)
 
 
 class TestRenderSummary:
