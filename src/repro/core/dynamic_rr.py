@@ -33,8 +33,10 @@ from ..bandits.regret import RegretTracker
 from ..config import OnlineConfig
 from ..requests.request import ARRequest
 from ..rng import RngLike, ensure_rng
+from ..sim.events import Event, EventKind
 from ..solver.interface import solve_lp
 from ..telemetry import get_tracer
+from ..telemetry.audit import get_journal
 from .lp_relaxation import build_lp_pt
 from .rounding import DEFAULT_ROUNDING_SCALE, admit_slot_by_slot, \
     randomized_round
@@ -128,6 +130,12 @@ class DynamicRR:
             self._selected_this_slot = True
             self._last_arm_value = threshold
             tracer.observe("threshold_mhz", threshold)
+            journal = get_journal()
+            if journal.enabled:
+                journal.record(Event(
+                    slot=slot, kind=EventKind.ARM_SELECTED,
+                    arm=self._bandit.grid.nearest_arm(threshold),
+                    value=threshold))
 
             from .threshold import select_slot_requests
             r_t = select_slot_requests(pending, engine.total_free_mhz(),
@@ -183,7 +191,14 @@ class DynamicRR:
         if not self._selected_this_slot or self._bandit is None:
             return
         normalized = min(1.0, max(0.0, slot_reward / self._reward_scale))
+        journal = get_journal()
+        active_arms = getattr(self._bandit.policy, "active_arms", None)
+        before = (set(active_arms()) if journal.enabled
+                  and active_arms is not None else None)
         self._bandit.record(normalized)
+        if before is not None:
+            self._journal_eliminations(slot, before, set(active_arms()),
+                                       journal)
         arm = self._bandit.grid.nearest_arm(self._last_arm_value)
         self.tracker.record(arm, normalized)
         self._cumulative_reward += slot_reward
@@ -202,6 +217,29 @@ class DynamicRR:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _journal_eliminations(self, slot: int, before: set, after: set,
+                              journal) -> None:
+        """Journal arms this round's record() eliminated.
+
+        The justification payload is the pair the elimination rule
+        compared - the arm's UCB and the best LCB over the arms active
+        when the decision was made (LCB/UCB values do not change at
+        elimination time, only the active flag does).
+        """
+        eliminated = sorted(before - after)
+        if not eliminated:
+            return
+        policy = self._bandit.policy
+        has_bounds = (hasattr(policy, "ucb") and hasattr(policy, "lcb"))
+        best_lcb = (max(policy.lcb(a) for a in before)
+                    if has_bounds else None)
+        for arm in eliminated:
+            detail = ((policy.ucb(arm), best_lcb)
+                      if has_bounds else None)
+            journal.record(Event(
+                slot=slot, kind=EventKind.ARM_ELIMINATED, arm=arm,
+                value=self._bandit.grid.value(arm), detail=detail))
+
     def _seeded_ledger(self, engine, threshold_mhz: float):
         """A ledger pre-loaded with the *guaranteed shares* of running
         requests.

@@ -21,8 +21,10 @@ from typing import Dict, List, Optional, Sequence
 from ..network.capacity import CapacityLedger
 from ..requests.request import ARRequest
 from ..rng import RngLike, ensure_rng
+from ..sim.events import Event, EventKind
 from ..solver.interface import solve_lp
 from ..telemetry import get_tracer
+from ..telemetry.audit import get_journal
 from .assignment import OffloadDecision, ScheduleResult
 from .instance import ProblemInstance
 from .lp_relaxation import build_lp_relaxation
@@ -151,11 +153,11 @@ class Heu:
         (line 12) and calls back if the slot is still closed.
         """
         with get_tracer().span("migration", algorithm=self.name):
-            return self._migrate_one(instance, ledger, station_id,
+            return self._migrate_one(instance, ledger, station_id, slot,
                                      admitted_at, primary_of, migrations)
 
     def _migrate_one(self, instance: ProblemInstance,
-                     ledger: CapacityLedger, station_id: int,
+                     ledger: CapacityLedger, station_id: int, slot: int,
                      admitted_at: Dict[int, List[ARRequest]],
                      primary_of: Dict[int, int],
                      migrations: Dict[int, Dict[int, int]]) -> bool:
@@ -163,6 +165,7 @@ class Heu:
                         key=lambda r: (-r.realized_rate_mbps,
                                        r.request_id))
         targets = instance.paths.stations_by_delay(station_id)
+        journal = get_journal()
         for donor in donors:
             pipeline = donor.pipeline
             existing = migrations.get(donor.request_id, {})
@@ -179,20 +182,38 @@ class Heu:
             share = held * pipeline[task_idx].compute_weight / local_weight
             if share <= 0:
                 continue
+            # Closer candidates skipped before the chosen target, each
+            # with the free MHz observed at decision time - the
+            # journaled justification that the migration landed on the
+            # *closest feasible* neighbour (Theorem 2).
+            skipped: List[tuple] = []
             for target in targets[:self.max_migration_targets]:
                 if not ledger.fits(target, share):
+                    skipped.append((target, ledger.free_mhz(target),
+                                    "capacity"))
                     continue
                 trial = dict(existing)
                 trial[task_idx] = target
                 latency = instance.latency.split_delay_ms(
                     donor, primary_of[donor.request_id], trial)
                 if latency > donor.deadline_ms + 1e-9:
+                    skipped.append((target, ledger.free_mhz(target),
+                                    "latency"))
                     continue
                 ledger.migrate(donor.request_id, station_id, target,
                                share)
                 migrations[donor.request_id] = trial
                 self.last_num_migrations += 1
                 get_tracer().count("migrations")
+                if journal.enabled:
+                    journal.record(Event(
+                        slot=slot, kind=EventKind.MIGRATE,
+                        request_id=donor.request_id,
+                        station_id=target,
+                        src_station_id=station_id,
+                        task_index=task_idx,
+                        reserved_mhz=share,
+                        detail=tuple(skipped)))
                 return True
         return False
 

@@ -49,6 +49,21 @@ class SchedulingError(ReproError):
     """
 
 
+class InvariantViolation(ReproError):
+    """A journaled decision stream broke one of the paper's invariants.
+
+    Raised by :class:`repro.telemetry.audit.InvariantMonitor` in
+    ``strict`` mode the moment a checked invariant fails - e.g. a slot
+    admission oversubscribing a station, a request completing twice,
+    or an eliminated bandit arm being replayed.  The ``violation``
+    attribute carries the structured finding.
+    """
+
+    def __init__(self, violation) -> None:
+        super().__init__(str(violation))
+        self.violation = violation
+
+
 class BanditError(ReproError):
     """A multi-armed bandit policy was used incorrectly.
 

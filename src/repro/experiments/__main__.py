@@ -27,6 +27,18 @@ on regression::
 
     python -m repro.experiments --figures 3 --bench-out BENCH_new.json
     python -m repro.experiments bench-diff BENCH_old.json BENCH_new.json --tol 0.05
+
+Decision auditing: ``--journal PATH`` records every scheduling
+decision (arrivals, starts, drops, migrations, rounding admissions,
+bandit arm plays/eliminations, station outages) to a canonical JSONL
+journal, ``--audit`` replays each run's journal through the invariant
+monitor and prints the audit, and the ``trace-diff`` subcommand aligns
+two journals and localizes the first divergent event (exit 0/1/2 like
+bench-diff)::
+
+    python -m repro.experiments --figures 3 --journal serial.jsonl
+    python -m repro.experiments --figures 3 --workers 2 --journal par.jsonl
+    python -m repro.experiments trace-diff serial.jsonl par.jsonl
 """
 
 from __future__ import annotations
@@ -36,7 +48,8 @@ import sys
 import time
 from typing import Dict, List, Optional
 
-from ..telemetry import (ProgressReporter, collect_sweep_trace,
+from ..telemetry import (ProgressReporter, audit_records,
+                         collect_sweep_journal, collect_sweep_trace,
                          manifest_from_sweeps, render_summary,
                          write_jsonl)
 from ..telemetry.ledger import append_ledger, write_bench
@@ -60,7 +73,10 @@ def build_parser() -> argparse.ArgumentParser:
         description="Regenerate the paper's figures (ICDCS 2021 MEC/AR "
                     "offloading reproduction).  The bench-diff "
                     "subcommand (python -m repro.experiments "
-                    "bench-diff OLD NEW) compares two run ledgers.")
+                    "bench-diff OLD NEW) compares two run ledgers; the "
+                    "trace-diff subcommand (python -m repro.experiments "
+                    "trace-diff A.jsonl B.jsonl) localizes the first "
+                    "divergent event between two decision journals.")
     parser.add_argument("--figures", nargs="+", default=["all"],
                         choices=["3", "4", "5", "6", "all"],
                         help="which figures to run (default: all)")
@@ -82,6 +98,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--trace-summary", action="store_true",
                         help="print the aggregated span breakdown "
                              "(implies tracing)")
+    parser.add_argument("--journal", default=None, metavar="PATH",
+                        help="record a decision audit journal of every "
+                             "run and write the merged JSONL here "
+                             "(diffable with trace-diff)")
+    parser.add_argument("--audit", action="store_true",
+                        help="replay every journaled run through the "
+                             "invariant monitor and print the audit "
+                             "(implies journaling)")
     parser.add_argument("--progress", action="store_true",
                         help="live stderr heartbeat while sweeps run "
                              "(completed/total specs, throughput, ETA; "
@@ -103,11 +127,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     if argv and argv[0] == "bench-diff":
         from ..telemetry.regression import main as bench_diff_main
         return bench_diff_main(argv[1:])
+    if argv and argv[0] == "trace-diff":
+        from ..telemetry.tracediff import main as trace_diff_main
+        return trace_diff_main(argv[1:])
     args = build_parser().parse_args(argv)
     wanted = list(_FIGURES) if "all" in args.figures else args.figures
     scale = paper_scale() if args.scale == "paper" else bench_scale()
     tracing = bool(args.trace or args.trace_summary)
+    journaling = bool(args.journal or args.audit)
     trace_events: List[Dict] = []
+    journal_events: List[Dict] = []
+    audited_sweeps: List = []
     reporter = ProgressReporter() if args.progress else None
     sweeps: Dict[str, object] = {}
     phases: Dict[str, float] = {}
@@ -115,6 +145,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     for fig_id in wanted:
         driver, panels = _FIGURES[fig_id]
         driver_kwargs = {"workers": args.workers, "trace": tracing}
+        if journaling:
+            driver_kwargs["journal"] = True
         if reporter is not None:
             # Only passed when live: stubbed/third-party drivers
             # without the knob keep working unless it is asked for.
@@ -128,6 +160,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             for event in collect_sweep_trace(sweep.records):
                 event["figure"] = fig_id
                 trace_events.append(event)
+        if journaling:
+            for event in collect_sweep_journal(sweep.records):
+                event["figure"] = fig_id
+                journal_events.append(event)
+            audited_sweeps.append((fig_id, sweep))
         print(render_figure(sweep, panels, f"Figure {fig_id}"))
         print()
         if args.plot:
@@ -165,6 +202,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         print()
         print("Telemetry summary")
         print(render_summary(trace_events))
+    if args.journal:
+        path = write_jsonl(args.journal, journal_events)
+        print(f"wrote journal ({len(journal_events)} events) to {path}")
+    if args.audit:
+        failed = False
+        print()
+        print("Invariant audit")
+        for fig_id, sweep in audited_sweeps:
+            outcome = audit_records(sweep.records)
+            verdict = ("ok" if not outcome.violations
+                       else f"{len(outcome.violations)} violation(s)")
+            checks = sum(outcome.checks.values())
+            print(f"  fig{fig_id}: {outcome.runs_audited} run(s), "
+                  f"{checks} checks, {verdict}")
+            for tag, violation in outcome.violations:
+                failed = True
+                print(f"    {tag}: {violation}")
+        if failed:
+            return 1
     return 0
 
 

@@ -29,6 +29,7 @@ import dataclasses
 import inspect
 import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from contextlib import ExitStack
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
@@ -40,6 +41,7 @@ from ..sim.engine import run_offline
 from ..sim.online_engine import OnlineEngine
 from ..sim.results import RunRecord, SweepResult
 from ..telemetry import ProgressReporter, Tracer, use_tracer
+from ..telemetry.audit import Journal, use_journal
 
 #: ``progress`` knob: off, on (executor builds a stderr reporter), or
 #: a caller-configured reporter.
@@ -74,6 +76,10 @@ class RunSpec:
         trace: run under a fresh :class:`~repro.telemetry.Tracer` and
             attach the events to the record's ``trace`` field.  Purely
             additive: metrics are identical with tracing on or off.
+        journal: run under a fresh decision
+            :class:`~repro.telemetry.audit.Journal` and attach the
+            events to the record's ``journal`` field.  Purely
+            additive: metrics are identical with journaling on or off.
     """
 
     mode: str
@@ -85,6 +91,7 @@ class RunSpec:
     horizon_slots: Optional[int] = None
     slot_length_ms: float = 50.0
     trace: bool = False
+    journal: bool = False
 
     def validate(self) -> "RunSpec":
         """Raise on inconsistent specs; return self for chaining."""
@@ -137,16 +144,29 @@ def execute_run(spec: RunSpec) -> RunRecord:
     deterministic regardless of which process runs it or what ran
     before it.  With ``spec.trace`` the run executes under a fresh
     :class:`~repro.telemetry.Tracer` (installed only for its
-    duration) and the record carries the trace events.
+    duration) and the record carries the trace events; with
+    ``spec.journal`` it likewise executes under a fresh decision
+    :class:`~repro.telemetry.audit.Journal` and carries the audit
+    events home.
     """
     spec.validate()
-    if spec.trace:
-        tracer = Tracer()
-        with use_tracer(tracer):
-            record = _execute_untraced(spec)
-        return dataclasses.replace(record,
-                                   trace=tuple(tracer.events()))
-    return _execute_untraced(spec)
+    if not spec.trace and not spec.journal:
+        return _execute_untraced(spec)
+    tracer = Tracer() if spec.trace else None
+    journal = Journal() if spec.journal else None
+    with ExitStack() as stack:
+        if tracer is not None:
+            stack.enter_context(use_tracer(tracer))
+        if journal is not None:
+            stack.enter_context(use_journal(journal))
+        record = _execute_untraced(spec)
+    if tracer is not None:
+        record = dataclasses.replace(record,
+                                     trace=tuple(tracer.events()))
+    if journal is not None:
+        record = dataclasses.replace(record,
+                                     journal=tuple(journal.events()))
+    return record
 
 
 def _execute_untraced(spec: RunSpec) -> RunRecord:
@@ -326,6 +346,7 @@ def execute_specs(specs: Sequence[RunSpec],
                   workers: Optional[int] = 1,
                   chunksize: Optional[int] = None,
                   trace: bool = False,
+                  journal: bool = False,
                   progress: ProgressKnob = None) -> List[RunRecord]:
     """Execute a spec list and return records in canonical spec order.
 
@@ -336,6 +357,10 @@ def execute_specs(specs: Sequence[RunSpec],
         trace: force tracing on for every spec; each run (wherever it
             executes) records its own trace, carried home on its
             record in canonical spec order.
+        journal: force decision journaling on for every spec; each run
+            records its own audit journal, carried home on its record
+            in canonical spec order (merge with
+            :func:`~repro.telemetry.audit.collect_sweep_journal`).
         progress: live heartbeat - ``True`` for the default stderr
             reporter or a pre-configured
             :class:`~repro.telemetry.ProgressReporter`.  Observation
@@ -344,6 +369,9 @@ def execute_specs(specs: Sequence[RunSpec],
     validate_chunksize(chunksize)
     if trace:
         specs = [dataclasses.replace(spec, trace=True)
+                 for spec in specs]
+    if journal:
+        specs = [dataclasses.replace(spec, journal=True)
                  for spec in specs]
     for spec in specs:
         spec.validate()
@@ -361,10 +389,11 @@ def execute_sweep(specs: Sequence[RunSpec], x_label: str,
                   workers: Optional[int] = 1,
                   chunksize: Optional[int] = None,
                   trace: bool = False,
+                  journal: bool = False,
                   progress: ProgressKnob = None) -> SweepResult:
     """Execute a spec list and bundle the records into a sweep."""
     sweep = SweepResult(x_label)
     sweep.extend(execute_specs(specs, workers=workers,
                                chunksize=chunksize, trace=trace,
-                               progress=progress))
+                               journal=journal, progress=progress))
     return sweep

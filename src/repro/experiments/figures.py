@@ -13,7 +13,10 @@ serial run (``workers=0`` means one worker per CPU).  They also accept
 ``trace``: when True every run records a :mod:`repro.telemetry` trace
 that comes back on its :class:`~repro.sim.results.RunRecord` (merge
 with :func:`repro.telemetry.collect_sweep_trace`); metrics are
-identical with tracing on or off.  ``progress`` (True or a
+identical with tracing on or off.  ``journal`` likewise records a
+decision audit journal per run (:mod:`repro.telemetry.audit`, merge
+with :func:`repro.telemetry.audit.collect_sweep_journal`) without
+changing any metric.  ``progress`` (True or a
 :class:`~repro.telemetry.ProgressReporter`) adds a live stderr
 heartbeat while the sweep runs - observation only, records unchanged.
 """
@@ -43,6 +46,7 @@ ONLINE_POLICIES = (DynamicRR, GreedyOnline, OcorpOnline, HeuKktOnline)
 def figure3(scale: Optional[ExperimentScale] = None,
             workers: Optional[int] = 1,
             trace: bool = False,
+            journal: bool = False,
             progress: ProgressKnob = None) -> SweepResult:
     """Fig. 3: offline algorithms vs number of requests.
 
@@ -60,6 +64,7 @@ def figure3(scale: Optional[ExperimentScale] = None,
         x_label="num_requests",
         workers=workers,
         trace=trace,
+        journal=journal,
         progress=progress,
     )
 
@@ -67,6 +72,7 @@ def figure3(scale: Optional[ExperimentScale] = None,
 def figure4(scale: Optional[ExperimentScale] = None,
             workers: Optional[int] = 1,
             trace: bool = False,
+            journal: bool = False,
             progress: ProgressKnob = None) -> SweepResult:
     """Fig. 4: online algorithms vs number of requests.
 
@@ -84,6 +90,7 @@ def figure4(scale: Optional[ExperimentScale] = None,
         x_label="num_requests",
         workers=workers,
         trace=trace,
+        journal=journal,
         progress=progress,
     )
 
@@ -92,6 +99,7 @@ def figure5(scale: Optional[ExperimentScale] = None,
             include_online: bool = True,
             workers: Optional[int] = 1,
             trace: bool = False,
+            journal: bool = False,
             progress: ProgressKnob = None) -> SweepResult:
     """Fig. 5: all algorithms vs number of base stations.
 
@@ -110,6 +118,7 @@ def figure5(scale: Optional[ExperimentScale] = None,
         x_label="num_stations",
         workers=workers,
         trace=trace,
+        journal=journal,
         progress=progress,
     )
     if include_online:
@@ -123,6 +132,7 @@ def figure5(scale: Optional[ExperimentScale] = None,
             x_label="num_stations",
             workers=workers,
             trace=trace,
+            journal=journal,
             progress=progress,
         )
         sweep.extend(online.records)
@@ -132,6 +142,7 @@ def figure5(scale: Optional[ExperimentScale] = None,
 def figure6(scale: Optional[ExperimentScale] = None,
             workers: Optional[int] = 1,
             trace: bool = False,
+            journal: bool = False,
             progress: ProgressKnob = None) -> SweepResult:
     """Fig. 6: online algorithms vs the maximum data rate of a request.
 
@@ -149,5 +160,6 @@ def figure6(scale: Optional[ExperimentScale] = None,
         x_label="max_rate_mbps",
         workers=workers,
         trace=trace,
+        journal=journal,
         progress=progress,
     )

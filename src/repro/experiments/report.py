@@ -24,7 +24,8 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..sim.results import SweepResult
-from ..telemetry import (ProgressReporter, collect_sweep_trace,
+from ..telemetry import (INVARIANTS, ProgressReporter, audit_records,
+                         collect_sweep_journal, collect_sweep_trace,
                          manifest_from_sweeps, render_summary,
                          write_jsonl)
 from ..telemetry.ledger import append_ledger, write_bench
@@ -165,6 +166,48 @@ def bandit_diagnostics_markdown(events: Sequence[Dict],
     return "\n".join(lines)
 
 
+def invariant_audit_markdown(sweeps: Dict[str, SweepResult]
+                             ) -> Optional[str]:
+    """The "Invariant audit" section: every journaled run, checked.
+
+    Replays each run's decision journal through a collect-mode
+    :class:`~repro.telemetry.InvariantMonitor` (closed with the run's
+    own metric row) and renders the per-invariant check counts plus
+    any violations.  Returns None when no run carried a journal.
+    """
+    outcomes = {name: audit_records(sweep.records)
+                for name, sweep in sweeps.items()}
+    outcomes = {name: out for name, out in outcomes.items()
+                if out.runs_audited}
+    if not outcomes:
+        return None
+    runs = sum(out.runs_audited for out in outcomes.values())
+    violations = [(name, tag, v) for name, out in outcomes.items()
+                  for tag, v in out.violations]
+    verdict = ("all invariants held" if not violations
+               else f"{len(violations)} VIOLATION(S)")
+    lines = [
+        "## Invariant audit",
+        "",
+        f"Audited {runs} journaled run(s) across "
+        f"{len(outcomes)} sweep(s): **{verdict}**.",
+        "",
+        "| invariant | checks | status |",
+        "|---|---|---|",
+    ]
+    for name in INVARIANTS:
+        checks = sum(out.checks[name] for out in outcomes.values())
+        fails = sum(1 for _f, _t, v in violations
+                    if v.invariant == name)
+        status = ("FAIL" if fails else
+                  "ok" if checks else "not exercised")
+        lines.append(f"| {name} | {checks} | {status} |")
+    for figure, tag, violation in violations:
+        lines.append("")
+        lines.append(f"- `{figure}` {tag}: {violation}")
+    return "\n".join(lines)
+
+
 def timing_markdown(timings: Sequence[Tuple[str, float, float]],
                     workers: int) -> str:
     """Render per-figure wall-clock (and speedup when measured).
@@ -200,6 +243,8 @@ def build_report(scale: Optional[ExperimentScale] = None,
                  measure_speedup: bool = False,
                  trace: bool = False,
                  trace_sink: Optional[List[Dict]] = None,
+                 journal: bool = False,
+                 journal_sink: Optional[List[Dict]] = None,
                  progress: ProgressKnob = None,
                  manifest_sink: Optional[List] = None) -> str:
     """Run the sweeps and return the full Markdown report.
@@ -220,6 +265,13 @@ def build_report(scale: Optional[ExperimentScale] = None,
             drivers do).
         trace_sink: optional list that receives the merged trace
             events (for JSONL export by the caller).
+        journal: run every sweep with decision journaling
+            (:mod:`repro.telemetry.audit`) and append the "Invariant
+            audit" section - every journaled run replayed through the
+            invariant monitor.  Drivers must accept a ``journal``
+            kwarg (the built-in figure drivers do).
+        journal_sink: optional list that receives the merged journal
+            events (for JSONL export / trace-diff by the caller).
         progress: live stderr heartbeat while sweeps run (``True`` or
             a :class:`~repro.telemetry.ProgressReporter`); records are
             unchanged.
@@ -245,6 +297,8 @@ def build_report(scale: Optional[ExperimentScale] = None,
         driver_kwargs: Dict = {"workers": workers}
         if trace:
             driver_kwargs["trace"] = True
+        if journal:
+            driver_kwargs["journal"] = True
         if reporter is not None:
             # Only the knobs in use are passed, so third-party drivers
             # without the newer kwargs keep working untraced.
@@ -257,6 +311,10 @@ def build_report(scale: Optional[ExperimentScale] = None,
             for event in collect_sweep_trace(sweep.records):
                 event["figure"] = figure_id
                 trace_events.append(event)
+        if journal and journal_sink is not None:
+            for event in collect_sweep_journal(sweep.records):
+                event["figure"] = figure_id
+                journal_sink.append(event)
         serial_s = float("nan")
         if measure_speedup and workers != 1:
             start = time.perf_counter()
@@ -273,6 +331,10 @@ def build_report(scale: Optional[ExperimentScale] = None,
             parts.append(diagnostics)
         if trace_sink is not None:
             trace_sink.extend(trace_events)
+    if journal:
+        audit = invariant_audit_markdown(sweeps)
+        if audit is not None:
+            parts.append(audit)
     if manifest_sink is not None and sweeps:
         manifest_sink.append(manifest_from_sweeps(
             "report", sweeps,
@@ -312,6 +374,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--trace-summary", action="store_true",
                         help="append the Telemetry section without "
                              "writing a JSONL file")
+    parser.add_argument("--journal", default=None, metavar="FILE",
+                        help="journal every decision, write the merged "
+                             "JSONL here, and append the Invariant "
+                             "audit section")
+    parser.add_argument("--audit", action="store_true",
+                        help="append the Invariant audit section "
+                             "without writing a journal file")
     parser.add_argument("--progress", action="store_true",
                         help="live stderr heartbeat while sweeps run")
     parser.add_argument("--ledger", default=None, metavar="PATH",
@@ -323,7 +392,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     scale = paper_scale() if args.scale == "paper" else bench_scale()
     tracing = bool(args.trace or args.trace_summary)
+    journaling = bool(args.journal or args.audit)
     trace_sink: List[Dict] = []
+    journal_sink: List[Dict] = []
     manifest_sink: List = []
     text = build_report(scale,
                         include_theorems=not args.no_theorems,
@@ -331,6 +402,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                         measure_speedup=args.speedup,
                         trace=tracing,
                         trace_sink=trace_sink,
+                        journal=journaling,
+                        journal_sink=journal_sink,
                         progress=ProgressReporter() if args.progress
                         else None,
                         manifest_sink=manifest_sink
@@ -338,6 +411,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.trace:
         path = write_jsonl(args.trace, trace_sink)
         print(f"wrote trace ({len(trace_sink)} events) to {path}")
+    if args.journal:
+        path = write_jsonl(args.journal, journal_sink)
+        print(f"wrote journal ({len(journal_sink)} events) to {path}")
     if manifest_sink:
         manifest = manifest_sink[0]
         if args.ledger:

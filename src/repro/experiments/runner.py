@@ -79,6 +79,7 @@ def run_offline_sweep(algorithm_factories: Sequence[OfflineFactory],
                       workers: Optional[int] = 1,
                       chunksize: Optional[int] = None,
                       trace: bool = False,
+                      journal: bool = False,
                       progress: ProgressKnob = None) -> SweepResult:
     """Run a batch-algorithm sweep (Figs. 3 and 5).
 
@@ -97,6 +98,9 @@ def run_offline_sweep(algorithm_factories: Sequence[OfflineFactory],
         trace: record a :mod:`repro.telemetry` trace per run and
             attach it to each record (off by default; metrics are
             unchanged either way).
+        journal: record a decision audit journal per run (see
+            :mod:`repro.telemetry.audit`) and attach it to each record
+            (off by default; metrics are unchanged either way).
         progress: live stderr heartbeat - ``True`` or a configured
             :class:`~repro.telemetry.ProgressReporter` (observation
             only; records are identical with progress on or off).
@@ -109,7 +113,7 @@ def run_offline_sweep(algorithm_factories: Sequence[OfflineFactory],
                                 num_seeds=num_seeds)
     return execute_sweep(specs, x_label, workers=workers,
                          chunksize=chunksize, trace=trace,
-                         progress=progress)
+                         journal=journal, progress=progress)
 
 
 def run_online_sweep(policy_factories: Sequence[OnlineFactory],
@@ -122,13 +126,15 @@ def run_online_sweep(policy_factories: Sequence[OnlineFactory],
                      workers: Optional[int] = 1,
                      chunksize: Optional[int] = None,
                      trace: bool = False,
+                     journal: bool = False,
                      progress: ProgressKnob = None) -> SweepResult:
     """Run an online-policy sweep (Figs. 4 and 6).
 
     Every policy sees the same arrival sequence per (x, seed); requests
     are re-drawn fresh for each policy so realization state never leaks
     between runs.  Accepts the same ``workers`` / ``chunksize`` /
-    ``trace`` / ``progress`` knobs as :func:`run_offline_sweep`, with
+    ``trace`` / ``journal`` / ``progress`` knobs as
+    :func:`run_offline_sweep`, with
     the same determinism guarantee.
     """
     specs = build_online_specs(policy_factories, x_values, make_config,
@@ -136,4 +142,4 @@ def run_online_sweep(policy_factories: Sequence[OnlineFactory],
                                num_seeds=num_seeds)
     return execute_sweep(specs, x_label, workers=workers,
                          chunksize=chunksize, trace=trace,
-                         progress=progress)
+                         journal=journal, progress=progress)

@@ -22,6 +22,8 @@ from ..core.instance import ProblemInstance
 from ..requests.request import ARRequest
 from ..rng import RngForks
 from ..telemetry import get_tracer
+from ..telemetry.audit import get_journal
+from .events import Event, EventKind
 
 
 class OfflineAlgorithm(Protocol):
@@ -70,9 +72,62 @@ def run_offline(algorithm: OfflineAlgorithm,
         The algorithm's :class:`ScheduleResult`.
     """
     tracer = get_tracer()
+    journal = get_journal()
     with tracer.span("prepare_workload"):
         prepared = _prepare(requests, seed)
         forks = RngForks(seed)
+    if journal.enabled:
+        _journal_arrivals(instance, prepared, journal)
     with tracer.span("offline_run", algorithm=algorithm.name):
-        return algorithm.run(instance, prepared,
-                             rng=forks.child(f"algo_{algorithm.name}"))
+        result = algorithm.run(instance, prepared,
+                               rng=forks.child(f"algo_{algorithm.name}"))
+    if journal.enabled:
+        _journal_decisions(prepared, result, journal)
+    return result
+
+
+def _journal_arrivals(instance: ProblemInstance,
+                      requests: Sequence[ARRequest],
+                      journal) -> None:
+    """Open the offline audit trail: stations, then the batch.
+
+    Offline is a single decision epoch, so every lifecycle event lives
+    at slot 0 (algorithm-level ADMIT/REJECT/MIGRATE events in between
+    carry *resource-slot* indices instead - see
+    :class:`~repro.sim.events.Event`).
+    """
+    for sid in instance.network.station_ids:
+        journal.record(Event(
+            slot=0, kind=EventKind.STATION_UP, station_id=sid,
+            value=instance.network.station(sid).capacity_mhz))
+    for request in sorted(requests, key=lambda r: r.request_id):
+        journal.record(Event(slot=0, kind=EventKind.ARRIVAL,
+                             request_id=request.request_id))
+
+
+def _journal_decisions(requests: Sequence[ARRequest],
+                       result: ScheduleResult, journal) -> None:
+    """Close the offline audit trail from the final decisions.
+
+    Every admitted request gets a START (with its settled reward and
+    latency) and an immediate COMPLETE - the batch setting has no
+    streaming phase - and every rejected request a DROP, in request-id
+    order so the journal is canonical.
+    """
+    decisions = result.decisions
+    for request in sorted(requests, key=lambda r: r.request_id):
+        decision = decisions.get(request.request_id)
+        if decision is None or not decision.admitted:
+            journal.record(Event(slot=0, kind=EventKind.DROP,
+                                 request_id=request.request_id))
+            continue
+        journal.record(Event(slot=0, kind=EventKind.START,
+                             request_id=request.request_id,
+                             station_id=decision.primary_station,
+                             reward=decision.reward,
+                             latency_ms=decision.latency_ms))
+        journal.record(Event(slot=0, kind=EventKind.COMPLETE,
+                             request_id=request.request_id,
+                             station_id=decision.primary_station,
+                             reward=decision.reward,
+                             latency_ms=decision.latency_ms))

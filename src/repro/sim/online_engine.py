@@ -39,6 +39,7 @@ from ..exceptions import ConfigurationError, SchedulingError
 from ..requests.request import ARRequest
 from ..rng import RngLike, ensure_rng
 from ..telemetry import get_tracer
+from ..telemetry.audit import get_journal
 from .clock import SlotClock
 from .events import Event, EventKind
 
@@ -217,8 +218,16 @@ class OnlineEngine:
         """
         start_time = time.perf_counter()
         tracer = get_tracer()
+        journal = get_journal()
+        if journal.enabled:
+            for sid in self.instance.network.station_ids:
+                journal.record(Event(
+                    slot=0, kind=EventKind.STATION_UP, station_id=sid,
+                    value=self.instance.network.station(sid).capacity_mhz))
         policy.begin(self)
         for t in self.clock.ticks():
+            if journal.enabled:
+                self._journal_outage_transitions(t, journal)
             with tracer.span("slot_admission", policy=policy.name):
                 self._admit_arrivals(t)
                 self._drop_hopeless(t)
@@ -241,19 +250,40 @@ class OnlineEngine:
     # ------------------------------------------------------------------
     # Slot phases
     # ------------------------------------------------------------------
+    def _journal_outage_transitions(self, t: int, journal) -> None:
+        """Announce injected outage edges (down at the window start,
+        back up - with capacity - the slot after it ends)."""
+        for sid in self.instance.network.station_ids:
+            window = self._outages.get(sid)
+            if window is None:
+                continue
+            if t == window[0]:
+                journal.record(Event(slot=t,
+                                     kind=EventKind.STATION_DOWN,
+                                     station_id=sid))
+            elif t == window[1] + 1:
+                journal.record(Event(
+                    slot=t, kind=EventKind.STATION_UP, station_id=sid,
+                    value=self.instance.network.station(sid).capacity_mhz))
+
     def _admit_arrivals(self, t: int) -> None:
         arrivals = self._arrivals.get(t, ())
         if arrivals:
             get_tracer().count("arrivals", len(arrivals))
+        journal = get_journal()
         for request in arrivals:
             self._pending.append(request)
-            self.events.append(Event(slot=t, kind=EventKind.ARRIVAL,
-                                     request_id=request.request_id))
+            event = Event(slot=t, kind=EventKind.ARRIVAL,
+                          request_id=request.request_id)
+            self.events.append(event)
+            if journal.enabled:
+                journal.record(event)
 
     def _drop_hopeless(self, t: int) -> None:
         """Drop pending requests that can no longer meet their deadline."""
         survivors: List[ARRequest] = []
         dropped = 0
+        journal = get_journal()
         for request in self._pending:
             best_case = (self.waiting_ms(request, t)
                          + self.min_placement_delay_ms(request))
@@ -261,8 +291,11 @@ class OnlineEngine:
                 self._decided[request.request_id] = OffloadDecision(
                     request_id=request.request_id, admitted=False,
                     waiting_ms=self.waiting_ms(request, t))
-                self.events.append(Event(slot=t, kind=EventKind.DROP,
-                                         request_id=request.request_id))
+                event = Event(slot=t, kind=EventKind.DROP,
+                              request_id=request.request_id)
+                self.events.append(event)
+                if journal.enabled:
+                    journal.record(event)
                 dropped += 1
             else:
                 survivors.append(request)
@@ -335,6 +368,12 @@ class OnlineEngine:
         self.events.append(Event(slot=t, kind=EventKind.START,
                                  request_id=request.request_id,
                                  station_id=CLOUD_STATION))
+        journal = get_journal()
+        if journal.enabled:
+            journal.record(Event(slot=t, kind=EventKind.START,
+                                 request_id=request.request_id,
+                                 station_id=CLOUD_STATION,
+                                 reward=reward, latency_ms=latency))
 
     def _progress(self, t: int) -> None:
         counts: Dict[int, int] = {}
@@ -358,6 +397,7 @@ class OnlineEngine:
         earned iff ``D_j`` meets the deadline.
         """
         slot_reward = 0.0
+        journal = get_journal()
         for active in started:
             request = active.request
             latency = self._experienced_latency_ms(active)
@@ -381,6 +421,13 @@ class OnlineEngine:
                                                  active.start_slot),
                 deadline_met=met,
             )
+            if journal.enabled:
+                journal.record(Event(
+                    slot=t, kind=EventKind.START,
+                    request_id=request.request_id,
+                    station_id=active.station_id, reward=reward,
+                    latency_ms=latency,
+                    share_mhz=active.first_share_mhz))
         return slot_reward
 
     def _complete(self, t: int) -> None:
@@ -388,12 +435,16 @@ class OnlineEngine:
         done = [a for a in self._active.values() if a.remaining_mb <= 1e-9]
         if done:
             get_tracer().count("completions", len(done))
+        journal = get_journal()
         for active in done:
-            self.events.append(Event(
+            event = Event(
                 slot=t, kind=EventKind.COMPLETE,
                 request_id=active.request.request_id,
                 station_id=active.station_id, reward=active.reward,
-                latency_ms=active.latency_ms))
+                latency_ms=active.latency_ms)
+            self.events.append(event)
+            if journal.enabled:
+                journal.record(event)
             del self._active[active.request.request_id]
 
     def _experienced_latency_ms(self, active: _Active) -> float:
@@ -413,9 +464,24 @@ class OnlineEngine:
         start-time decision; only never-started requests remain open.
         """
         t = self.clock.horizon_slots - 1
+        journal = get_journal()
         for request in self._pending:
             self._decided[request.request_id] = OffloadDecision(
                 request_id=request.request_id, admitted=False,
                 waiting_ms=self.waiting_ms(request, t))
+            if journal.enabled:
+                journal.record(Event(slot=t, kind=EventKind.DROP,
+                                     request_id=request.request_id))
+        for active in self._active.values():
+            if active.latency_ms is None:
+                # Started on a station that died under it: the stream
+                # never responded.  The DROP carries the station that
+                # last hosted the request.
+                event = Event(slot=t, kind=EventKind.DROP,
+                              request_id=active.request.request_id,
+                              station_id=active.station_id)
+                self.events.append(event)
+                if journal.enabled:
+                    journal.record(event)
         self._pending = []
         self._active = {}

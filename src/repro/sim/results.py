@@ -31,6 +31,11 @@ class RunRecord:
             :mod:`repro.telemetry`) when it executed with tracing
             enabled; None otherwise.  Excluded from determinism
             comparisons except in canonical form.
+        journal: the decision audit journal of the run (see
+            :mod:`repro.telemetry.audit`) when it executed with
+            journaling enabled; None otherwise.  Journals are
+            wall-clock-free, so they participate in determinism
+            comparisons as-is.
     """
 
     algorithm: str
@@ -38,6 +43,7 @@ class RunRecord:
     seed: int
     metrics: Mapping[str, float]
     trace: Optional[Tuple[Dict[str, Any], ...]] = None
+    journal: Optional[Tuple[Dict[str, Any], ...]] = None
 
 
 class SweepResult:

@@ -19,6 +19,13 @@ _GLYPHS = {
     EventKind.PREEMPT_WAIT: "w",
     EventKind.COMPLETE: "C",
     EventKind.DROP: "x",
+    EventKind.MIGRATE: "m",
+    EventKind.REJECT_ROUNDING: "r",
+    EventKind.ADMIT: "A",
+    EventKind.ARM_SELECTED: "b",
+    EventKind.ARM_ELIMINATED: "e",
+    EventKind.STATION_DOWN: "D",
+    EventKind.STATION_UP: "U",
 }
 
 

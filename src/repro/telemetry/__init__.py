@@ -28,8 +28,21 @@ or exported as ``BENCH_<name>.json``; :mod:`~repro.telemetry.regression`
 diffs two ledgers with tolerance gates (``python -m repro.experiments
 bench-diff OLD NEW``); and :mod:`~repro.telemetry.progress` provides
 the live stderr heartbeat behind the CLIs' ``--progress`` flag.
+
+:mod:`~repro.telemetry.audit` adds the *decision* audit trail: a
+canonical :class:`Journal` of every scheduling decision (lifecycle,
+migrations, rounding admissions/rejections, bandit arm plays and
+eliminations, station outages), an online :class:`InvariantMonitor`
+checking the paper's invariants over that stream in ``strict`` or
+``collect`` mode, and - via :mod:`~repro.telemetry.tracediff` - the
+``trace-diff`` CLI that localizes the first divergent event between
+two journals (``python -m repro.experiments trace-diff A B``).
 """
 
+from .audit import (INVARIANTS, NULL_JOURNAL, AuditOutcome,
+                    InvariantMonitor, Journal, NullJournal, Violation,
+                    audit_records, collect_sweep_journal, get_journal,
+                    set_journal, use_journal)
 from .export import (WALL_CLOCK_FIELDS, canonical_events,
                      collect_sweep_trace, read_jsonl, write_jsonl)
 from .ledger import (MANIFEST_SCHEMA, WALL_CLOCK_METRICS, RunManifest,
@@ -46,12 +59,18 @@ from .tracer import (NULL_TRACER, NullTracer, Tracer, get_tracer,
                      set_tracer, use_tracer)
 
 __all__ = [
+    "AuditOutcome",
     "DEFAULT_METRIC_TOL",
     "DEFAULT_WALL_TOL",
     "Delta",
     "DiffReport",
+    "INVARIANTS",
+    "InvariantMonitor",
+    "Journal",
     "MANIFEST_SCHEMA",
+    "NULL_JOURNAL",
     "NULL_TRACER",
+    "NullJournal",
     "NullTracer",
     "ProgressReporter",
     "RunManifest",
@@ -60,10 +79,14 @@ __all__ = [
     "Tracer",
     "WALL_CLOCK_FIELDS",
     "WALL_CLOCK_METRICS",
+    "Violation",
     "append_ledger",
+    "audit_records",
     "canonical_events",
+    "collect_sweep_journal",
     "collect_sweep_trace",
     "config_hash",
+    "get_journal",
     "diff_ledgers",
     "diff_manifests",
     "get_tracer",
@@ -75,8 +98,10 @@ __all__ = [
     "read_jsonl",
     "read_ledger",
     "render_summary",
+    "set_journal",
     "set_tracer",
     "summarize_events",
+    "use_journal",
     "use_tracer",
     "write_bench",
     "write_jsonl",

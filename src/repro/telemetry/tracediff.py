@@ -1,0 +1,169 @@
+"""Localize the first divergence between two decision journals.
+
+``python -m repro.experiments trace-diff A.jsonl B.jsonl`` aligns two
+journals event by event and, when they disagree, prints the first
+divergent event with +/- k events of context and a per-key field diff.
+Exit codes match ``bench-diff``:
+
+* ``0`` - the journals are identical;
+* ``1`` - the journals diverge (the localization is printed);
+* ``2`` - an input is unusable (missing file, malformed JSONL).
+
+Because journals are canonical (wall-clock-free, deterministic
+emission order, JSONL round-trip-stable field encoding), a serial and
+a ``--workers N`` run of the same spec must produce byte-identical
+journals; trace-diff turns "the blind assert failed" into "these two
+runs disagreed at event 1234, and here is the decision each made".
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import (Any, Dict, List, Mapping, Optional, Sequence,
+                    Tuple)
+
+#: Exit codes, mirroring :mod:`repro.telemetry.regression`.
+EXIT_OK = 0
+EXIT_DIVERGED = 1
+EXIT_ERROR = 2
+
+
+def load_journal(path: str) -> List[Dict[str, Any]]:
+    """Read a JSONL journal; raises ValueError on malformed input."""
+    events: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: not valid JSON ({exc})") from exc
+            if not isinstance(event, dict):
+                raise ValueError(
+                    f"{path}:{lineno}: expected a JSON object, got "
+                    f"{type(event).__name__}")
+            events.append(event)
+    return events
+
+
+def first_divergence(a: Sequence[Mapping[str, Any]],
+                     b: Sequence[Mapping[str, Any]]
+                     ) -> Optional[int]:
+    """Index of the first event where the journals disagree.
+
+    Returns None when the journals are identical.  If one journal is a
+    strict prefix of the other, the divergence is at the shorter
+    length (the first event only one side has).
+    """
+    for index in range(min(len(a), len(b))):
+        if dict(a[index]) != dict(b[index]):
+            return index
+    if len(a) != len(b):
+        return min(len(a), len(b))
+    return None
+
+
+def _field_diff(a: Mapping[str, Any], b: Mapping[str, Any]
+                ) -> List[str]:
+    """Per-key differences between two event dicts."""
+    lines = []
+    for key in sorted(set(a) | set(b)):
+        left = a.get(key, "<absent>")
+        right = b.get(key, "<absent>")
+        if left != right:
+            lines.append(f"    {key}: {left!r} != {right!r}")
+    return lines
+
+
+def _render_event(event: Optional[Mapping[str, Any]]) -> str:
+    if event is None:
+        return "<end of journal>"
+    return json.dumps(event, sort_keys=True)
+
+
+def render_divergence(a: Sequence[Mapping[str, Any]],
+                      b: Sequence[Mapping[str, Any]],
+                      index: int, context: int = 3,
+                      names: Tuple[str, str] = ("A", "B")) -> str:
+    """The localization report: context, the split, and a field diff."""
+    lines = [f"journals diverge at event {index} "
+             f"({names[0]}: {len(a)} events, {names[1]}: "
+             f"{len(b)} events)"]
+    lo = max(0, index - context)
+    if lo > 0:
+        lines.append(f"  ... {lo} matching event(s) omitted ...")
+    for i in range(lo, index):
+        lines.append(f"  = [{i}] {_render_event(a[i])}")
+    left = a[index] if index < len(a) else None
+    right = b[index] if index < len(b) else None
+    lines.append(f"  < [{index}] {_render_event(left)}")
+    lines.append(f"  > [{index}] {_render_event(right)}")
+    if left is not None and right is not None:
+        lines.extend(_field_diff(left, right))
+    hi = min(min(len(a), len(b)), index + 1 + context)
+    for i in range(index + 1, hi):
+        marker = "=" if dict(a[i]) == dict(b[i]) else "~"
+        lines.append(f"  {marker} [{i}] {_render_event(a[i])}")
+        if marker == "~":
+            lines.append(f"  ~ [{i}] {_render_event(b[i])}")
+    return "\n".join(lines)
+
+
+def diff_journals(a: Sequence[Mapping[str, Any]],
+                  b: Sequence[Mapping[str, Any]],
+                  context: int = 3,
+                  names: Tuple[str, str] = ("A", "B")
+                  ) -> Tuple[int, str]:
+    """Compare two in-memory journals.
+
+    Returns:
+        ``(exit_code, report)`` - code :data:`EXIT_OK` with a one-line
+        confirmation, or :data:`EXIT_DIVERGED` with the localization.
+    """
+    index = first_divergence(a, b)
+    if index is None:
+        return EXIT_OK, (f"journals identical "
+                         f"({len(a)} events)")
+    return EXIT_DIVERGED, render_divergence(a, b, index,
+                                            context=context,
+                                            names=names)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point (``python -m repro.experiments trace-diff``)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments trace-diff",
+        description="Align two decision journals (JSONL) and localize "
+                    "the first divergent event.  Exits 0 when "
+                    "identical, 1 on divergence, 2 on unusable input.")
+    parser.add_argument("journal_a", metavar="A.jsonl",
+                        help="first journal (e.g. the serial run)")
+    parser.add_argument("journal_b", metavar="B.jsonl",
+                        help="second journal (e.g. the parallel run)")
+    parser.add_argument("--context", type=int, default=3, metavar="K",
+                        help="events of context around the divergence "
+                             "(default: 3)")
+    args = parser.parse_args(argv)
+    if args.context < 0:
+        print("error: --context must be >= 0", file=sys.stderr)
+        return EXIT_ERROR
+    try:
+        journal_a = load_journal(args.journal_a)
+        journal_b = load_journal(args.journal_b)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    code, report = diff_journals(
+        journal_a, journal_b, context=args.context,
+        names=(args.journal_a, args.journal_b))
+    print(report)
+    return code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,19 +2,47 @@
 
 import pytest
 
-from repro.experiments.report import (build_report, main,
+from repro.experiments.report import (build_report,
+                                      invariant_audit_markdown, main,
                                       render_figure_markdown,
                                       _markdown_table)
 from repro.sim.results import RunRecord, SweepResult
 
 
-def make_sweep():
+def make_sweep(journal=None):
     sweep = SweepResult("num_requests")
     for x in (10, 20):
         sweep.add(RunRecord("Appro", x, 0, {"total_reward": 2.0 * x,
-                                            "avg_latency_ms": 60.0}))
+                                            "avg_latency_ms": 60.0},
+                            journal=journal))
         sweep.add(RunRecord("Greedy", x, 0, {"total_reward": 1.0 * x,
-                                             "avg_latency_ms": 40.0}))
+                                             "avg_latency_ms": 40.0},
+                            journal=journal))
+    return sweep
+
+
+def journal_for(x):
+    """A clean single-request journal matching make_sweep's metrics."""
+    return (
+        {"kind": "station_up", "slot": 0, "station": 0, "value": 500.0},
+        {"kind": "arrival", "slot": 0, "request": 1},
+        {"kind": "start", "slot": 0, "request": 1, "station": 0,
+         "reward": float(x)},
+        {"kind": "complete", "slot": 1, "request": 1, "station": 0,
+         "reward": float(x)},
+    )
+
+
+def make_journaled_sweep(tamper=False):
+    sweep = SweepResult("num_requests")
+    for x in (10, 20):
+        journal = journal_for(2.0 * x)
+        if tamper:  # double COMPLETE: the double_terminal mutation
+            journal = journal + (journal[-1],)
+        sweep.add(RunRecord(
+            "Appro", x, 0,
+            {"total_reward": 2.0 * x, "num_admitted": 1},
+            journal=journal))
     return sweep
 
 
@@ -105,3 +133,45 @@ class TestBuildReport:
         code = main(["--no-theorems"])
         assert code == 0
         assert "## Figure 3" in capsys.readouterr().out
+
+
+class TestInvariantAuditSection:
+    def test_no_journals_no_section(self):
+        assert invariant_audit_markdown({"fig3": make_sweep()}) is None
+
+    def test_clean_audit_renders_ok(self):
+        text = invariant_audit_markdown(
+            {"fig3": make_journaled_sweep()})
+        assert text.startswith("## Invariant audit")
+        assert "all invariants held" in text
+        assert "| lifecycle |" in text
+        assert "not exercised" in text  # e.g. arm invariants
+
+    def test_violations_listed(self):
+        text = invariant_audit_markdown(
+            {"fig3": make_journaled_sweep(tamper=True)})
+        assert "VIOLATION" in text
+        assert "double_terminal" in text
+        assert "Appro x=10 seed=0" in text
+
+    def test_build_report_appends_audit_section(self):
+        def tiny_driver(scale, workers=1, trace=False, journal=False):
+            return make_journaled_sweep() if journal else make_sweep()
+
+        text = build_report(
+            figures=(("3", tiny_driver, ("total_reward",)),),
+            include_theorems=False,
+            journal=True)
+        assert "## Invariant audit" in text
+
+    def test_journal_sink_receives_merged_events(self):
+        def tiny_driver(scale, workers=1, trace=False, journal=False):
+            return make_journaled_sweep() if journal else make_sweep()
+
+        sink = []
+        build_report(
+            figures=(("3", tiny_driver, ("total_reward",)),),
+            include_theorems=False,
+            journal=True, journal_sink=sink)
+        assert sink
+        assert all("figure" in e and "run" in e for e in sink)

@@ -84,8 +84,10 @@ class TestStripChart:
 class TestSummary:
     def test_totals(self, events):
         totals = summarize_events(events)
-        assert totals == {"arrival": 2, "start": 1, "preempt_wait": 0,
-                          "complete": 1, "drop": 1}
+        expected = {kind.value: 0 for kind in EventKind}
+        expected.update({"arrival": 2, "start": 1, "complete": 1,
+                         "drop": 1})
+        assert totals == expected
 
     def test_real_engine_log(self, small_instance, online_workload):
         from repro.core.dynamic_rr import DynamicRR

@@ -1,0 +1,360 @@
+"""Decision journal and invariant monitor.
+
+The mutation tests seed one deliberate violation per named invariant
+(oversubscribed station, double COMPLETE, migration past a feasible
+closer neighbour, replayed eliminated arm, ...) and assert that the
+monitor fires it in strict mode and collects it in collect mode -
+every key of ``INVARIANTS`` is exercised by at least one mutation.
+"""
+
+import pytest
+
+from repro.exceptions import ConfigurationError, InvariantViolation
+from repro.sim.events import Event, EventKind
+from repro.telemetry.audit import (INVARIANTS, NULL_JOURNAL,
+                                   InvariantMonitor, Journal,
+                                   NullJournal, Violation,
+                                   audit_records,
+                                   collect_sweep_journal, get_journal,
+                                   set_journal, use_journal)
+
+
+def ev(kind, slot=0, **fields):
+    """A journal record (the canonical dict form)."""
+    record = {"kind": kind, "slot": slot}
+    record.update(fields)
+    return record
+
+
+#: A legal little stream: station up, one served request, one drop.
+CLEAN = [
+    ev("station_up", station=0, value=100.0),
+    ev("arrival", request=1),
+    ev("arrival", request=2),
+    ev("start", slot=1, request=1, station=0, reward=5.0,
+       share_mhz=40.0),
+    ev("drop", slot=2, request=2),
+    ev("complete", slot=3, request=1, station=0, reward=5.0),
+]
+
+
+class TestJournal:
+    def test_records_canonical_dicts(self):
+        journal = Journal()
+        journal.record(Event(slot=3, kind=EventKind.ARRIVAL,
+                             request_id=7))
+        assert journal.events() == [
+            {"kind": "arrival", "slot": 3, "request": 7}]
+
+    def test_accepts_prebuilt_dicts(self):
+        journal = Journal()
+        journal.record({"kind": "drop", "slot": 1, "request": 2})
+        assert len(journal) == 1
+
+    def test_observers_see_events_in_order(self):
+        journal = Journal()
+        seen = []
+
+        class Spy:
+            def observe(self, event, index):
+                seen.append((index, event["kind"]))
+
+        journal.attach(Spy())
+        journal.record(ev("arrival", request=1))
+        journal.record(ev("drop", slot=1, request=1))
+        assert seen == [(0, "arrival"), (1, "drop")]
+
+    def test_clear_keeps_observers(self):
+        journal = Journal()
+        seen = []
+
+        class Spy:
+            def observe(self, event, index):
+                seen.append(index)
+
+        journal.attach(Spy())
+        journal.record(ev("arrival", request=1))
+        journal.clear()
+        assert len(journal) == 0
+        journal.record(ev("arrival", request=2))
+        assert seen == [0, 0]
+
+    def test_null_journal_is_disabled_noop(self):
+        null = NullJournal()
+        assert not null.enabled
+        null.record(ev("arrival", request=1))
+        null.attach(object())
+        assert null.events() == []
+        assert len(null) == 0
+
+    def test_default_current_journal_is_null(self):
+        assert get_journal() is NULL_JOURNAL
+
+    def test_use_journal_installs_and_restores(self):
+        journal = Journal()
+        with use_journal(journal) as current:
+            assert current is journal
+            assert get_journal() is journal
+        assert get_journal() is NULL_JOURNAL
+
+    def test_use_journal_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with use_journal(Journal()):
+                raise RuntimeError("boom")
+        assert get_journal() is NULL_JOURNAL
+
+    def test_set_journal_none_restores_null(self):
+        set_journal(Journal())
+        assert set_journal(None) is NULL_JOURNAL
+        assert get_journal() is NULL_JOURNAL
+
+
+class TestMonitorCleanStream:
+    def test_clean_stream_has_no_violations(self):
+        monitor = InvariantMonitor(mode="strict").check_events(CLEAN)
+        assert monitor.ok
+        assert monitor.violations == []
+
+    def test_finish_matches_result(self):
+        monitor = InvariantMonitor(mode="strict").check_events(CLEAN)
+        monitor.finish({"total_reward": 5.0, "num_admitted": 1})
+        assert monitor.ok
+
+    def test_checks_are_counted(self):
+        monitor = InvariantMonitor().check_events(CLEAN)
+        assert monitor.checks["lifecycle"] > 0
+        assert monitor.checks["capacity"] > 0
+
+    def test_mode_validation(self):
+        with pytest.raises(ConfigurationError):
+            InvariantMonitor(mode="sloppy")
+        with pytest.raises(ConfigurationError):
+            InvariantMonitor(tol=-1.0)
+
+    def test_report_names_every_invariant(self):
+        text = InvariantMonitor().check_events(CLEAN).report()
+        for name in INVARIANTS:
+            assert name in text
+
+
+def _assert_mutation(events, invariant, finish=None):
+    """The core mutation contract: strict raises, collect collects."""
+    strict = InvariantMonitor(mode="strict")
+    with pytest.raises(InvariantViolation) as exc_info:
+        strict.check_events(events)
+        if finish is not None:
+            strict.finish(finish)
+    assert exc_info.value.violation.invariant == invariant
+
+    collect = InvariantMonitor(mode="collect").check_events(events)
+    if finish is not None:
+        collect.finish(finish)
+    assert not collect.ok
+    assert any(v.invariant == invariant for v in collect.violations)
+    return collect
+
+
+class TestMutations:
+    """One seeded violation per named invariant."""
+
+    def test_slot_order(self):
+        events = [ev("arrival", slot=5, request=1),
+                  ev("arrival", slot=3, request=2)]
+        _assert_mutation(events, "slot_order")
+
+    def test_slot_order_ignores_resource_slot_kinds(self):
+        events = [ev("arrival", slot=5, request=1),
+                  ev("admit", slot=0, request=1, station=0,
+                     reward=1.0)]
+        assert InvariantMonitor(mode="strict").check_events(events).ok
+
+    def test_lifecycle_start_without_arrival(self):
+        events = [ev("start", request=9, station=0, reward=1.0)]
+        _assert_mutation(events, "lifecycle")
+
+    def test_lifecycle_complete_without_start(self):
+        events = [ev("arrival", request=1),
+                  ev("complete", slot=1, request=1, reward=0.0)]
+        _assert_mutation(events, "lifecycle")
+
+    def test_double_terminal_double_complete(self):
+        events = CLEAN + [ev("complete", slot=4, request=1,
+                             station=0, reward=5.0)]
+        _assert_mutation(events, "double_terminal")
+
+    def test_double_terminal_drop_after_complete(self):
+        events = CLEAN + [ev("drop", slot=4, request=1)]
+        _assert_mutation(events, "double_terminal")
+
+    def test_capacity_oversubscribed_reservations(self):
+        events = [ev("station_up", station=0, value=100.0),
+                  ev("admit", request=1, station=0, reward=1.0,
+                     reserved_mhz=60.0),
+                  ev("admit", request=2, station=0, reward=1.0,
+                     reserved_mhz=60.0)]
+        collect = _assert_mutation(events, "capacity")
+        assert "oversubscribed" in str(collect.violations[0])
+
+    def test_capacity_share_beyond_station(self):
+        events = [ev("station_up", station=0, value=100.0),
+                  ev("arrival", request=1),
+                  ev("start", slot=1, request=1, station=0,
+                     reward=1.0, share_mhz=150.0)]
+        _assert_mutation(events, "capacity")
+
+    def test_capacity_migration_frees_the_source(self):
+        # 60 + 60 only fits because the migration moved 60 away first.
+        events = [ev("station_up", station=0, value=100.0),
+                  ev("station_up", station=1, value=100.0),
+                  ev("admit", request=1, station=0, reward=1.0,
+                     reserved_mhz=60.0),
+                  ev("migrate", request=1, station=1, src=0,
+                     task=0, reserved_mhz=60.0),
+                  ev("admit", request=2, station=0, reward=1.0,
+                     reserved_mhz=60.0)]
+        assert InvariantMonitor(mode="strict").check_events(events).ok
+
+    def test_reward_consistency(self):
+        events = [ev("station_up", station=0, value=100.0),
+                  ev("arrival", request=1),
+                  ev("start", slot=1, request=1, station=0,
+                     reward=5.0),
+                  ev("complete", slot=2, request=1, station=0,
+                     reward=7.0)]
+        _assert_mutation(events, "reward_consistency")
+
+    def test_reward_accounting_total(self):
+        monitor = InvariantMonitor(mode="collect").check_events(CLEAN)
+        monitor.finish({"total_reward": 99.0, "num_admitted": 1})
+        assert any(v.invariant == "reward_accounting"
+                   for v in monitor.violations)
+
+    def test_reward_accounting_admission_count(self):
+        monitor = InvariantMonitor(mode="collect").check_events(CLEAN)
+        monitor.finish({"total_reward": 5.0, "num_admitted": 3})
+        assert any(v.invariant == "reward_accounting"
+                   for v in monitor.violations)
+
+    def test_reward_accounting_strict_raises(self):
+        monitor = InvariantMonitor(mode="strict").check_events(CLEAN)
+        with pytest.raises(InvariantViolation):
+            monitor.finish({"total_reward": 99.0})
+
+    def test_migration_target_skipped_feasible_neighbour(self):
+        # Station 2 was closer and had 80 MHz free for a 50 MHz share,
+        # yet the task went to station 3: not the closest feasible.
+        events = [ev("migrate", request=1, station=3, src=0, task=0,
+                     reserved_mhz=50.0,
+                     detail=[[2, 80.0, "capacity"]])]
+        _assert_mutation(events, "migration_target")
+
+    def test_migration_target_honest_skips_pass(self):
+        events = [ev("migrate", request=1, station=3, src=0, task=0,
+                     reserved_mhz=50.0,
+                     detail=[[1, 10.0, "capacity"],
+                             [2, 80.0, "latency"]])]
+        assert InvariantMonitor(mode="strict").check_events(events).ok
+
+    def test_arm_replay(self):
+        events = [ev("arm_eliminated", arm=3, value=500.0),
+                  ev("arm_selected", slot=1, arm=3, value=500.0)]
+        _assert_mutation(events, "arm_replay")
+
+    def test_arm_separation(self):
+        # UCB above the best LCB: the intervals had not separated.
+        events = [ev("arm_eliminated", arm=2, value=400.0,
+                     detail=[0.9, 0.5])]
+        _assert_mutation(events, "arm_separation")
+
+    def test_arm_separation_legal_elimination_passes(self):
+        events = [ev("arm_selected", arm=2, value=400.0),
+                  ev("arm_eliminated", slot=1, arm=2, value=400.0,
+                     detail=[0.4, 0.5])]
+        assert InvariantMonitor(mode="strict").check_events(events).ok
+
+    def test_station_outage(self):
+        events = [ev("station_up", station=0, value=100.0),
+                  ev("arrival", request=1),
+                  ev("station_down", slot=1, station=0),
+                  ev("start", slot=1, request=1, station=0,
+                     reward=0.0)]
+        _assert_mutation(events, "station_outage")
+
+    def test_station_recovers_after_outage(self):
+        events = [ev("station_up", station=0, value=100.0),
+                  ev("arrival", request=1),
+                  ev("station_down", slot=1, station=0),
+                  ev("station_up", slot=3, station=0, value=100.0),
+                  ev("start", slot=3, request=1, station=0,
+                     reward=1.0)]
+        assert InvariantMonitor(mode="strict").check_events(events).ok
+
+    def test_every_invariant_has_a_mutation(self):
+        """Meta-check: the suite above covers all named invariants."""
+        import inspect
+
+        source = inspect.getsource(TestMutations)
+        for name in INVARIANTS:
+            assert f'"{name}"' in source or f"'{name}'" in source
+
+
+class TestOnlineMonitoring:
+    def test_strict_monitor_fires_at_record_time(self):
+        journal = Journal()
+        monitor = InvariantMonitor(mode="strict")
+        journal.attach(monitor)
+        journal.record(ev("arrival", request=1))
+        with pytest.raises(InvariantViolation):
+            journal.record(ev("arrival", request=1))
+        # The journal still holds both events; the monitor located
+        # the second one.
+        assert len(journal) == 2
+        assert monitor.violations[0].index == 1
+
+
+class TestSweepHelpers:
+    class FakeRecord:
+        def __init__(self, journal, metrics=None):
+            self.journal = journal
+            self.metrics = metrics or {}
+            self.algorithm = "Algo"
+            self.x = 1.0
+            self.seed = 0
+
+    def test_collect_sweep_journal_annotates(self):
+        records = [self.FakeRecord(tuple(CLEAN)),
+                   self.FakeRecord(None),
+                   self.FakeRecord(tuple(CLEAN))]
+        merged = collect_sweep_journal(records)
+        assert len(merged) == 2 * len(CLEAN)
+        assert merged[0]["run"] == 0
+        assert merged[-1]["run"] == 2
+        assert all(e["algorithm"] == "Algo" for e in merged)
+
+    def test_audit_records_checks_each_run(self):
+        good = self.FakeRecord(
+            tuple(CLEAN), {"total_reward": 5.0, "num_admitted": 1})
+        bad = self.FakeRecord(
+            tuple(CLEAN), {"total_reward": 50.0, "num_admitted": 1})
+        outcome = audit_records([good, bad, self.FakeRecord(None)])
+        assert outcome.runs_audited == 2
+        assert not outcome.ok
+        assert len(outcome.violations) == 1
+        tag, violation = outcome.violations[0]
+        assert violation.invariant == "reward_accounting"
+
+    def test_audit_outcome_requires_an_audited_run(self):
+        assert not audit_records([self.FakeRecord(None)]).ok
+
+
+class TestViolation:
+    def test_str_includes_location(self):
+        violation = Violation("capacity", "too much", index=7)
+        assert "[capacity]" in str(violation)
+        assert "event 7" in str(violation)
+
+    def test_exception_carries_violation(self):
+        violation = Violation("lifecycle", "bad")
+        error = InvariantViolation(violation)
+        assert error.violation is violation
+        assert "lifecycle" in str(error)
