@@ -7,7 +7,6 @@ be competitive (within a modest band) - and the bench prints both so
 regressions in either learner are visible.
 """
 
-import pytest
 
 from repro.config import SimulationConfig
 from repro.core.dynamic_rr import DynamicRR

@@ -7,7 +7,6 @@ The measured competitive ratio contextualizes the online rewards; the
 baselines trail further behind the bound.
 """
 
-import pytest
 
 from repro.baselines import HeuKktOnline, OcorpOnline
 from repro.config import SimulationConfig

@@ -8,7 +8,6 @@ for the online algorithms on a bursty arrival pattern, where starvation
 actually has room to appear.
 """
 
-import pytest
 
 from repro.baselines import GreedyOnline, HeuKktOnline, OcorpOnline
 from repro.config import SimulationConfig

@@ -6,7 +6,6 @@ the evaluation's repeated-pass mode.  Theorem 1 guarantees an expected
 ratio of at least 1/8 for the single pass; repetition only helps.
 """
 
-import pytest
 
 from repro.config import (NetworkConfig, OnlineConfig, RequestConfig,
                           SimulationConfig)

@@ -14,7 +14,6 @@ Two studies:
 import math
 
 import numpy as np
-import pytest
 
 from repro.bandits.lipschitz import LipschitzBandit
 from repro.bandits.regret import RegretTracker

@@ -11,7 +11,6 @@
 
 from dataclasses import replace
 
-import pytest
 
 from repro.config import SimulationConfig
 from repro.core.appro import Appro

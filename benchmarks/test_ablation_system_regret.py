@@ -9,7 +9,6 @@ arm's per-slot reward (learning cost amortizes over the horizon).
 """
 
 import numpy as np
-import pytest
 
 from repro.config import SimulationConfig
 from repro.core.dynamic_rr import DynamicRR

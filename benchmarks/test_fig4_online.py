@@ -14,9 +14,8 @@ Paper shapes asserted here:
 
 import time
 
-import pytest
 
-from conftest import (bench_workers, latency_series, record_bench,
+from conftest import (bench_workers, record_bench,
                       reward_series, series_sum)
 from repro.experiments import bench_scale, figure4, render_figure
 

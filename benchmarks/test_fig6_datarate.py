@@ -11,7 +11,6 @@ Paper shapes asserted here:
 
 import time
 
-import pytest
 
 from conftest import (bench_workers, latency_series, record_bench,
                       reward_series, series_sum)

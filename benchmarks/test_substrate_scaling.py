@@ -9,7 +9,6 @@ so performance regressions in the LP layer are visible.
 import time
 from dataclasses import replace
 
-import pytest
 
 from repro.config import SimulationConfig
 from repro.core.instance import ProblemInstance

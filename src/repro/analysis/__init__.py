@@ -1,0 +1,57 @@
+"""Static enforcement of the project's determinism & domain rules.
+
+Four PRs fought the same bug class at *runtime* - OS-entropy seeding,
+wall-clock leakage into serialized records, unordered emission breaking
+serial-vs-parallel byte identity.  This package turns those hard-won
+contracts into named AST checks that fail in CI before the code runs:
+
+=========  ==========================================================
+rule       enforces
+=========  ==========================================================
+DET001     no wall-clock calls outside the telemetry allowlist
+DET002     no global/OS-entropy RNG outside ``repro.rng``
+DET003     no unsorted set/dict-keys iteration feeding serialization
+NUM001     no float ``==``/``!=`` on reward/capacity/rate expressions
+UNIT001    ``*_mhz``/``*_mbps`` only mix via ``repro.units``
+PKL001     no lambdas/closures/local classes in RunSpec/Event payloads
+EVT001     every EventKind has a timeline glyph and an audit check
+=========  ==========================================================
+
+Run it with ``python -m repro.analysis src`` (exit 0 clean / 1 new
+findings / 2 unusable input, matching ``bench-diff``/``trace-diff``).
+Suppress a justified finding in place with ``# repro: noqa RULE --
+why``; freeze pre-existing debt with ``--write-baseline``.  See
+``docs/ANALYSIS.md`` for the full catalogue.
+"""
+
+from __future__ import annotations
+
+# Importing the rule modules populates the registry.
+from . import determinism as _determinism  # noqa: F401
+from . import events_rule as _events_rule  # noqa: F401
+from . import numerics as _numerics  # noqa: F401
+from . import pickles as _pickles  # noqa: F401
+from .baseline import (apply_baseline, load_baseline, save_baseline)
+from .cli import main
+from .findings import Finding, sort_findings
+from .framework import (RULES, AnalysisReport, ModuleInfo, ProjectRule,
+                        Rule, analyze_source, module_from_source,
+                        register, run_analysis)
+
+__all__ = [
+    "AnalysisReport",
+    "Finding",
+    "ModuleInfo",
+    "ProjectRule",
+    "RULES",
+    "Rule",
+    "analyze_source",
+    "apply_baseline",
+    "load_baseline",
+    "main",
+    "module_from_source",
+    "register",
+    "run_analysis",
+    "save_baseline",
+    "sort_findings",
+]

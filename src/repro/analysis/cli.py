@@ -1,0 +1,164 @@
+"""``python -m repro.analysis`` - the determinism/domain lint gate.
+
+Exit codes match ``bench-diff`` / ``trace-diff``:
+
+* ``0`` - no findings beyond the committed baseline;
+* ``1`` - at least one new finding (each is printed with a fix hint);
+* ``2`` - the scan itself could not run (bad path, unparsable file,
+  malformed baseline, unknown rule id).
+
+Typical invocations::
+
+    python -m repro.analysis src                 # gate (CI default)
+    python -m repro.analysis src --format json   # machine-readable
+    python -m repro.analysis src --write-baseline  # freeze findings
+    python -m repro.analysis --list-rules        # rule catalogue
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..exceptions import ConfigurationError
+from .baseline import (apply_baseline, load_baseline, save_baseline)
+from .findings import Finding
+from .framework import RULES, AnalysisReport, run_analysis
+
+EXIT_OK = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
+#: Baseline file picked up automatically when present in the cwd.
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+
+def _split_rule_list(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    return [part.strip() for part in raw.split(",") if part.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Determinism & domain-rule static analysis for "
+                    "the repro source tree.")
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to scan (default: src)")
+    parser.add_argument(
+        "--baseline", default=DEFAULT_BASELINE,
+        help=f"baseline file of frozen findings (default: "
+             f"{DEFAULT_BASELINE}; silently skipped when absent)")
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file - report every finding")
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="freeze the current findings into --baseline and exit 0")
+    parser.add_argument(
+        "--select", metavar="RULES",
+        help="comma-separated rule ids to run (default: all)")
+    parser.add_argument(
+        "--ignore", metavar="RULES",
+        help="comma-separated rule ids to skip")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format on stdout (default: text)")
+    parser.add_argument(
+        "--output", metavar="FILE",
+        help="also write the JSON findings report to FILE (the CI "
+             "artifact)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit")
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule_id, cls in RULES.items():
+        lines.append(f"{rule_id}  {cls.title}")
+        lines.append(f"    why:  {cls.rationale}")
+        lines.append(f"    fix:  {cls.hint}")
+        if cls.allowlist:
+            lines.append(f"    allowlisted: "
+                         f"{', '.join(cls.allowlist)}")
+    return "\n".join(lines)
+
+
+def _json_report(report: AnalysisReport, new: Sequence[Finding],
+                 baselined: int,
+                 stale: Sequence[Any]) -> Dict[str, Any]:
+    return {
+        "schema": "repro.analysis-report/1",
+        "files_scanned": report.files_scanned,
+        "suppressed": report.suppressed,
+        "baselined": baselined,
+        "stale_baseline_entries": [list(fp) for fp in stale],
+        "findings": [finding.to_dict() for finding in new],
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        print(_list_rules())
+        return EXIT_OK
+    try:
+        report = run_analysis(
+            [Path(p) for p in args.paths],
+            select=_split_rule_list(args.select),
+            ignore=_split_rule_list(args.ignore))
+    except ConfigurationError as error:
+        print(f"analysis error: {error}", file=sys.stderr)
+        return EXIT_ERROR
+
+    if args.write_baseline:
+        save_baseline(args.baseline, report.findings)
+        print(f"baseline: froze {len(report.findings)} finding(s) "
+              f"into {args.baseline}")
+        return EXIT_OK
+
+    baselined = 0
+    stale: List[Any] = []
+    new = list(report.findings)
+    baseline_path = Path(args.baseline)
+    if not args.no_baseline and baseline_path.exists():
+        try:
+            baseline = load_baseline(baseline_path)
+        except ConfigurationError as error:
+            print(f"analysis error: {error}", file=sys.stderr)
+            return EXIT_ERROR
+        new, baselined, stale = apply_baseline(report.findings,
+                                               baseline)
+
+    payload = _json_report(report, new, baselined, stale)
+    if args.output:
+        Path(args.output).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+    if args.format == "json":
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for finding in new:
+            print(finding.render())
+        for fingerprint in stale:
+            print(f"warning: stale baseline entry (fixed? run "
+                  f"--write-baseline): {fingerprint}",
+                  file=sys.stderr)
+        summary = (f"checked {report.files_scanned} file(s): "
+                   f"{len(new)} new finding(s), "
+                   f"{baselined} baselined, "
+                   f"{report.suppressed} noqa-suppressed")
+        print(summary)
+    return EXIT_FINDINGS if new else EXIT_OK
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

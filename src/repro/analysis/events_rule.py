@@ -1,0 +1,141 @@
+"""EVT001: cross-module EventKind coverage.
+
+Every :class:`~repro.sim.events.EventKind` member must be renderable
+(a glyph in ``repro/sim/timeline.py``'s ``_GLYPHS``) and checkable (its
+value string appears in a kind table or dispatch literal of
+``repro/telemetry/audit.py``'s :class:`InvariantMonitor`).  PR 4 grew
+the enum by seven kinds and wired each into both modules by hand; this
+rule makes forgetting the wiring a lint failure instead of a silently
+unrendered / unaudited event kind.
+
+The rule only fires when all three modules are inside the scanned
+tree, so scanning a fixture subset or a single file never produces
+spurious coverage findings.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .findings import Finding
+from .framework import ModuleInfo, ProjectRule, register
+
+_EVENTS_SUFFIX = "repro/sim/events.py"
+_TIMELINE_SUFFIX = "repro/sim/timeline.py"
+_AUDIT_SUFFIX = "repro/telemetry/audit.py"
+
+#: Module-level assignments in audit.py treated as kind check tables.
+_KIND_TABLE_RE = re.compile(r"^_[A-Z0-9_]*KINDS$")
+
+
+def _find_module(modules: Sequence[ModuleInfo],
+                 suffix: str) -> Optional[ModuleInfo]:
+    for module in modules:
+        if module.relpath.endswith(suffix):
+            return module
+    return None
+
+
+def _event_kind_members(module: ModuleInfo) -> Dict[str, str]:
+    """``EventKind`` member name -> value string."""
+    members: Dict[str, str] = {}
+    for node in module.tree.body:
+        if not (isinstance(node, ast.ClassDef)
+                and node.name == "EventKind"):
+            continue
+        for statement in node.body:
+            if isinstance(statement, ast.Assign) \
+                    and len(statement.targets) == 1 \
+                    and isinstance(statement.targets[0], ast.Name) \
+                    and isinstance(statement.value, ast.Constant) \
+                    and isinstance(statement.value.value, str):
+                members[statement.targets[0].id] = \
+                    statement.value.value
+    return members
+
+
+def _glyph_table(module: ModuleInfo
+                 ) -> Tuple[Optional[ast.Assign], Set[str]]:
+    """The ``_GLYPHS`` assignment and its ``EventKind.X`` key names."""
+    for node in module.tree.body:
+        if isinstance(node, ast.Assign) \
+                and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name) \
+                and node.targets[0].id == "_GLYPHS" \
+                and isinstance(node.value, ast.Dict):
+            names = {key.attr for key in node.value.keys
+                     if isinstance(key, ast.Attribute)
+                     and isinstance(key.value, ast.Name)
+                     and key.value.id == "EventKind"}
+            return node, names
+    return None, set()
+
+
+def _audit_kind_literals(module: ModuleInfo) -> Set[str]:
+    """Kind strings the invariant monitor knows about.
+
+    The union of (a) module-level ``_*KINDS`` table entries and (b)
+    string literals inside the ``InvariantMonitor`` class body (its
+    ``observe`` dispatch compares ``kind == "..."`` directly).
+    """
+    known: Set[str] = set()
+    for node in module.tree.body:
+        if isinstance(node, ast.Assign) \
+                and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name) \
+                and _KIND_TABLE_RE.match(node.targets[0].id):
+            for inner in ast.walk(node.value):
+                if isinstance(inner, ast.Constant) \
+                        and isinstance(inner.value, str):
+                    known.add(inner.value)
+        elif isinstance(node, ast.ClassDef) \
+                and node.name == "InvariantMonitor":
+            for inner in ast.walk(node):
+                if isinstance(inner, ast.Constant) \
+                        and isinstance(inner.value, str):
+                    known.add(inner.value)
+    return known
+
+
+@register
+class EventCoverageRule(ProjectRule):
+    """EVT001: every EventKind has a glyph and an audit check."""
+
+    rule_id = "EVT001"
+    title = "EventKind member missing from _GLYPHS or the audit tables"
+    rationale = (
+        "PR 4 wired seven new event kinds into the timeline renderer "
+        "and the invariant monitor by hand; an unwired kind renders "
+        "as a crash (KeyError in strip_chart) or an unaudited "
+        "decision stream.")
+    hint = ("add the member to timeline._GLYPHS and cover its value "
+            "in an InvariantMonitor kind table or dispatch branch")
+
+    def check_project(self, modules: Sequence[ModuleInfo]
+                      ) -> Iterator[Finding]:
+        events = _find_module(modules, _EVENTS_SUFFIX)
+        timeline = _find_module(modules, _TIMELINE_SUFFIX)
+        audit = _find_module(modules, _AUDIT_SUFFIX)
+        if events is None or timeline is None or audit is None:
+            return
+        members = _event_kind_members(events)
+        if not members:
+            return
+        glyph_node, glyph_names = _glyph_table(timeline)
+        audit_literals = _audit_kind_literals(audit)
+        missing_glyphs: List[str] = [name for name in members
+                                     if name not in glyph_names]
+        anchor: ast.AST = glyph_node if glyph_node is not None \
+            else timeline.tree
+        for name in missing_glyphs:
+            yield self.finding(
+                timeline, anchor,
+                f"EventKind.{name} has no glyph in _GLYPHS")
+        for name, value in members.items():
+            if value not in audit_literals:
+                yield self.finding(
+                    audit, audit.tree,
+                    f"EventKind.{name} ({value!r}) appears in no "
+                    f"InvariantMonitor kind table or dispatch branch")

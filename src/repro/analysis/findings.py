@@ -1,0 +1,64 @@
+"""Finding records produced by the static-analysis rules.
+
+A :class:`Finding` pins one rule violation to a source location and
+carries everything the reporting layer needs: the human-readable
+message, a fix hint, and the stripped source line (``snippet``) that
+anchors the finding in the committed baseline.  Baselines match on
+``(rule, path, snippet)`` rather than line numbers so unrelated edits
+above a known finding do not invalidate the baseline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation located in a scanned source tree.
+
+    Attributes:
+        rule: rule identifier (``"DET001"`` ... ``"EVT001"``).
+        path: path of the offending file, relative to the scanned
+            root, in POSIX form.
+        line: 1-based line number of the violation.
+        col: 0-based column offset.
+        message: what is wrong, in one sentence.
+        hint: how to fix it (or how to suppress it legitimately).
+        snippet: the stripped source line, used as the baseline
+            fingerprint anchor.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str = ""
+    snippet: str = ""
+
+    @property
+    def fingerprint(self) -> Tuple[str, str, str]:
+        """Line-number-free identity used for baseline matching."""
+        return (self.rule, self.path, self.snippet)
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (the CI artifact row)."""
+        return dataclasses.asdict(self)
+
+    def render(self) -> str:
+        """One ``path:line:col RULE message`` report line."""
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+
+def sort_findings(findings: Sequence[Finding]) -> List[Finding]:
+    """Findings in canonical report order (path, line, col, rule)."""
+    return sorted(findings, key=Finding.sort_key)

@@ -1,0 +1,99 @@
+"""PKL001: unpicklable constructs reaching process-crossing payloads.
+
+:class:`~repro.experiments.executor.RunSpec` descriptors cross the
+``ProcessPoolExecutor`` boundary and :class:`~repro.sim.events.Event`
+payloads are serialized into decision journals.  A lambda, a closure
+(function defined inside another function), or a local class in either
+pickles late and fails only when ``--workers N`` is actually used -
+this rule fails it at lint time instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set
+
+from .findings import Finding
+from .framework import ModuleInfo, Rule, dotted_name, register
+
+#: Constructors whose arguments must stay picklable.
+_PAYLOAD_CTORS = ("RunSpec", "Event")
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _shallow(scope: ast.AST) -> Iterator[ast.AST]:
+    """Every node in ``scope`` without entering nested function bodies.
+
+    Nested function nodes themselves are yielded (so callers can
+    recurse into them explicitly); their bodies are not.
+    """
+    stack: List[ast.AST] = [scope]
+    while stack:
+        node = stack.pop()
+        yield node
+        if node is not scope and isinstance(node, _FUNCTION_NODES):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class UnpicklablePayloadRule(Rule):
+    """PKL001: lambda/closure/local class in a RunSpec/Event call."""
+
+    rule_id = "PKL001"
+    title = "unpicklable value passed into a RunSpec/Event payload"
+    rationale = (
+        "RunSpecs cross the process-pool boundary and Event payloads "
+        "are journaled; lambdas, closures, and local classes break "
+        "pickling only once --workers is raised, far from the bug.")
+    hint = ("pass a module-level function or class; parameterize via "
+            "functools.partial over module-level callables if needed")
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        yield from self._check_scope(module, module.tree, set())
+
+    def _check_scope(self, module: ModuleInfo, scope: ast.AST,
+                     inherited: Set[str]) -> Iterator[Finding]:
+        local = set(inherited)
+        nested: List[ast.AST] = []
+        in_function = isinstance(scope, _FUNCTION_NODES)
+        for node in _shallow(scope):
+            if node is scope:
+                continue
+            if isinstance(node, _FUNCTION_NODES):
+                nested.append(node)
+                if in_function:
+                    local.add(node.name)
+            elif isinstance(node, ast.ClassDef) and in_function:
+                local.add(node.name)
+        for node in _shallow(scope):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(module, node, local)
+        for child in nested:
+            yield from self._check_scope(module, child, local)
+
+    def _check_call(self, module: ModuleInfo, node: ast.Call,
+                    local_names: Set[str]) -> Iterator[Finding]:
+        chain = dotted_name(node.func)
+        if chain is None:
+            return
+        ctor = chain.rsplit(".", 1)[-1]
+        if ctor not in _PAYLOAD_CTORS:
+            return
+        values: List[ast.expr] = list(node.args)
+        values.extend(kw.value for kw in node.keywords)
+        for value in values:
+            for inner in ast.walk(value):
+                if isinstance(inner, ast.Lambda):
+                    yield self.finding(
+                        module, inner,
+                        f"lambda passed into {ctor}(...) cannot be "
+                        f"pickled across the worker boundary")
+                elif isinstance(inner, ast.Name) \
+                        and inner.id in local_names:
+                    yield self.finding(
+                        module, inner,
+                        f"locally-defined {inner.id!r} passed into "
+                        f"{ctor}(...) cannot be pickled across the "
+                        f"worker boundary")

@@ -62,7 +62,7 @@ def admit_sequential(algorithm_name: str,
         A :class:`ScheduleResult` with one decision per request.
     """
     rng = ensure_rng(rng)
-    start = time.perf_counter()
+    start = time.perf_counter()  # repro: noqa DET001 -- advisory runtime metric
     result = ScheduleResult(algorithm=algorithm_name)
     ledger = instance.new_ledger()
     for request in ordered_requests:
@@ -88,7 +88,7 @@ def admit_sequential(algorithm_name: str,
             waiting_ms=0.0,
             deadline_met=latency <= request.deadline_ms + 1e-9,
         ))
-    result.runtime_s = time.perf_counter() - start
+    result.runtime_s = time.perf_counter() - start  # repro: noqa DET001 -- advisory runtime metric
     return result
 
 

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-import numpy as np
 
 from ..core.assignment import ScheduleResult
 from ..core.instance import ProblemInstance

@@ -12,7 +12,7 @@ provider-revenue framing motivates.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 from ..requests.request import ARRequest
 from ..solver.duals import solve_lp_with_duals

@@ -9,7 +9,7 @@ value - leaving presentation to the caller.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from ..config import SimulationConfig
 from ..core.appro import Appro

@@ -303,9 +303,9 @@ def build_report(scale: Optional[ExperimentScale] = None,
             # Only the knobs in use are passed, so third-party drivers
             # without the newer kwargs keep working untraced.
             driver_kwargs["progress"] = reporter
-        start = time.perf_counter()
+        start = time.perf_counter()  # repro: noqa DET001 -- advisory runtime metric
         sweep = driver(scale, **driver_kwargs)
-        elapsed = time.perf_counter() - start
+        elapsed = time.perf_counter() - start  # repro: noqa DET001 -- advisory runtime metric
         sweeps[f"fig{figure_id}"] = sweep
         if trace:
             for event in collect_sweep_trace(sweep.records):
@@ -317,9 +317,9 @@ def build_report(scale: Optional[ExperimentScale] = None,
                 journal_sink.append(event)
         serial_s = float("nan")
         if measure_speedup and workers != 1:
-            start = time.perf_counter()
+            start = time.perf_counter()  # repro: noqa DET001 -- advisory runtime metric
             driver(scale, workers=1)
-            serial_s = time.perf_counter() - start
+            serial_s = time.perf_counter() - start  # repro: noqa DET001 -- advisory runtime metric
         timings.append((figure_id, elapsed, serial_s))
         parts.append(render_figure_markdown(sweep, figure_id, panels))
     parts.append(timing_markdown(timings, workers))

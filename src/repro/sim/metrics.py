@@ -106,7 +106,7 @@ class RuntimeMeter:
             raise ConfigurationError(
                 "RuntimeMeter.__enter__ while already started; the "
                 "meter is not re-entrant")
-        self._started = time.perf_counter()
+        self._started = time.perf_counter()  # repro: noqa DET001 -- advisory runtime metric
         return self
 
     def __exit__(self, *exc) -> None:
@@ -115,7 +115,7 @@ class RuntimeMeter:
             # mismatched __exit__ must fail loudly either way.
             raise ConfigurationError(
                 "RuntimeMeter.__exit__ without a matching __enter__")
-        self._total_s += time.perf_counter() - self._started
+        self._total_s += time.perf_counter() - self._started  # repro: noqa DET001 -- advisory runtime metric
         self._started = None
 
     def add(self, seconds: float) -> None:

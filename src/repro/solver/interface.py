@@ -73,7 +73,7 @@ def solve_lp(lp: LinearProgram,
         SolverError: unknown backend.
         InfeasibleProblemError / UnboundedProblemError: from the backend.
     """
-    start = time.perf_counter()
+    start = time.perf_counter()  # repro: noqa DET001 -- advisory runtime metric
     with get_tracer().span("lp_solve", backend=backend):
         if backend == "scipy":
             objective, values = solve_lp_scipy(lp)
@@ -81,7 +81,7 @@ def solve_lp(lp: LinearProgram,
             objective, values = solve_with_simplex(lp)
         else:
             raise SolverError(f"unknown LP backend {backend!r}")
-    elapsed = time.perf_counter() - start
+    elapsed = time.perf_counter() - start  # repro: noqa DET001 -- advisory runtime metric
     return Solution(status=SolveStatus.OPTIMAL, objective=objective,
                     values=values, backend=backend, solve_time_s=elapsed)
 
@@ -101,7 +101,7 @@ def solve_ilp(lp: LinearProgram,
         SolverError: unknown backend.
         InfeasibleProblemError: no integral feasible point.
     """
-    start = time.perf_counter()
+    start = time.perf_counter()  # repro: noqa DET001 -- advisory runtime metric
     with get_tracer().span("ilp_solve", backend=backend):
         if backend == "scipy":
             objective, values = solve_ilp_scipy(lp)
@@ -116,6 +116,6 @@ def solve_ilp(lp: LinearProgram,
             objective, values = solve_with_branch_and_bound(lp, oracle)
         else:
             raise SolverError(f"unknown ILP backend {backend!r}")
-    elapsed = time.perf_counter() - start
+    elapsed = time.perf_counter() - start  # repro: noqa DET001 -- advisory runtime metric
     return Solution(status=SolveStatus.OPTIMAL, objective=objective,
                     values=values, backend=backend, solve_time_s=elapsed)

@@ -121,7 +121,11 @@ class LinearProgram:
             if var_name not in self._var_index:
                 raise ConfigurationError(
                     f"{self.name}: unknown variable {var_name!r}")
-            if coef != 0.0:
+            # Exact comparison on purpose: only *structural* zeros are
+            # dropped from the row.  A near-zero coefficient is part of
+            # the formulation and must reach the solver untouched - a
+            # tolerance here would silently change the model.
+            if coef != 0.0:  # repro: noqa NUM001 -- structural zero-drop
                 row[self._var_index[var_name]] = float(coef)
         if not row:
             trivially_ok = ((sense == "<=" and rhs >= 0)

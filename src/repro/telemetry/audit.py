@@ -157,7 +157,8 @@ def use_journal(journal: Optional[Journal]) -> Iterator[Any]:
 INVARIANTS: Dict[str, str] = {
     "slot_order": "time-slot events occur in non-decreasing slot "
                   "order within a run",
-    "lifecycle": "requests follow ARRIVAL -> START -> COMPLETE/DROP",
+    "lifecycle": "requests follow ARRIVAL -> START (-> PREEMPT_WAIT "
+                 "-> START)* -> COMPLETE/DROP",
     "double_terminal": "no request completes or drops twice",
     "capacity": "reserved/shared MHz never exceed station capacity "
                 "under its sharing model",
@@ -174,7 +175,8 @@ INVARIANTS: Dict[str, str] = {
 }
 
 #: Event kinds that advance a request's lifecycle state machine.
-_LIFECYCLE_KINDS = ("arrival", "start", "complete", "drop")
+_LIFECYCLE_KINDS = ("arrival", "start", "preempt_wait", "complete",
+                    "drop")
 
 #: Kinds whose ``slot`` is a *resource-slot*/batch index of Algorithm 1,
 #: not a time slot (see :class:`repro.sim.events.Event`) - the
@@ -381,14 +383,22 @@ class InvariantMonitor:
                     f"request {request} arrived twice", index, event))
             self._state[request] = "arrived"
         elif kind == "start":
-            if state != "arrived":
+            if state not in ("arrived", "waiting"):
                 self._fail(Violation(
                     "lifecycle",
                     f"request {request} started from state "
-                    f"{state or 'unseen'} (expected 'arrived')",
-                    index, event))
+                    f"{state or 'unseen'} (expected 'arrived' or "
+                    f"'waiting')", index, event))
             self._state[request] = "active"
             self._start_reward[request] = float(event.get("reward", 0.0))
+        elif kind == "preempt_wait":
+            if state != "active":
+                self._fail(Violation(
+                    "lifecycle",
+                    f"request {request} was preempted from state "
+                    f"{state or 'unseen'} (expected 'active')",
+                    index, event))
+            self._state[request] = "waiting"
         elif kind in ("complete", "drop"):
             self.checks["double_terminal"] += 1
             if state == "done":
@@ -402,7 +412,8 @@ class InvariantMonitor:
                     f"request {request} completed from state "
                     f"{state or 'unseen'} (expected 'active')",
                     index, event))
-            elif kind == "drop" and state not in ("arrived", "active"):
+            elif kind == "drop" and state not in ("arrived", "active",
+                                                  "waiting"):
                 self._fail(Violation(
                     "lifecycle",
                     f"request {request} dropped from state "

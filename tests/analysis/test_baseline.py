@@ -1,0 +1,99 @@
+"""Baseline save/load round-trip and application semantics."""
+
+import json
+
+import pytest
+
+from repro.analysis import analyze_source
+from repro.analysis.baseline import (BASELINE_SCHEMA, apply_baseline,
+                                     load_baseline, save_baseline)
+from repro.exceptions import ConfigurationError
+
+VIOLATING = (
+    "import time\n"
+    "def stamp():\n"
+    "    return time.time()\n"
+    "def stamp2():\n"
+    "    return time.time()\n")
+
+
+def findings_for(source, relpath="repro/x/mod.py"):
+    return analyze_source(source, relpath, select=["DET001"])
+
+
+class TestBaselineRoundTrip:
+    def test_save_then_load_preserves_multiplicity(self, tmp_path):
+        findings = findings_for(VIOLATING)
+        assert len(findings) == 2
+        path = save_baseline(tmp_path / "base.json", findings)
+        counts = load_baseline(path)
+        # both call sites share the stripped-line fingerprint
+        assert sum(counts.values()) == 2
+        assert len(counts) == 1
+
+    def test_file_is_schema_stamped_and_sorted(self, tmp_path):
+        path = save_baseline(tmp_path / "base.json",
+                             findings_for(VIOLATING))
+        data = json.loads(path.read_text(encoding="utf-8"))
+        assert data["schema"] == BASELINE_SCHEMA
+        assert data["findings"][0]["count"] == 2
+        assert data["findings"][0]["rule"] == "DET001"
+
+    def test_empty_baseline_round_trips(self, tmp_path):
+        path = save_baseline(tmp_path / "base.json", [])
+        assert load_baseline(path) == {}
+
+
+class TestBaselineApplication:
+    def test_matched_findings_are_consumed(self):
+        findings = findings_for(VIOLATING)
+        baseline = {findings[0].fingerprint: 2}
+        new, matched, stale = apply_baseline(findings, baseline)
+        assert new == []
+        assert matched == 2
+        assert stale == []
+
+    def test_excess_findings_surface_as_new(self):
+        findings = findings_for(VIOLATING)
+        baseline = {findings[0].fingerprint: 1}
+        new, matched, stale = apply_baseline(findings, baseline)
+        assert len(new) == 1
+        assert matched == 1
+        assert stale == []
+
+    def test_leftover_capacity_is_stale(self):
+        findings = findings_for(VIOLATING)
+        ghost = ("NUM001", "repro/gone.py", "a == 0.0")
+        baseline = {findings[0].fingerprint: 2, ghost: 1}
+        new, matched, stale = apply_baseline(findings, baseline)
+        assert new == []
+        assert matched == 2
+        assert stale == [ghost]
+
+
+class TestBaselineErrors:
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_baseline(tmp_path / "absent.json")
+
+    def test_non_json_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json", encoding="utf-8")
+        with pytest.raises(ConfigurationError):
+            load_baseline(path)
+
+    def test_wrong_schema_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "other/9",
+                                    "findings": []}),
+                        encoding="utf-8")
+        with pytest.raises(ConfigurationError):
+            load_baseline(path)
+
+    def test_malformed_entry_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({
+            "schema": BASELINE_SCHEMA,
+            "findings": [{"rule": "DET001"}]}), encoding="utf-8")
+        with pytest.raises(ConfigurationError):
+            load_baseline(path)

@@ -1,0 +1,82 @@
+"""EVT001 coverage + mutation tests against the *real* tree.
+
+The mutation tests copy the three source-of-truth modules
+(``events.py``, ``timeline.py``, ``audit.py``) into a fixture tree and
+verify that un-wiring one event kind - removing its glyph, or removing
+it from the invariant monitor's kind tables - fails the pass.
+"""
+
+from pathlib import Path
+
+import repro.sim.events
+import repro.sim.timeline
+import repro.telemetry.audit
+from repro.analysis import run_analysis
+
+_REAL = {
+    "repro/sim/events.py": Path(repro.sim.events.__file__),
+    "repro/sim/timeline.py": Path(repro.sim.timeline.__file__),
+    "repro/telemetry/audit.py": Path(repro.telemetry.audit.__file__),
+}
+
+
+def copy_tree(tmp_path, mutate=None, skip=()):
+    """Copy the real modules into ``tmp_path``, optionally mutating."""
+    for relpath, source in _REAL.items():
+        if relpath in skip:
+            continue
+        text = source.read_text(encoding="utf-8")
+        if mutate is not None:
+            text = mutate(relpath, text)
+        target = tmp_path / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(text, encoding="utf-8")
+    return tmp_path
+
+
+def evt_findings(root):
+    return run_analysis([root], select=["EVT001"]).findings
+
+
+class TestEvt001:
+    def test_real_tree_is_fully_wired(self, tmp_path):
+        root = copy_tree(tmp_path)
+        assert evt_findings(root) == []
+
+    def test_removing_a_glyph_fails_the_pass(self, tmp_path):
+        def drop_migrate_glyph(relpath, text):
+            if relpath.endswith("timeline.py"):
+                mutated = text.replace(
+                    '    EventKind.MIGRATE: "m",\n', "")
+                assert mutated != text, "glyph line not found"
+                return mutated
+            return text
+
+        root = copy_tree(tmp_path, mutate=drop_migrate_glyph)
+        findings = evt_findings(root)
+        assert len(findings) == 1
+        assert findings[0].rule == "EVT001"
+        assert "MIGRATE" in findings[0].message
+        assert findings[0].path.endswith("timeline.py")
+
+    def test_unwiring_audit_coverage_fails_the_pass(self, tmp_path):
+        def rename_preempt(relpath, text):
+            if relpath.endswith("audit.py"):
+                return text.replace('"preempt_wait"',
+                                    '"preempt_hold"')
+            return text
+
+        root = copy_tree(tmp_path, mutate=rename_preempt)
+        findings = evt_findings(root)
+        assert len(findings) == 1
+        assert "PREEMPT_WAIT" in findings[0].message
+        assert findings[0].path.endswith("audit.py")
+
+    def test_incomplete_fixture_tree_is_silent(self, tmp_path):
+        root = copy_tree(tmp_path, skip=("repro/telemetry/audit.py",))
+        assert evt_findings(root) == []
+
+    def test_shipped_source_tree_passes(self):
+        src_root = _REAL["repro/sim/events.py"].parents[2]
+        assert src_root.name == "src"
+        assert evt_findings(src_root) == []

@@ -1,0 +1,71 @@
+"""``# repro: noqa`` suppression semantics."""
+
+from repro.analysis import analyze_source
+from repro.analysis.framework import module_from_source, parse_noqa
+
+VIOLATION = (
+    "import time\n"
+    "def stamp():\n"
+    "    return time.time(){pragma}\n")
+
+
+def det001(source):
+    return [f.rule for f in analyze_source(source, "repro/x/mod.py",
+                                           select=["DET001"])]
+
+
+class TestNoqaSuppression:
+    def test_matching_code_suppresses(self):
+        source = VIOLATION.format(
+            pragma="  # repro: noqa DET001")
+        assert det001(source) == []
+
+    def test_justification_text_allowed(self):
+        source = VIOLATION.format(
+            pragma="  # repro: noqa DET001 -- advisory metric")
+        assert det001(source) == []
+
+    def test_bare_noqa_suppresses_everything(self):
+        source = VIOLATION.format(pragma="  # repro: noqa")
+        assert det001(source) == []
+
+    def test_wrong_code_does_not_suppress(self):
+        source = VIOLATION.format(
+            pragma="  # repro: noqa NUM001")
+        assert det001(source) == ["DET001"]
+
+    def test_pragma_on_other_line_does_not_suppress(self):
+        source = ("import time  # repro: noqa DET001\n"
+                  "def stamp():\n"
+                  "    return time.time()\n")
+        assert det001(source) == ["DET001"]
+
+    def test_plain_flake8_noqa_is_not_ours(self):
+        source = VIOLATION.format(pragma="  # noqa")
+        assert det001(source) == ["DET001"]
+
+    def test_multiple_codes(self):
+        source = VIOLATION.format(
+            pragma="  # repro: noqa NUM001, DET001")
+        assert det001(source) == []
+
+    def test_suppression_is_counted(self):
+        from repro.analysis.framework import (resolve_rules,
+                                              run_rules)
+        module = module_from_source(
+            VIOLATION.format(pragma="  # repro: noqa DET001"),
+            "repro/x/mod.py")
+        report = run_rules([module], resolve_rules(["DET001"]))
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_parse_noqa_table(self):
+        lines = [
+            "x = 1",
+            "y = 2  # repro: noqa",
+            "z = 3  # repro: noqa DET001,NUM001 -- why",
+        ]
+        table = parse_noqa(lines)
+        assert 1 not in table
+        assert table[2] == {"*"}
+        assert table[3] == {"DET001", "NUM001"}

@@ -1,6 +1,5 @@
 """Unit tests for the arm grid discretization."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,6 +1,5 @@
 """Unit and statistical tests for regret tracking."""
 
-import math
 
 import numpy as np
 import pytest

@@ -1,6 +1,5 @@
 """Unit tests for the Greedy baseline."""
 
-import pytest
 
 from repro.baselines.greedy import (GreedyOffline, GreedyOnline,
                                     _greedy_order, _min_latency_station)

@@ -1,6 +1,5 @@
 """Unit tests for the HeuKKT baseline."""
 
-import pytest
 
 from repro.baselines.heukkt import (CLOUD_RTT_MS, EDGE_UTIL_TARGET,
                                     HeuKktOffline, HeuKktOnline,

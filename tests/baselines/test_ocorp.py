@@ -1,6 +1,5 @@
 """Unit tests for the OCORP baseline."""
 
-import pytest
 
 from repro.baselines.ocorp import (LOCAL_CANDIDATES, OcorpOffline,
                                    OcorpOnline, _best_fit_station,

@@ -7,7 +7,6 @@ real topology/workload diversity.  All fixtures are deterministic.
 
 from __future__ import annotations
 
-from dataclasses import replace
 
 import pytest
 

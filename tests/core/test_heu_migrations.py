@@ -1,6 +1,5 @@
 """Focused tests for Heu's multi-step migration machinery."""
 
-import pytest
 
 from repro.core.appro import Appro
 from repro.core.heu import Heu

@@ -1,6 +1,5 @@
 """Unit tests for the exact ILP-RM formulation."""
 
-import pytest
 
 from repro.core.ilp_rm import build_ilp_rm, solve_ilp_rm
 from repro.solver.interface import solve_lp

@@ -2,8 +2,6 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.core.lp_relaxation import build_lp_relaxation
 from repro.core.rounding import (admit_slot_by_slot, randomized_round)
@@ -130,19 +128,10 @@ class TestAdmission:
         assignments = randomized_round(index, solution.values,
                                        small_workload, rng=3, scale=1.5)
         ledger = small_instance.new_ledger()
-        occupancy_log = []
-
-        class SpyLedger:
-            def __getattr__(self, name):
-                return getattr(ledger, name)
-
         outcomes = admit_slot_by_slot(small_instance, small_workload,
                                       assignments, ledger, rng=3)
         for outcome in outcomes:
             if outcome.admitted:
-                offset = small_instance.slots_of(
-                    outcome.assignment.station_id).slot_offset_mhz(
-                        outcome.assignment.slot)
                 # After admission, occupancy beyond the offset comes
                 # only from this request (<= its reserved amount).
                 assert outcome.reserved_mhz >= 0.0

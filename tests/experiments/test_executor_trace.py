@@ -9,7 +9,6 @@ The two load-bearing properties:
   of a run's wall time to named top-level spans.
 """
 
-import pytest
 
 from repro.baselines.greedy import GreedyOffline, GreedyOnline
 from repro.core.appro import Appro

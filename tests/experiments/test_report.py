@@ -1,6 +1,5 @@
 """Tests for the Markdown report generator."""
 
-import pytest
 
 from repro.experiments.report import (build_report,
                                       invariant_audit_markdown, main,

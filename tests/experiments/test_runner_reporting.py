@@ -1,6 +1,5 @@
 """Tests for the sweep runners and ASCII reporting."""
 
-import pytest
 
 from repro.baselines.greedy import GreedyOffline, GreedyOnline
 from repro.core.appro import Appro

@@ -1,6 +1,5 @@
 """Unit and statistical tests for the arrival processes."""
 
-import numpy as np
 import pytest
 
 from repro.exceptions import ConfigurationError

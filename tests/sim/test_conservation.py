@@ -6,7 +6,6 @@ have produced, and per-station shares can never exceed the station's
 (effective) capacity in any slot.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -8,7 +8,6 @@ policy that the monitor must catch.
 
 from collections import Counter
 
-import pytest
 
 from repro.bandits.lipschitz import LipschitzBandit
 from repro.core.dynamic_rr import DynamicRR

@@ -1,6 +1,6 @@
 """Unit and invariant tests for the slotted online engine."""
 
-from typing import List, Sequence
+from typing import List
 
 import pytest
 

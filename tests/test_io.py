@@ -6,7 +6,6 @@ import pytest
 
 from repro.config import SimulationConfig
 from repro.core.appro import Appro
-from repro.core.instance import ProblemInstance
 from repro.exceptions import ConfigurationError
 from repro.io import (config_from_dict, config_to_dict, load_instance,
                       load_result, save_instance, save_result)

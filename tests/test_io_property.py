@@ -1,6 +1,5 @@
 """Property tests: configuration serialization round-trips exactly."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
