@@ -76,8 +76,9 @@ class Appro:
             return result
 
         tracer = get_tracer()
-        with tracer.span("build_lp", algorithm=self.name):
+        with tracer.span("build_lp", algorithm=self.name) as build_span:
             lp, index = build_lp_relaxation(instance, requests)
+            build_span.annotate(warm="cold")
         if lp.num_variables == 0:
             for request in requests:
                 result.add(OffloadDecision(request_id=request.request_id))
@@ -90,13 +91,15 @@ class Appro:
         outcomes: List[AdmissionOutcome] = []
         remaining = list(requests)
         stalled_rounds = 0
+        options = index.options_table(solution.values)
         for _ in range(self.max_rounds):
             if not remaining or stalled_rounds >= 4:
                 break
             with tracer.span("rounding", algorithm=self.name):
                 assignments = randomized_round(
                     index, solution.values, remaining,
-                    rng=rng, scale=self.rounding_scale)
+                    rng=rng, scale=self.rounding_scale,
+                    options_table=options)
                 round_outcomes = admit_slot_by_slot(
                     instance, remaining, assignments, ledger, rng=rng)
             admitted_ids = {o.request.request_id for o in round_outcomes

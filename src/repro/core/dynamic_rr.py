@@ -34,10 +34,10 @@ from ..config import OnlineConfig
 from ..requests.request import ARRequest
 from ..rng import RngLike, ensure_rng
 from ..sim.events import Event, EventKind
-from ..solver.interface import solve_lp
+from ..solver.interface import WarmStartState, solve_lp
 from ..telemetry import get_tracer
 from ..telemetry.audit import get_journal
-from .lp_relaxation import build_lp_pt
+from .lp_relaxation import LpPtWorkspace, build_lp_pt
 from .rounding import DEFAULT_ROUNDING_SCALE, admit_slot_by_slot, \
     randomized_round
 
@@ -53,6 +53,12 @@ class DynamicRR:
             None).
         lp_backend: LP solver backend for LP-PT.
         rounding_scale: the ``y/4`` divisor.
+        warm_start: carry LP-PT build/solve state across rounds (the
+            incremental :class:`~repro.core.lp_relaxation.LpPtWorkspace`
+            plus the :class:`~repro.solver.interface.WarmStartState`
+            fingerprint cache).  Produces exactly the same placements,
+            journals, and records as the cold path - disable only to
+            measure the cold baseline.
         rng: randomness for rounding and realization order.
     """
 
@@ -63,6 +69,7 @@ class DynamicRR:
                  rounding_scale: float = DEFAULT_ROUNDING_SCALE,
                  max_rounds: int = 24,
                  bandit_policy: str = "se",
+                 warm_start: bool = True,
                  rng: RngLike = None) -> None:
         if bandit_policy not in ("se", "ucb1", "egreedy"):
             raise ValueError(
@@ -77,6 +84,9 @@ class DynamicRR:
         #: successive elimination ("se"), UCB1 ("ucb1"), or
         #: epsilon-greedy ("egreedy") - the latter two for ablations.
         self.bandit_policy = bandit_policy
+        self.warm_start = warm_start
+        self._workspace: Optional[LpPtWorkspace] = None
+        self._solve_state: Optional[WarmStartState] = None
         self._rng = ensure_rng(rng)
         self._engine = None
         self._bandit: Optional[LipschitzBandit] = None
@@ -112,6 +122,9 @@ class DynamicRR:
         self.tracker = RegretTracker()
         self._cumulative_reward = 0.0
         self._reward_scale = self._estimate_reward_scale(engine)
+        # Fresh per run so state never leaks between replications.
+        self._workspace = LpPtWorkspace() if self.warm_start else None
+        self._solve_state = WarmStartState() if self.warm_start else None
 
     def schedule(self, slot: int,
                  pending: Sequence[ARRequest]) -> List:
@@ -143,24 +156,32 @@ class DynamicRR:
         if not r_t:
             return []
 
-        with tracer.span("build_lp", algorithm=self.name):
+        with tracer.span("build_lp", algorithm=self.name) as build_span:
             waiting = {r.request_id: engine.waiting_ms(r, slot)
                        for r in r_t}
-            lp, index = build_lp_pt(engine.instance, r_t, waiting)
+            lp, index = build_lp_pt(engine.instance, r_t, waiting,
+                                    workspace=self._workspace)
+            if self._workspace is not None:
+                build_span.annotate(warm=self._workspace.last_mode)
+            else:
+                build_span.annotate(warm="cold")
         if lp.num_variables == 0:
             return []
-        solution = solve_lp(lp, backend=self.lp_backend)
+        solution = solve_lp(lp, backend=self.lp_backend,
+                            warm_start=self._solve_state)
         ledger = self._seeded_ledger(engine, threshold)
         placements: List = []
         remaining = list(r_t)
         stalled_rounds = 0
+        options = index.options_table(solution.values)
         for _ in range(self.max_rounds):
             if not remaining or stalled_rounds >= 4:
                 break
             with tracer.span("rounding", algorithm=self.name):
                 assignments = randomized_round(index, solution.values,
                                                remaining, rng=self._rng,
-                                               scale=self.rounding_scale)
+                                               scale=self.rounding_scale,
+                                               options_table=options)
                 outcomes = admit_slot_by_slot(engine.instance, remaining,
                                               assignments, ledger,
                                               rng=self._rng,

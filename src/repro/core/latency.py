@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+import numpy as np
+
 from ..exceptions import ConfigurationError
 from ..network.paths import PathTable
 from ..network.topology import MECNetwork
@@ -52,6 +54,35 @@ class LatencyModel:
             sid: float(rng.uniform(lo, hi))
             for sid in network.station_ids
         }
+        # Vectorized mirrors of the per-station scalars, in
+        # ``network.station_ids`` order.  ``a + b * w`` elementwise is
+        # the same multiply-then-add as the scalar path, so the array
+        # route below is bit-identical to calling
+        # :meth:`placement_delay_ms` per station.
+        self._station_order: List[int] = list(network.station_ids)
+        self._base_arr = np.array(
+            [self._base_delay_ms[sid] for sid in self._station_order])
+        self._rt_rows: Dict[int, np.ndarray] = {}
+
+    def restore_base_delays(self, base_delay_ms: Dict[int, float]) -> None:
+        """Replace the drawn per-station base delays (deserialization).
+
+        Refreshes the vectorized mirrors too - mutating
+        ``_base_delay_ms`` directly would leave them stale.
+
+        Raises:
+            ConfigurationError: the mapping does not cover exactly the
+                network's stations.
+        """
+        if set(base_delay_ms) != set(self._station_order):
+            raise ConfigurationError(
+                "base delay mapping does not match the network's "
+                "stations")
+        self._base_delay_ms = {sid: float(base_delay_ms[sid])
+                               for sid in self._station_order}
+        self._base_arr = np.array(
+            [self._base_delay_ms[sid] for sid in self._station_order])
+        self._rt_rows.clear()
 
     @property
     def network(self) -> MECNetwork:
@@ -131,6 +162,21 @@ class LatencyModel:
         return (self.total_delay_ms(request, station_id, waiting_ms)
                 <= request.deadline_ms + 1e-9)
 
+    def placement_delays(self, request: ARRequest) -> np.ndarray:
+        """Placement delays to every station, in ``station_ids`` order.
+
+        Bit-identical to calling :meth:`placement_delay_ms` per
+        station (elementwise multiply-then-add on the same floats).
+        """
+        serving = request.serving_station
+        rt = self._rt_rows.get(serving)
+        if rt is None:
+            rt = np.array([
+                self._paths.round_trip_delay_ms(serving, sid)
+                for sid in self._station_order])
+            self._rt_rows[serving] = rt
+        return rt + self._base_arr * request.pipeline.total_compute_weight
+
     def feasible_stations(self, request: ARRequest,
                           waiting_ms: float = 0.0) -> List[int]:
         """Stations meeting the deadline, sorted by placement delay.
@@ -139,7 +185,12 @@ class LatencyModel:
         (a binary solution satisfies Eq. (11) iff every selected station
         is in this list).
         """
-        feasible = [sid for sid in self._network.station_ids
-                    if self.is_feasible(request, sid, waiting_ms)]
-        return sorted(feasible, key=lambda sid: (
-            self.placement_delay_ms(request, sid), sid))
+        if waiting_ms < 0:
+            raise ConfigurationError(
+                f"waiting must be >= 0, got {waiting_ms}")
+        delays = self.placement_delays(request)
+        mask = waiting_ms + delays <= request.deadline_ms + 1e-9
+        ids = self._station_order
+        order = sorted(np.flatnonzero(mask).tolist(),
+                       key=lambda k: (delays[k], ids[k]))
+        return [ids[k] for k in order]

@@ -21,13 +21,36 @@ binary solution, and tighter for fractional ones.
 ``LP-PT`` (Eqs. 22-23) is the per-time-slot variant used by DynamicRR:
 identical shape, with the truncation additionally capped by the fair
 share ``C(bs_i) / |R_t|``.
+
+Build strategy
+--------------
+
+The model is assembled from precomputed arrays, not per-coefficient
+Python loops: each request's distribution is lowered once into a
+:class:`_DistTables` (a reward-prefix table evaluated with the same
+slice-and-dot expression as
+:meth:`~repro.requests.distributions.RateRewardDistribution.expected_reward_within`,
+plus a memo of truncated expected rates per cap), and each station's
+slot geometry into per-slot max-rate arrays.  Every coefficient the
+model receives is bit-identical to the one the naive per-triple loops
+would produce - only the bookkeeping around them is vectorized.
+
+:class:`LpPtWorkspace` carries those tables *across* DynamicRR rounds
+and additionally keeps the previous round's model: an unchanged round
+returns the same model object (so a warm-started solve is a pure cache
+hit), a round that only changed the fair-share count ``|R_t|`` mutates
+the capped rows in place, and any other round rebuilds from the cached
+tables.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
+from ..requests.distributions import RateRewardDistribution, _PROB_TOL
 from ..requests.request import ARRequest
 from ..solver.model import LinearProgram
 from .instance import ProblemInstance
@@ -71,6 +94,25 @@ class LpIndex:
                 options.append((station_id, slot, mass))
         return options
 
+    def options_table(self, values: Mapping[str, float],
+                      tol: float = 1e-9
+                      ) -> Dict[int, List[Tuple[int, int, float]]]:
+        """Positive-mass options of *every* request, in one pass.
+
+        Returns the same lists (same order) as calling
+        :meth:`assignment_options` per request; rounding loops that
+        re-query one solution across many rounds use this to avoid the
+        per-round re-extraction.
+        """
+        table: Dict[int, List[Tuple[int, int, float]]] = {
+            rid: [] for rid in self.by_request}
+        get = values.get
+        for name, (rid, station_id, slot) in self.triples.items():
+            mass = float(get(name, 0.0))
+            if mass > tol:
+                table[rid].append((station_id, slot, mass))
+        return table
+
 
 def expected_reward_coefficient(instance: ProblemInstance,
                                 request: ARRequest, station_id: int,
@@ -86,122 +128,297 @@ def expected_reward_coefficient(instance: ProblemInstance,
     return request.distribution.expected_reward_within(max_rate)
 
 
-def _add_variables(lp: LinearProgram, instance: ProblemInstance,
-                   requests: Sequence[ARRequest],
-                   waiting_ms: Mapping[int, float]
-                   ) -> Tuple[Dict[str, Tuple[int, int, int]],
-                              Dict[int, List[str]]]:
-    """Create the pruned y_{jil} columns; returns the index maps."""
-    triples: Dict[str, Tuple[int, int, int]] = {}
-    by_request: Dict[int, List[str]] = {}
-    for request in requests:
-        wait = waiting_ms.get(request.request_id, 0.0)
-        names: List[str] = []
-        for station_id in instance.latency.feasible_stations(request, wait):
-            num_slots = instance.network.num_slots(station_id)
-            for slot in range(num_slots):
-                er = expected_reward_coefficient(
-                    instance, request, station_id, slot)
-                name = _var_name(request.request_id, station_id, slot)
-                lp.add_variable(name, low=0.0, high=1.0, objective=er)
-                triples[name] = (request.request_id, station_id, slot)
-                names.append(name)
-        by_request[request.request_id] = names
-    return triples, by_request
+# ----------------------------------------------------------------------
+# Precomputed per-distribution / per-station tables
+# ----------------------------------------------------------------------
+class _DistTables:
+    """Cached expectation tables of one request's distribution.
 
-
-def _add_choice_constraints(lp: LinearProgram,
-                            by_request: Mapping[int, List[str]]) -> None:
-    """Constraint (9): each request starts in at most one slot."""
-    for request_id, names in by_request.items():
-        if names:
-            lp.add_constraint({name: 1.0 for name in names}, "<=", 1.0,
-                              name=f"choice_{request_id}")
-
-
-def _add_prefix_constraints(lp: LinearProgram, instance: ProblemInstance,
-                            requests: Sequence[ARRequest],
-                            by_request: Mapping[int, List[str]],
-                            triples: Mapping[str, Tuple[int, int, int]],
-                            fair_share_count: Optional[int]) -> None:
-    """Constraint (10) / (23): truncated prefix demand per (i, m).
-
-    For every station ``i`` and threshold index ``m`` (capacity offset
-    ``m * C_l``), the truncated expected rates of requests starting in
-    slots ``l' < m`` sum to at most ``2 * m * C_l / C_unit``.
-
-    Args:
-        fair_share_count: ``|R_t|`` for LP-PT's extra truncation by the
-            fair share ``C(bs_i) / |R_t|`` (converted to rate space via
-            ``C_unit``); None for the plain LP.
+    ``reward_prefix[k]`` is the expected reward counting only the ``k``
+    smallest support rates, evaluated with the same contiguous
+    slice-and-dot expression as ``expected_reward_within`` so the
+    floats are bit-identical to the per-triple evaluation.
+    ``truncated()`` memoizes ``expected_truncated_rate`` per cap - the
+    prefix rows query the same handful of caps for every station and,
+    through :class:`LpPtWorkspace`, for every DynamicRR round.
     """
-    request_by_id = {r.request_id: r for r in requests}
+
+    __slots__ = ("distribution", "rates", "reward_prefix", "_trunc")
+
+    def __init__(self, distribution: RateRewardDistribution) -> None:
+        self.distribution = distribution
+        probs = distribution.probabilities
+        rewards = distribution.rewards
+        self.rates = distribution.rates_mbps
+        n = int(self.rates.size)
+        self.reward_prefix = np.array(
+            [float(probs[:k] @ rewards[:k]) for k in range(n + 1)])
+
+        self._trunc: Dict[float, float] = {}
+
+    def truncated(self, cap: float) -> float:
+        """Memoized ``E[min(rho, cap)]`` (exact same float as uncached).
+
+        Caps at or above the support's largest rate all truncate
+        nothing - ``np.minimum(rates, cap)`` returns ``rates``
+        elementwise exactly - so they share one memo entry.
+        """
+        value = self._trunc.get(cap)
+        if value is None:
+            top = self.rates[-1]
+            if cap > top:
+                value = self.truncated(float(top))
+            else:
+                value = self.distribution.expected_truncated_rate(cap)
+            self._trunc[cap] = value
+        return value
+
+    def reward_within(self, max_rates: np.ndarray) -> np.ndarray:
+        """Vectorized ``ER`` over a station's per-slot max rates."""
+        counts = np.searchsorted(self.rates, max_rates + _PROB_TOL,
+                                 side="right")
+        return self.reward_prefix[counts]
+
+
+class _TableCache:
+    """Per-request :class:`_DistTables`, keyed by request id.
+
+    The distribution object is identity-checked so a stale entry (same
+    id, different workload) can never leak between builds.
+    """
+
+    __slots__ = ("_by_rid",)
+
+    def __init__(self) -> None:
+        self._by_rid: Dict[int, _DistTables] = {}
+
+    def get(self, request: ARRequest) -> _DistTables:
+        entry = self._by_rid.get(request.request_id)
+        if entry is None or entry.distribution is not request.distribution:
+            entry = _DistTables(request.distribution)
+            self._by_rid[request.request_id] = entry
+        return entry
+
+
+@dataclass(frozen=True)
+class _StationGeometry:
+    """Slot geometry of one station, lowered to rate space once."""
+
+    num_slots: int
+    capacity_rate: float
+    capacity_mhz: float
+    #: ``m * C_l / C_unit`` for m = 1..L (Eq. 10 thresholds).
+    threshold_rates: Tuple[float, ...]
+    #: ``(C(bs_i) - l * C_l) / C_unit`` for l = 0..L-1 (Eq. 8 budgets).
+    max_rates: np.ndarray
+
+
+def _station_geometry(instance: ProblemInstance
+                      ) -> Dict[int, _StationGeometry]:
     slot_size = instance.slot_size_mhz
     c_unit = instance.c_unit
-    for station_id in instance.network.station_ids:
-        num_slots = instance.network.num_slots(station_id)
-        share_rate = None
-        if fair_share_count is not None:
-            capacity = instance.network.station(station_id).capacity_mhz
-            share_rate = capacity / (max(fair_share_count, 1) * c_unit)
-        for m in range(1, num_slots + 1):
-            threshold_rate = m * slot_size / c_unit
-            coeffs: Dict[str, float] = {}
-            for request_id, names in by_request.items():
-                request = request_by_id[request_id]
-                cap = threshold_rate
-                if share_rate is not None:
-                    cap = min(cap, share_rate)
-                truncated = request.distribution.expected_truncated_rate(cap)
-                if truncated <= 0:
-                    continue
-                for name in names:
-                    _, sid, slot = triples[name]
-                    if sid == station_id and slot < m:
-                        coeffs[name] = truncated
-            if coeffs:
-                lp.add_constraint(
-                    coeffs, "<=", PREFIX_SLACK * threshold_rate,
-                    name=f"prefix_{station_id}_{m}")
-        _add_station_capacity_row(lp, instance, requests, by_request,
-                                  triples, station_id, share_rate)
+    out: Dict[int, _StationGeometry] = {}
+    for sid in instance.network.station_ids:
+        num_slots = instance.network.num_slots(sid)
+        capacity = instance.network.station(sid).capacity_mhz
+        offsets = np.arange(num_slots) * slot_size
+        out[sid] = _StationGeometry(
+            num_slots=num_slots,
+            capacity_rate=capacity / c_unit,
+            capacity_mhz=capacity,
+            threshold_rates=tuple(m * slot_size / c_unit
+                                  for m in range(1, num_slots + 1)),
+            max_rates=(capacity - offsets) / c_unit)
+    return out
 
 
-def _add_station_capacity_row(lp: LinearProgram, instance: ProblemInstance,
-                              requests: Sequence[ARRequest],
-                              by_request: Mapping[int, List[str]],
-                              triples: Mapping[str, Tuple[int, int, int]],
-                              station_id: int,
-                              share_rate: Optional[float]) -> None:
-    """Valid per-station expected-capacity row (no slack factor).
+@dataclass
+class _StationBlocks:
+    """Column blocks landed at one station, in insertion order.
 
-    Any admission policy keeps the realized (capacity-truncated)
-    occupancy of a station within ``C(bs_i)`` in every run, hence in
-    expectation: ``sum_j x_ji * E[min(rho_j, C_i/C_unit)] <= C_i/C_unit``.
-    This is the LP image of ILP-RM's constraint (4); the optimal policy
-    satisfies it, so adding it preserves Lemma 1 (``LPOpt >= Opt``)
-    while forcing the fractional solution to *choose* which requests to
-    carry when the workload exceeds capacity - which is where the
-    expected-reward awareness of the objective actually bites.
+    Each feasible (request, station) pair contributes one contiguous
+    block of ``num_slots`` columns; the prefix row for threshold ``m``
+    takes the first ``m`` columns of every block.
     """
-    request_by_id = {r.request_id: r for r in requests}
-    capacity_rate = (instance.network.station(station_id).capacity_mhz
-                     / instance.c_unit)
-    coeffs: Dict[str, float] = {}
-    for request_id, names in by_request.items():
-        request = request_by_id[request_id]
-        cap = capacity_rate if share_rate is None else min(capacity_rate,
-                                                           share_rate)
-        truncated = request.distribution.expected_truncated_rate(cap)
-        if truncated <= 0:
+
+    geometry: _StationGeometry
+    first_cols: List[int]
+    tables: List[_DistTables]
+
+    def prefix_row(self, m: int, cap: float) -> Dict[int, float]:
+        coeffs: Dict[int, float] = {}
+        update = coeffs.update
+        for first, tab in zip(self.first_cols, self.tables):
+            truncated = tab.truncated(cap)
+            if truncated <= 0:
+                continue
+            update(dict.fromkeys(range(first, first + m), truncated))
+        return coeffs
+
+    def prefix_rows(self, prefix_caps: Sequence[float]
+                    ) -> Iterator[Tuple[int, Dict[int, float]]]:
+        """All non-empty prefix rows at once: yields ``(m, coeffs)``.
+
+        Row-for-row identical to calling :meth:`prefix_row` per ``m``
+        (same keys in the same ascending order, same float values -
+        float64 arrays round-trip exactly); the batched assembly runs
+        the per-column work in numpy instead of per-entry Python.
+        """
+        if not self.first_cols:
+            return
+        firsts = np.asarray(self.first_cols)
+        num_caps = len(prefix_caps)
+        trunc = np.empty((len(self.tables), num_caps))
+        for i, tab in enumerate(self.tables):
+            memo = tab.truncated
+            trunc[i] = [memo(cap) for cap in prefix_caps]
+        for m in range(1, num_caps + 1):
+            col = trunc[:, m - 1]
+            mask = col > 0
+            if not mask.any():
+                continue
+            cols = (firsts[mask][:, None] + np.arange(m)).ravel()
+            data = np.repeat(col[mask], m)
+            yield m, dict(zip(cols.tolist(), data.tolist()))
+
+    def capacity_row(self, cap: float) -> Dict[int, float]:
+        num_slots = self.geometry.num_slots
+        if not self.first_cols:
+            return {}
+        firsts = np.asarray(self.first_cols)
+        trunc = np.array([tab.truncated(cap) for tab in self.tables])
+        mask = trunc > 0
+        if not mask.any():
+            return {}
+        cols = (firsts[mask][:, None] + np.arange(num_slots)).ravel()
+        data = np.repeat(trunc[mask], num_slots)
+        return dict(zip(cols.tolist(), data.tolist()))
+
+
+def _effective_caps(geometry: _StationGeometry,
+                    share_rate: Optional[float]
+                    ) -> Tuple[List[float], float]:
+    """Per-m prefix caps and the capacity-row cap of one station."""
+    if share_rate is None:
+        return list(geometry.threshold_rates), geometry.capacity_rate
+    return ([min(threshold, share_rate)
+             for threshold in geometry.threshold_rates],
+            min(geometry.capacity_rate, share_rate))
+
+
+def _share_rate(geometry: _StationGeometry, instance: ProblemInstance,
+                fair_share_count: Optional[int]) -> Optional[float]:
+    if fair_share_count is None:
+        return None
+    return geometry.capacity_mhz / (max(fair_share_count, 1)
+                                    * instance.c_unit)
+
+
+# ----------------------------------------------------------------------
+# Model assembly
+# ----------------------------------------------------------------------
+def _build_model(lp: LinearProgram, instance: ProblemInstance,
+                 requests: Sequence[ARRequest],
+                 waiting: Mapping[int, float],
+                 fair_share_count: Optional[int],
+                 tables: _TableCache,
+                 feasible: Optional[Mapping[int, Sequence[int]]] = None
+                 ) -> Tuple[LpIndex, Dict[int, _StationBlocks]]:
+    """Assemble the slot-indexed LP into `lp`; returns index + blocks.
+
+    Byte-compatible with the historical per-triple build: same variable
+    and constraint names, same insertion order, same float values.
+    """
+    geometry = _station_geometry(instance)
+    triples: Dict[str, Tuple[int, int, int]] = {}
+    by_request: Dict[int, List[str]] = {}
+    blocks: Dict[int, _StationBlocks] = {
+        sid: _StationBlocks(geometry=geo, first_cols=[], tables=[])
+        for sid, geo in geometry.items()}
+
+    # Feasible-station sets repeat heavily across requests; cache each
+    # set's concatenated per-slot budget array (one searchsorted per
+    # request instead of one per (request, station)).
+    concat_cache: Dict[Tuple[int, ...],
+                       Tuple[np.ndarray, Tuple[Tuple[int, int], ...]]] = {}
+
+    for request in requests:
+        rid = request.request_id
+        tab = tables.get(request)
+        stations = tuple(feasible[rid] if feasible is not None
+                         else instance.latency.feasible_stations(
+                             request, waiting.get(rid, 0.0)))
+        if not stations:
+            by_request[rid] = []
             continue
-        for name in names:
-            _, sid, _slot = triples[name]
-            if sid == station_id:
-                coeffs[name] = truncated
-    if coeffs:
-        lp.add_constraint(coeffs, "<=", capacity_rate,
-                          name=f"capacity_{station_id}")
+        entry = concat_cache.get(stations)
+        if entry is None:
+            geos = [geometry[sid] for sid in stations]
+            spans: List[Tuple[int, int]] = []
+            offset = 0
+            for geo in geos:
+                spans.append((offset, geo.num_slots))
+                offset += geo.num_slots
+            entry = (np.concatenate([geo.max_rates for geo in geos]),
+                     tuple(spans))
+            concat_cache[stations] = entry
+        concat_max, spans = entry
+        ers_all = tab.reward_within(concat_max)
+        names: List[str] = []
+        for sid, (_offset, num_slots) in zip(stations, spans):
+            names.extend(_var_name(rid, sid, slot)
+                         for slot in range(num_slots))
+        first = lp.add_variables_bulk(names, (0.0,) * len(names),
+                                      (1.0,) * len(names), ers_all)
+        for sid, (offset, num_slots) in zip(stations, spans):
+            for slot in range(num_slots):
+                triples[names[offset + slot]] = (rid, sid, slot)
+            station = blocks[sid]
+            station.first_cols.append(first + offset)
+            station.tables.append(tab)
+        by_request[rid] = names
+
+    # Constraint (9): each request starts in at most one slot.  A
+    # request's columns are contiguous (its blocks were appended
+    # back-to-back), so the row is a pure index range.
+    next_first = 0
+    for rid, names in by_request.items():
+        if names:
+            first = next_first
+            lp.add_constraint_indexed(
+                dict.fromkeys(range(first, first + len(names)), 1.0),
+                "<=", 1.0, name=f"choice_{rid}")
+        next_first += len(names)
+
+    # Constraints (10)/(23) + the per-station expected-capacity row.
+    # The capacity row is a valid per-station bound with no slack
+    # factor: any admission policy keeps the realized
+    # (capacity-truncated) occupancy within ``C(bs_i)`` in every run,
+    # hence in expectation - the LP image of ILP-RM's constraint (4).
+    # The optimal policy satisfies it, so adding it preserves Lemma 1
+    # (``LPOpt >= Opt``) while forcing the fractional solution to
+    # *choose* which requests to carry when the workload exceeds
+    # capacity - which is where the expected-reward awareness of the
+    # objective actually bites.
+    for sid in instance.network.station_ids:
+        station = blocks[sid]
+        geo = station.geometry
+        share = _share_rate(geo, instance, fair_share_count)
+        prefix_caps, capacity_cap = _effective_caps(geo, share)
+        for m, coeffs in station.prefix_rows(prefix_caps):
+            lp.add_constraint_indexed(
+                coeffs, "<=",
+                PREFIX_SLACK * geo.threshold_rates[m - 1],
+                name=f"prefix_{sid}_{m}")
+        coeffs = station.capacity_row(capacity_cap)
+        if coeffs:
+            lp.add_constraint_indexed(coeffs, "<=", geo.capacity_rate,
+                                      name=f"capacity_{sid}")
+
+    index = LpIndex(
+        triples=triples,
+        by_request={rid: tuple(names) for rid, names in by_request.items()})
+    return index, blocks
 
 
 def build_lp_relaxation(instance: ProblemInstance,
@@ -222,19 +439,17 @@ def build_lp_relaxation(instance: ProblemInstance,
     """
     waiting = dict(waiting_ms or {})
     lp = LinearProgram(name="LP", maximize=True)
-    triples, by_request = _add_variables(lp, instance, requests, waiting)
-    _add_choice_constraints(lp, by_request)
-    _add_prefix_constraints(lp, instance, requests, by_request, triples,
-                            fair_share_count=None)
-    index = LpIndex(
-        triples=dict(triples),
-        by_request={rid: tuple(names) for rid, names in by_request.items()})
+    index, _blocks = _build_model(lp, instance, requests, waiting,
+                                  fair_share_count=None,
+                                  tables=_TableCache())
     return lp, index
 
 
 def build_lp_pt(instance: ProblemInstance,
                 requests: Sequence[ARRequest],
-                waiting_ms: Optional[Mapping[int, float]] = None
+                waiting_ms: Optional[Mapping[int, float]] = None,
+                workspace: Optional["LpPtWorkspace"] = None,
+                fair_share_count: Optional[int] = None
                 ) -> Tuple[LinearProgram, LpIndex]:
     """Build **LP-PT** (Eqs. 22-23) for one time slot of DynamicRR.
 
@@ -247,14 +462,175 @@ def build_lp_pt(instance: ProblemInstance,
         instance: the problem instance.
         requests: the slot's selected set ``R_t``.
         waiting_ms: accumulated waiting of each request in ``R_t``.
+        workspace: optional :class:`LpPtWorkspace` enabling the
+            incremental cross-round build (table reuse, model reuse,
+            in-place fair-share mutation).  The returned model is
+            byte-identical to a from-scratch build either way.
+        fair_share_count: override for ``|R_t|`` (defaults to
+            ``len(requests)``; ablations may pin it).
     """
     waiting = dict(waiting_ms or {})
+    count = (max(len(requests), 1) if fair_share_count is None
+             else max(int(fair_share_count), 1))
+    if workspace is not None:
+        return workspace.build(instance, requests, waiting, count)
     lp = LinearProgram(name="LP-PT", maximize=True)
-    triples, by_request = _add_variables(lp, instance, requests, waiting)
-    _add_choice_constraints(lp, by_request)
-    _add_prefix_constraints(lp, instance, requests, by_request, triples,
-                            fair_share_count=max(len(requests), 1))
-    index = LpIndex(
-        triples=dict(triples),
-        by_request={rid: tuple(names) for rid, names in by_request.items()})
+    index, _blocks = _build_model(lp, instance, requests, waiting,
+                                  fair_share_count=count,
+                                  tables=_TableCache())
     return lp, index
+
+
+class LpPtWorkspace:
+    """Incremental cross-round build state for LP-PT.
+
+    DynamicRR solves a fresh LP-PT every bandit round, but successive
+    rounds share almost all of their structure: the instance geometry
+    is fixed, pending requests persist across slots, and the only
+    round-dependent inputs are the selected set ``R_t``, the waiting
+    times (which act through deadline pruning), and the fair-share
+    count ``|R_t|``.  The workspace exploits that:
+
+    * **table reuse** - per-request :class:`_DistTables` (including the
+      truncated-rate memo) survive across rounds, so a rebuild touches
+      no distribution arithmetic for previously seen (request, cap)
+      pairs;
+    * **model reuse** - when the column structure (request order and
+      feasible-station sets) and the fair-share count are unchanged,
+      the previous round's model object is returned as-is, letting a
+      warm-started solve hit its fingerprint cache without re-solving;
+    * **in-place mutation** - when only the fair-share count changed,
+      the rows whose effective cap ``min(threshold, share)`` moved are
+      rewritten in place via
+      :meth:`~repro.solver.model.LinearProgram.update_constraint_indexed`
+      instead of regenerating the model.
+
+    All three paths produce a model byte-identical to a from-scratch
+    :func:`build_lp_pt`; the counters (:attr:`rebuilds`,
+    :attr:`reuses`, :attr:`row_updates`) are exported as telemetry by
+    DynamicRR.
+    """
+
+    def __init__(self) -> None:
+        self._tables = _TableCache()
+        #: request_id -> (request, sorted (placement_delay, sid) list);
+        #: placement delays are waiting-independent, so the per-round
+        #: deadline pruning reduces to one threshold pass.
+        self._delays: Dict[int, Tuple[ARRequest,
+                                      List[Tuple[float, int]]]] = {}
+        self._delay_instance: Optional[ProblemInstance] = None
+        self._instance: Optional[ProblemInstance] = None
+        self._columns: Optional[Tuple] = None
+        self._count: Optional[int] = None
+        self._model: Optional[LinearProgram] = None
+        self._index: Optional[LpIndex] = None
+        self._blocks: Optional[Dict[int, _StationBlocks]] = None
+        #: Rounds that rebuilt the model (cached tables only).
+        self.rebuilds = 0
+        #: Rounds that returned the previous model unchanged.
+        self.reuses = 0
+        #: Rounds that mutated the fair-share rows in place.
+        self.row_updates = 0
+        #: What the most recent :meth:`build` call did.
+        self.last_mode = "none"
+
+    def build(self, instance: ProblemInstance,
+              requests: Sequence[ARRequest],
+              waiting: Mapping[int, float],
+              fair_share_count: int
+              ) -> Tuple[LinearProgram, LpIndex]:
+        """Build (or reuse / patch) the round's LP-PT."""
+        if instance is not self._delay_instance:
+            self._delays.clear()
+            self._delay_instance = instance
+        feasible = {
+            r.request_id: self._feasible_stations(
+                instance, r, waiting.get(r.request_id, 0.0))
+            for r in requests}
+        columns = tuple((r.request_id, tuple(feasible[r.request_id]))
+                        for r in requests)
+        unchanged = (self._model is not None
+                     and instance is self._instance
+                     and columns == self._columns)
+        if unchanged and fair_share_count == self._count:
+            self.reuses += 1
+            self.last_mode = "reuse"
+            return self._model, self._index
+        if unchanged:
+            self._patch_share_rows(instance, fair_share_count)
+            self._count = fair_share_count
+            self.row_updates += 1
+            self.last_mode = "row_update"
+            return self._model, self._index
+
+        lp = LinearProgram(name="LP-PT", maximize=True)
+        index, blocks = _build_model(lp, instance, requests, waiting,
+                                     fair_share_count=fair_share_count,
+                                     tables=self._tables,
+                                     feasible=feasible)
+        self._instance = instance
+        self._columns = columns
+        self._count = fair_share_count
+        self._model = lp
+        self._index = index
+        self._blocks = blocks
+        self.rebuilds += 1
+        self.last_mode = "rebuild"
+        return lp, index
+
+    def _feasible_stations(self, instance: ProblemInstance,
+                           request: ARRequest,
+                           waiting_ms: float) -> List[int]:
+        """Deadline pruning with cached placement delays.
+
+        Same stations, same order (sorted by placement delay then id),
+        and the same float comparison as
+        :meth:`~repro.core.latency.LatencyModel.feasible_stations` -
+        only the waiting-independent delay table is computed once per
+        request instead of once per round.
+        """
+        entry = self._delays.get(request.request_id)
+        if entry is None or entry[0] is not request:
+            arr = instance.latency.placement_delays(request)
+            delays = sorted(zip(arr.tolist(),
+                                instance.network.station_ids))
+            entry = (request, delays)
+            self._delays[request.request_id] = entry
+        threshold = request.deadline_ms + 1e-9
+        return [sid for delay, sid in entry[1]
+                if waiting_ms + delay <= threshold]
+
+    def _patch_share_rows(self, instance: ProblemInstance,
+                          fair_share_count: int) -> None:
+        """Rewrite rows whose effective cap moved with ``|R_t|``.
+
+        Row *presence* is invariant under a share change: a station
+        with columns always has ``truncated(cap) > 0`` for its
+        ``cap > 0`` rows, so every affected row already exists and the
+        patch never needs to add or drop one.
+        """
+        assert self._model is not None and self._blocks is not None
+        lp = self._model
+        for sid, station in self._blocks.items():
+            if not station.first_cols:
+                continue
+            geo = station.geometry
+            old_share = _share_rate(geo, instance, self._count)
+            new_share = _share_rate(geo, instance, fair_share_count)
+            old_prefix, old_capacity = _effective_caps(geo, old_share)
+            new_prefix, new_capacity = _effective_caps(geo, new_share)
+            for m in range(1, geo.num_slots + 1):
+                if new_prefix[m - 1] == old_prefix[m - 1]:
+                    continue
+                coeffs = station.prefix_row(m, new_prefix[m - 1])
+                if coeffs:
+                    lp.update_constraint_indexed(f"prefix_{sid}_{m}",
+                                                 coeffs)
+            # Exact on purpose: an unchanged cap means the row's
+            # coefficients are the same floats - only bit-level moves
+            # warrant a rewrite (tolerances would skip real changes).
+            if new_capacity != old_capacity:  # repro: noqa NUM001 -- bitwise change detection
+                coeffs = station.capacity_row(new_capacity)
+                if coeffs:
+                    lp.update_constraint_indexed(f"capacity_{sid}",
+                                                 coeffs)

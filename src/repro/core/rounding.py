@@ -62,7 +62,9 @@ class AdmissionOutcome:
 def randomized_round(index: LpIndex, values: Mapping[str, float],
                      requests: Sequence[ARRequest],
                      rng: RngLike = None,
-                     scale: float = DEFAULT_ROUNDING_SCALE
+                     scale: float = DEFAULT_ROUNDING_SCALE,
+                     options_table: Optional[Mapping[
+                         int, Sequence[tuple]]] = None
                      ) -> List[SlotAssignment]:
     """Round a fractional LP solution into tentative slot assignments.
 
@@ -73,6 +75,11 @@ def randomized_round(index: LpIndex, values: Mapping[str, float],
         rng: randomness.
         scale: divide each ``y_{jil}`` by this before sampling (the
             paper uses 4).
+        options_table: precomputed
+            :meth:`~repro.core.lp_relaxation.LpIndex.options_table` of
+            ``values`` - callers that round the same solution over many
+            rounds pass it to skip the per-round re-extraction.  The
+            sampled stream is identical either way.
 
     Returns:
         At most one :class:`SlotAssignment` per request; requests that
@@ -85,7 +92,11 @@ def randomized_round(index: LpIndex, values: Mapping[str, float],
     rng = ensure_rng(rng)
     assignments: List[SlotAssignment] = []
     for request in requests:
-        options = index.assignment_options(values, request.request_id)
+        if options_table is not None:
+            options = options_table.get(request.request_id, ())
+        else:
+            options = index.assignment_options(values,
+                                               request.request_id)
         if not options:
             continue
         total_mass = sum(mass for _, _, mass in options) / scale

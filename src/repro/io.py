@@ -162,7 +162,7 @@ def load_instance(path: PathLike) -> ProblemInstance:
         network, paths,
         proc_delay_range_ms=config.requests.proc_delay_range_ms, rng=0)
     # Overwrite the randomly drawn base delays with the saved ones.
-    latency._base_delay_ms = dict(base_delays)
+    latency.restore_base_delays(base_delays)
     return ProblemInstance(network=network, paths=paths,
                            latency=latency, config=config)
 

@@ -200,9 +200,8 @@ class OnlineEngine:
         """Best-case transfer+processing delay over all stations."""
         cached = self._min_delay_cache.get(request.request_id)
         if cached is None:
-            cached = min(
-                self.instance.latency.placement_delay_ms(request, sid)
-                for sid in self.instance.network.station_ids)
+            cached = float(
+                self.instance.latency.placement_delays(request).min())
             self._min_delay_cache[request.request_id] = cached
         return cached
 

@@ -62,14 +62,17 @@ def solve_lp_with_duals(lp: LinearProgram) -> DualSolution:
     c = lp.objective_vector()
     if lp.maximize:
         c = -c
-    a_ub, b_ub, a_eq, b_eq = lp.dense_rows()
+    a_ub, b_ub, a_eq, b_eq = lp.sparse_rows()
+    bounds = lp.uniform_bounds()
+    if bounds is None:
+        bounds = lp.bounds()
     result = optimize.linprog(
         c,
-        A_ub=a_ub if a_ub.size else None,
+        A_ub=a_ub if a_ub.shape[0] else None,
         b_ub=b_ub if b_ub.size else None,
-        A_eq=a_eq if a_eq.size else None,
-        b_eq=b_eq if b_eq.size else None,
-        bounds=lp.bounds(),
+        A_eq=a_eq if a_eq.shape[0] else None,
+        b_eq=b_eq if b_eq.shape[0] else None,
+        bounds=bounds,
         method="highs",
     )
     if not result.success:
@@ -81,7 +84,7 @@ def solve_lp_with_duals(lp: LinearProgram) -> DualSolution:
                           f"{result.message}")
 
     # Re-associate rows with constraint names in model order.  The
-    # dense export emits <= rows (>= rows negated) first, then == rows,
+    # export emits <= rows (>= rows negated) first, then == rows,
     # preserving insertion order within each group.
     ub_names = [con.name for con in lp.constraints
                 if con.sense in ("<=", ">=")]
@@ -104,7 +107,6 @@ def solve_lp_with_duals(lp: LinearProgram) -> DualSolution:
             duals[name] = float(sign * marginal)
             slacks[name] = float(residual)
 
-    values = {var.name: float(result.x[var.index])
-              for var in lp.variables}
+    values = dict(zip(lp.variable_names(), result.x.tolist()))
     return DualSolution(objective=lp.evaluate_objective(values),
                         duals=duals, slacks=slacks)

@@ -39,19 +39,26 @@ def solve_lp_scipy(lp: LinearProgram) -> Tuple[float, Dict[str, float]]:
     c = lp.objective_vector()
     if lp.maximize:
         c = -c
-    a_ub, b_ub, a_eq, b_eq = lp.dense_rows()
+    a_ub, b_ub, a_eq, b_eq = lp.sparse_rows()
+    # One shared (low, high) pair solves identically to the expanded
+    # per-variable list but skips scipy's O(n) bounds parsing.
+    bounds = lp.uniform_bounds()
+    if bounds is None:
+        bounds = lp.bounds()
     result = optimize.linprog(
         c,
-        A_ub=a_ub if a_ub.size else None,
+        A_ub=a_ub if a_ub.shape[0] else None,
         b_ub=b_ub if b_ub.size else None,
-        A_eq=a_eq if a_eq.size else None,
+        A_eq=a_eq if a_eq.shape[0] else None,
         b_eq=b_eq if b_eq.size else None,
-        bounds=lp.bounds(),
+        bounds=bounds,
         method="highs",
     )
     if not result.success:
         _raise_for_status(lp, result.status, result.message)
-    values = {var.name: float(result.x[var.index]) for var in lp.variables}
+    # tolist() yields the same Python floats as per-element float();
+    # names are in column order, matching result.x.
+    values = dict(zip(lp.variable_names(), result.x.tolist()))
     return lp.evaluate_objective(values), values
 
 
@@ -64,12 +71,12 @@ def solve_ilp_scipy(lp: LinearProgram) -> Tuple[float, Dict[str, float]]:
     c = lp.objective_vector()
     if lp.maximize:
         c = -c
-    a_ub, b_ub, a_eq, b_eq = lp.dense_rows()
+    a_ub, b_ub, a_eq, b_eq = lp.sparse_rows()
     constraints = []
-    if a_ub.size:
+    if a_ub.shape[0]:
         constraints.append(optimize.LinearConstraint(
             a_ub, ub=b_ub, lb=-np.inf))
-    if a_eq.size:
+    if a_eq.shape[0]:
         constraints.append(optimize.LinearConstraint(
             a_eq, lb=b_eq, ub=b_eq))
     bounds_arr = np.array(lp.bounds(), dtype=float)

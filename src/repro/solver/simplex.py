@@ -16,16 +16,34 @@ Model transformations performed here:
 * phase 1 minimizes the artificial sum; phase 2 optimizes the real
   objective.
 
-Complexity is O(rows x cols) per pivot on dense numpy arrays - entirely
-adequate for the small/medium instances where exactness is cross-checked
-(the experiment driver uses the HiGHS backend for the big sweeps).
+Redundant rows (linearly dependent constraints) leave an artificial
+basic at zero after phase 1; such rows are **dropped** before phase 2 -
+keeping them is unsound because their basic column no longer exists in
+the phase-2 tableau, so a later ratio test could pick the row and pivot
+on a near-zero entry.
+
+Pricing, the ratio test, and the pivot update are vectorized numpy
+expressions that reproduce the classical per-element loops *exactly*
+(same entering column - lowest index with negative reduced cost; same
+leaving row - minimum ratio with ties broken by lowest basis index;
+same multiply-then-subtract per tableau entry), so the pivot sequence
+is identical to the textbook implementation's.
+
+Warm starts: :func:`solve_with_simplex_state` returns the optimal basis
+(column indices of the internal standard form) and accepts one from a
+previous solve.  A valid, primal-feasible warm basis skips phase 1
+entirely - the tableau is refactorized from the basis columns and
+phase 2 resumes from there.  The refactorization goes through a dense
+linear solve, so warm-started results agree with cold ones to solver
+tolerance (not bitwise); callers needing bit-reproducibility solve
+cold.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -53,7 +71,11 @@ def _to_standard_form(lp: LinearProgram) -> _StandardForm:
     """Lower the natural-form model into equality standard form."""
     columns: List[Tuple[int, Optional[int], float]] = []
     col = 0
-    extra_upper_rows: List[Tuple[int, float]] = []  # (pos column, ub)
+    # (pos column, neg column or None, ub) per finite upper bound - the
+    # column pair is recorded here directly instead of recovered later
+    # by scanning `columns` (which made the lowering quadratic in the
+    # number of bounded variables).
+    extra_upper_rows: List[Tuple[int, Optional[int], float]] = []
     for var in lp.variables:
         low, high = var.low, var.high
         if math.isinf(low) and low < 0:
@@ -61,13 +83,13 @@ def _to_standard_form(lp: LinearProgram) -> _StandardForm:
             col += 2
             columns.append((pos, neg, 0.0))
             if not math.isinf(high):
-                extra_upper_rows.append((pos, high))  # x+ - x- <= high
+                extra_upper_rows.append((pos, neg, high))  # x+ - x- <= high
         else:
             pos = col
             col += 1
             columns.append((pos, None, low))
             if not math.isinf(high):
-                extra_upper_rows.append((pos, high - low))
+                extra_upper_rows.append((pos, None, high - low))
     num_structural = col
 
     rows: List[np.ndarray] = []
@@ -85,17 +107,11 @@ def _to_standard_form(lp: LinearProgram) -> _StandardForm:
         rows.append(row)
         rhs.append(con.rhs - shift)
         senses.append(con.sense)
-    for pos, ub in extra_upper_rows:
+    for pos, neg, ub in extra_upper_rows:
         row = np.zeros(num_structural)
-        sub = None
-        for var_idx, (p, neg, _low) in enumerate(columns):
-            if p == pos:
-                sub = (p, neg)
-                break
-        assert sub is not None
-        row[sub[0]] = 1.0
-        if sub[1] is not None:
-            row[sub[1]] = -1.0
+        row[pos] = 1.0
+        if neg is not None:
+            row[neg] = -1.0
         rows.append(row)
         rhs.append(ub)
         senses.append("<=")
@@ -134,11 +150,18 @@ def _to_standard_form(lp: LinearProgram) -> _StandardForm:
 
 def _pivot(tableau: np.ndarray, basis: List[int], row: int,
            col: int) -> None:
-    """Pivot the tableau on (row, col) in place."""
+    """Pivot the tableau on (row, col) in place.
+
+    Vectorized form of the classical per-row elimination; each entry
+    sees the same multiply-then-subtract as the scalar loop, so the
+    result is bit-identical.
+    """
     tableau[row, :] /= tableau[row, col]
-    for i in range(tableau.shape[0]):
-        if i != row and abs(tableau[i, col]) > _TOL:
-            tableau[i, :] -= tableau[i, col] * tableau[row, :]
+    factors = tableau[:, col].copy()
+    factors[row] = 0.0
+    mask = np.abs(factors) > _TOL
+    if mask.any():
+        tableau[mask, :] -= factors[mask, None] * tableau[row, :]
     basis[row] = col
 
 
@@ -149,34 +172,88 @@ def _run_simplex(tableau: np.ndarray, basis: List[int],
     Uses Bland's rule: entering variable is the lowest-index column
     with a negative reduced cost; leaving row is the lowest-index
     minimum-ratio row.  Raises on unboundedness or iteration overrun.
+
+    The column/row scans are numpy reductions with the same
+    deterministic tie-breaks as the classical loops (lowest column
+    index; then lowest basis index among exact minimum-ratio ties), so
+    the pivot sequence is unchanged.
     """
     m = tableau.shape[0] - 1
+    rhs_col = tableau.shape[1] - 1
     for _ in range(max_iter):
-        reduced = tableau[-1, :num_cols]
-        enter = -1
-        for j in range(num_cols):
-            if reduced[j] < -_TOL:
-                enter = j
-                break
-        if enter < 0:
+        negative = np.flatnonzero(tableau[-1, :num_cols] < -_TOL)
+        if negative.size == 0:
             return
-        ratios: List[Tuple[float, int, int]] = []
-        for i in range(m):
-            coef = tableau[i, enter]
-            if coef > _TOL:
-                ratios.append((tableau[i, -1] / coef, basis[i], i))
-        if not ratios:
+        enter = int(negative[0])
+        coefs = tableau[:m, enter]
+        eligible = coefs > _TOL
+        if not eligible.any():
             raise UnboundedProblemError(
                 "LP is unbounded in the optimization direction")
-        _, _, leave = min(ratios)
+        ratios = np.full(m, np.inf)
+        np.divide(tableau[:m, rhs_col], coefs, out=ratios,
+                  where=eligible)
+        best = ratios.min()
+        ties = np.flatnonzero(ratios == best)
+        leave = int(min(ties, key=lambda i: (basis[i], i)))
         _pivot(tableau, basis, leave, enter)
     raise SolverError(f"simplex exceeded {max_iter} iterations")
 
 
-def solve_with_simplex(lp: LinearProgram,
-                       max_iter: int = 100_000) -> Tuple[float,
-                                                         Dict[str, float]]:
-    """Solve a (continuous) LP with the from-scratch simplex.
+def _phase2_from_basis(form: _StandardForm,
+                       basis: Sequence[int]) -> Optional[np.ndarray]:
+    """Refactorize a phase-2 tableau from a (warm) basis.
+
+    Returns None when the basis is structurally invalid for this form
+    (wrong size, out of range, duplicated), singular, or not primal
+    feasible - callers then fall back to the cold two-phase path.
+    """
+    a, b = form.a, form.b
+    m, n = a.shape
+    if len(basis) != m or len(set(basis)) != m:
+        return None
+    cols = np.asarray(basis, dtype=int)
+    if cols.size and (cols.min() < 0 or cols.max() >= n):
+        return None
+    try:
+        body = np.linalg.solve(a[:, cols],
+                               np.concatenate([a, b[:, None]], axis=1))
+    except np.linalg.LinAlgError:
+        return None
+    rhs = body[:, -1]
+    if rhs.min() < -1e-7:
+        return None  # basis not primal feasible for the new rhs
+    tableau = np.zeros((m + 1, n + 1))
+    tableau[:m, :] = body
+    tableau[:m, -1] = np.maximum(rhs, 0.0)
+    tableau[-1, :n] = form.c
+    return tableau
+
+
+def _recover_solution(lp: LinearProgram, form: _StandardForm,
+                      tableau: np.ndarray, basis: Sequence[int]
+                      ) -> Tuple[float, Dict[str, float]]:
+    n = form.a.shape[1]
+    solution = np.zeros(n)
+    for i, bj in enumerate(basis):
+        if bj < n:
+            solution[bj] = tableau[i, -1]
+    values = {}
+    for var in lp.variables:
+        pos, neg, low = form.recover[var.index]
+        val = solution[pos] + low
+        if neg is not None:
+            val -= solution[neg]
+        values[var.name] = float(val)
+    return lp.evaluate_objective(values), values
+
+
+def solve_with_simplex_state(lp: LinearProgram,
+                             max_iter: int = 100_000,
+                             warm_basis: Optional[Sequence[int]] = None
+                             ) -> Tuple[float, Dict[str, float],
+                                        List[int], bool]:
+    """Solve a (continuous) LP, optionally warm-started from a basis.
 
     Integrality flags are ignored (this is the relaxation solver that
     branch-and-bound builds on).
@@ -184,9 +261,16 @@ def solve_with_simplex(lp: LinearProgram,
     Args:
         lp: the model.
         max_iter: pivot budget shared by both phases.
+        warm_basis: standard-form basis columns from a previous
+            :func:`solve_with_simplex_state` on a structurally similar
+            model.  When it is valid and primal feasible for this
+            model, phase 1 is skipped; otherwise the cold path runs.
 
     Returns:
-        ``(objective, values)`` in the model's natural direction.
+        ``(objective, values, basis, warm_used)`` - the optimum in the
+        model's natural direction, the optimal standard-form basis
+        (reusable as ``warm_basis``), and whether the warm basis was
+        actually applied.
 
     Raises:
         InfeasibleProblemError: no feasible point exists.
@@ -214,7 +298,21 @@ def solve_with_simplex(lp: LinearProgram,
                     f"variable {var.name} unbounded with nonzero objective")
             values[var.name] = best
             objective += var.objective * best
-        return objective, values
+        return objective, values, [], False
+
+    # ---------------- Warm path ----------------
+    if warm_basis is not None:
+        tableau2 = _phase2_from_basis(form, warm_basis)
+        if tableau2 is not None:
+            basis = list(warm_basis)
+            # Price out the basic columns.
+            for i, bj in enumerate(basis):
+                if abs(tableau2[-1, bj]) > _TOL:
+                    tableau2[-1, :] -= tableau2[-1, bj] * tableau2[i, :]
+            _run_simplex(tableau2, basis, num_cols=n, max_iter=max_iter)
+            objective, values = _recover_solution(lp, form, tableau2,
+                                                  basis)
+            return objective, values, list(basis), True
 
     # ---------------- Phase 1 ----------------
     tableau = np.zeros((m + 1, n + m + 1))
@@ -241,10 +339,23 @@ def solve_with_simplex(lp: LinearProgram,
             if pivot_col >= 0:
                 _pivot(tableau, basis, i, pivot_col)
 
+    # Rows whose artificial is *still* basic are redundant (linearly
+    # dependent, with zero residual rhs after phase 1).  They must not
+    # survive into phase 2: their basic column does not exist there, so
+    # a later ratio test could select the row and pivot on a
+    # numerically-zero entry.  Dropping a redundant equality never
+    # changes the feasible region.
+    keep = [i for i in range(m) if basis[i] < n]
+    if len(keep) < m:
+        basis = [basis[i] for i in keep]
+        m = len(keep)
+    else:
+        keep = list(range(m))
+
     # ---------------- Phase 2 ----------------
     tableau2 = np.zeros((m + 1, n + 1))
-    tableau2[:m, :n] = tableau[:m, :n]
-    tableau2[:m, -1] = tableau[:m, -1]
+    tableau2[:m, :n] = tableau[keep, :n]
+    tableau2[:m, -1] = tableau[keep, -1]
     tableau2[-1, :n] = c
     # Price out the basic columns.
     for i, bj in enumerate(basis):
@@ -252,17 +363,25 @@ def solve_with_simplex(lp: LinearProgram,
             tableau2[-1, :] -= tableau2[-1, bj] * tableau2[i, :]
     _run_simplex(tableau2, basis, num_cols=n, max_iter=max_iter)
 
-    solution = np.zeros(n)
-    for i, bj in enumerate(basis):
-        if bj < n:
-            solution[bj] = tableau2[i, -1]
+    objective, values = _recover_solution(lp, form, tableau2, basis)
+    return objective, values, list(basis), False
 
-    values = {}
-    for var in lp.variables:
-        pos, neg, low = form.recover[var.index]
-        val = solution[pos] + low
-        if neg is not None:
-            val -= solution[neg]
-        values[var.name] = float(val)
-    objective = lp.evaluate_objective(values)
+
+def solve_with_simplex(lp: LinearProgram,
+                       max_iter: int = 100_000) -> Tuple[float,
+                                                         Dict[str, float]]:
+    """Solve a (continuous) LP with the from-scratch simplex.
+
+    Thin cold-start wrapper around :func:`solve_with_simplex_state`.
+
+    Returns:
+        ``(objective, values)`` in the model's natural direction.
+
+    Raises:
+        InfeasibleProblemError: no feasible point exists.
+        UnboundedProblemError: the objective is unbounded.
+        SolverError: iteration budget exhausted.
+    """
+    objective, values, _basis, _warm = solve_with_simplex_state(
+        lp, max_iter=max_iter)
     return objective, values

@@ -24,6 +24,7 @@ Exit codes of the CLI (``python -m repro.experiments bench-diff``):
 from __future__ import annotations
 
 import argparse
+import fnmatch
 import sys
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -139,13 +140,17 @@ def diff_manifests(old: RunManifest, new: RunManifest,
                    metric_tol: float = DEFAULT_METRIC_TOL,
                    wall_tol: float = DEFAULT_WALL_TOL,
                    gate_wall: bool = False,
+                   wall_keys: Optional[Sequence[str]] = None,
                    report: Optional[DiffReport] = None) -> DiffReport:
     """Compare two manifests of the same run name.
 
     Deterministic metrics gate on ``|rel delta| > metric_tol`` (both
     directions - any drift means the baseline is stale).  Wall-clock
     quantities gate only with ``gate_wall`` and only on slowdowns
-    beyond ``wall_tol``.
+    beyond ``wall_tol``; ``wall_keys`` (fnmatch patterns against the
+    flattened key, e.g. ``"Appro.runtime_s"`` or ``"*.runtime_s"``)
+    restricts the gate to matching quantities so a stable hot path can
+    be pinned without gating every machine-dependent number.
     """
     if metric_tol < 0 or wall_tol < 0:
         raise ConfigurationError(
@@ -166,9 +171,13 @@ def diff_manifests(old: RunManifest, new: RunManifest,
     for key in sorted(set(old_wall) & set(new_wall)):
         a, b = old_wall[key], new_wall[key]
         rel = (b - a) / max(abs(a), _EPS)
+        gated = gate_wall and (
+            wall_keys is None
+            or any(fnmatch.fnmatchcase(key, pattern)
+                   for pattern in wall_keys))
         out.deltas.append(Delta(run=new.name, key=key, old=a, new=b,
                                 wall_clock=True,
-                                regressed=gate_wall and rel > wall_tol))
+                                regressed=gated and rel > wall_tol))
     return out
 
 
@@ -177,6 +186,7 @@ def diff_ledgers(old: Sequence[RunManifest],
                  metric_tol: float = DEFAULT_METRIC_TOL,
                  wall_tol: float = DEFAULT_WALL_TOL,
                  gate_wall: bool = False,
+                 wall_keys: Optional[Sequence[str]] = None,
                  name: Optional[str] = None) -> DiffReport:
     """Compare the head manifests of two ledgers, per common run name.
 
@@ -187,6 +197,8 @@ def diff_ledgers(old: Sequence[RunManifest],
         metric_tol: relative gate for deterministic metrics.
         wall_tol: relative gate for wall-clock (when ``gate_wall``).
         gate_wall: also gate on wall-clock slowdowns.
+        wall_keys: fnmatch patterns restricting which wall-clock keys
+            the gate applies to (all when None).
         name: restrict the comparison to one run name.
     """
     old_by = latest_by_name(old)
@@ -201,7 +213,7 @@ def diff_ledgers(old: Sequence[RunManifest],
             continue
         diff_manifests(old_by[run], new_by[run], metric_tol=metric_tol,
                        wall_tol=wall_tol, gate_wall=gate_wall,
-                       report=report)
+                       wall_keys=wall_keys, report=report)
     return report
 
 
@@ -225,6 +237,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--gate-wall", action="store_true",
                         help="fail on wall-clock slowdowns too "
                              "(advisory-only by default)")
+    parser.add_argument("--gate-wall-keys", default=None,
+                        metavar="PATTERNS",
+                        help="comma-separated fnmatch patterns "
+                             "limiting the wall-clock gate to matching "
+                             "keys (e.g. 'Appro.runtime_s' or "
+                             "'*.runtime_s'); implies --gate-wall")
     parser.add_argument("--name", default=None, metavar="RUN",
                         help="compare only this run name")
     return parser
@@ -233,12 +251,18 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    wall_keys = None
+    if args.gate_wall_keys:
+        wall_keys = [pattern.strip()
+                     for pattern in args.gate_wall_keys.split(",")
+                     if pattern.strip()]
     try:
         old = load_manifests(args.old)
         new = load_manifests(args.new)
         report = diff_ledgers(old, new, metric_tol=args.tol,
                               wall_tol=args.wall_tol,
-                              gate_wall=args.gate_wall,
+                              gate_wall=args.gate_wall or bool(wall_keys),
+                              wall_keys=wall_keys,
                               name=args.name)
     except (OSError, ConfigurationError) as error:
         print(f"bench-diff: {error}", file=sys.stderr)

@@ -1,0 +1,97 @@
+"""DynamicRR's warm path is observationally identical to the cold one.
+
+The warm machinery (LP-PT workspace + solve cache) is an optimization
+only: with it on (the default) and off, a run must produce the same
+placements, the same journal byte-for-byte, and the same per-request
+records.  Covered across the Figs. 4-6 knobs: the base workload, a
+different station count, and a different rate support.
+"""
+
+import pytest
+
+from repro.config import (NetworkConfig, OnlineConfig, RequestConfig,
+                          SimulationConfig)
+from repro.core.dynamic_rr import DynamicRR
+from repro.core.instance import ProblemInstance
+from repro.sim.online_engine import OnlineEngine
+from repro.telemetry import Journal, use_journal
+
+
+def run_pair(instance, requests, horizon):
+    """One warm and one cold run; returns both (result, events)."""
+    out = []
+    for warm in (True, False):
+        # Realizations cache per request: reset so both runs draw the
+        # same stream (what the executor does between runs).
+        for request in requests:
+            request.reset_realization()
+        journal = Journal()
+        with use_journal(journal):
+            engine = OnlineEngine(instance, requests,
+                                  horizon_slots=horizon, rng=7)
+            result = engine.run(DynamicRR(rng=7, warm_start=warm))
+        out.append((result, journal.events()))
+    return out
+
+
+def assert_identical(pair):
+    (warm_res, warm_events), (cold_res, cold_events) = pair
+    assert warm_events == cold_events  # byte-identical journals
+    assert warm_res.total_reward == cold_res.total_reward
+    warm_decs = warm_res.decisions
+    cold_decs = cold_res.decisions
+    assert set(warm_decs) == set(cold_decs)
+    for rid, warm_dec in warm_decs.items():
+        cold_dec = cold_decs[rid]
+        assert warm_dec.admitted == cold_dec.admitted
+        assert warm_dec.primary_station == cold_dec.primary_station
+        assert warm_dec.reward == cold_dec.reward
+        assert warm_dec.latency_ms == cold_dec.latency_ms
+        assert warm_dec.waiting_ms == cold_dec.waiting_ms
+
+
+def build(num_stations=8, rate_range=None, seed=1234):
+    requests = RequestConfig(num_requests=24)
+    if rate_range is not None:
+        requests = RequestConfig(num_requests=24,
+                                 data_rate_range_mbps=rate_range)
+    config = SimulationConfig(
+        network=NetworkConfig(num_base_stations=num_stations),
+        requests=requests,
+        online=OnlineConfig(horizon_slots=30),
+        seed=seed,
+    ).validate()
+    instance = ProblemInstance.build(config, seed=seed)
+    workload = instance.new_workload(num_requests=24, seed=seed,
+                                     horizon_slots=30)
+    return instance, workload
+
+
+class TestWarmColdEquivalence:
+    def test_base_workload(self):
+        instance, workload = build()
+        assert_identical(run_pair(instance, workload, 30))
+
+    def test_more_stations(self):
+        instance, workload = build(num_stations=12)
+        assert_identical(run_pair(instance, workload, 30))
+
+    def test_different_rate_support(self):
+        instance, workload = build(rate_range=(9.0, 15.0))
+        assert_identical(run_pair(instance, workload, 30))
+
+    def test_warm_state_is_fresh_per_run(self):
+        """begin() rebuilds the workspace + solve state every run, so
+        nothing carries over between replications."""
+        instance, workload = build()
+        policy = DynamicRR(rng=7)
+        OnlineEngine(instance, workload, horizon_slots=30,
+                     rng=7).run(policy)
+        first_ws, first_state = policy._workspace, policy._solve_state
+        assert first_ws is not None and first_ws.rebuilds > 0
+        for request in workload:
+            request.reset_realization()
+        OnlineEngine(instance, workload, horizon_slots=30,
+                     rng=7).run(policy)
+        assert policy._workspace is not first_ws
+        assert policy._solve_state is not first_state

@@ -76,6 +76,27 @@ class TestComponents:
             model.total_delay_ms(make_request(), 0, waiting_ms=-1.0)
 
 
+class TestRestoreBaseDelays:
+    def test_restore_refreshes_vectorized_delays(self, net, table):
+        """Regression: the deserialization path replaces the drawn base
+        delays, and the precomputed delay arrays must follow - a stale
+        mirror silently reorders feasible_stations."""
+        model = LatencyModel(net, table, rng=0)
+        req = make_request(serving=0)
+        model.placement_delays(req)  # populate the round-trip cache
+        replaced = {sid: 7.5 for sid in net.station_ids}
+        model.restore_base_delays(replaced)
+        for k, sid in enumerate(net.station_ids):
+            assert model.station_base_delay_ms(sid) == 7.5
+            assert model.placement_delays(req)[k] == pytest.approx(
+                model.placement_delay_ms(req, sid))
+
+    def test_restore_rejects_mismatched_stations(self, net, table):
+        model = LatencyModel(net, table, rng=0)
+        with pytest.raises(ConfigurationError):
+            model.restore_base_delays({0: 7.5})
+
+
 class TestSplitDelay:
     def test_no_migration_matches_total(self, model):
         req = make_request(serving=0)

@@ -1,0 +1,123 @@
+"""Incremental LP-PT builds are byte-identical to from-scratch ones.
+
+`LpPtWorkspace` has three paths - full rebuild, in-place fair-share
+row patch, and whole-model reuse - and every one must produce a model
+whose :meth:`content_key` equals the model a cold `build_lp_pt` would
+produce for the same inputs.  DynamicRR's journal byte-identity rests
+on this.
+"""
+
+import pytest
+
+from repro.core.lp_relaxation import LpPtWorkspace, build_lp_pt
+from repro.solver.interface import WarmStartState, solve_lp
+
+
+@pytest.fixture()
+def pt_inputs(small_instance, small_workload):
+    requests = small_workload[:8]
+    waiting = {r.request_id: 5.0 * (i % 3)
+               for i, r in enumerate(requests)}
+    return small_instance, requests, waiting
+
+
+def cold_key(instance, requests, waiting, count=None):
+    lp, _ = build_lp_pt(instance, requests, waiting,
+                        fair_share_count=count)
+    return lp.content_key()
+
+
+class TestRebuild:
+    def test_first_build_is_a_rebuild(self, pt_inputs):
+        instance, requests, waiting = pt_inputs
+        ws = LpPtWorkspace()
+        lp, index = build_lp_pt(instance, requests, waiting,
+                                workspace=ws)
+        assert ws.last_mode == "rebuild"
+        assert ws.rebuilds == 1
+        assert lp.content_key() == cold_key(instance, requests, waiting)
+        assert set(index.by_request) == {r.request_id for r in requests}
+
+    def test_changed_request_set_rebuilds(self, pt_inputs):
+        instance, requests, waiting = pt_inputs
+        ws = LpPtWorkspace()
+        build_lp_pt(instance, requests, waiting, workspace=ws)
+        subset = requests[:5]
+        lp, _ = build_lp_pt(instance, subset, waiting, workspace=ws)
+        assert ws.last_mode == "rebuild"
+        assert ws.rebuilds == 2
+        assert lp.content_key() == cold_key(instance, subset, waiting)
+
+    def test_changed_waiting_rebuilds_when_columns_move(self, pt_inputs):
+        instance, requests, _ = pt_inputs
+        ws = LpPtWorkspace()
+        build_lp_pt(instance, requests, {}, workspace=ws)
+        # Huge waiting kills most stations' feasibility -> new columns.
+        waiting = {r.request_id: 1e6 for r in requests}
+        lp, _ = build_lp_pt(instance, requests, waiting, workspace=ws)
+        assert ws.last_mode == "rebuild"
+        assert lp.content_key() == cold_key(instance, requests, waiting)
+
+
+class TestReuse:
+    def test_identical_round_reuses_model(self, pt_inputs):
+        instance, requests, waiting = pt_inputs
+        ws = LpPtWorkspace()
+        lp1, _ = build_lp_pt(instance, requests, waiting, workspace=ws)
+        lp2, _ = build_lp_pt(instance, requests, waiting, workspace=ws)
+        assert lp2 is lp1  # same object -> warm solve cache can hit
+        assert ws.last_mode == "reuse"
+        assert ws.reuses == 1
+
+    def test_reused_model_hits_solve_cache(self, pt_inputs):
+        instance, requests, waiting = pt_inputs
+        ws = LpPtWorkspace()
+        state = WarmStartState()
+        lp1, _ = build_lp_pt(instance, requests, waiting, workspace=ws)
+        first = solve_lp(lp1, warm_start=state)
+        lp2, _ = build_lp_pt(instance, requests, waiting, workspace=ws)
+        again = solve_lp(lp2, warm_start=state)
+        assert state.hits == 1
+        assert again.values == first.values
+
+
+class TestRowUpdate:
+    def test_fair_share_patch_matches_cold_build(self, pt_inputs):
+        instance, requests, waiting = pt_inputs
+        ws = LpPtWorkspace()
+        build_lp_pt(instance, requests, waiting, workspace=ws,
+                    fair_share_count=len(requests))
+        lp, _ = build_lp_pt(instance, requests, waiting, workspace=ws,
+                            fair_share_count=2 * len(requests))
+        assert ws.last_mode == "row_update"
+        assert ws.row_updates == 1
+        assert lp.content_key() == cold_key(instance, requests, waiting,
+                                            count=2 * len(requests))
+
+    def test_patch_round_trip(self, pt_inputs):
+        """count A -> B -> A ends byte-identical to a cold count-A."""
+        instance, requests, waiting = pt_inputs
+        ws = LpPtWorkspace()
+        lp, _ = build_lp_pt(instance, requests, waiting, workspace=ws,
+                            fair_share_count=4)
+        key_a = lp.content_key()
+        build_lp_pt(instance, requests, waiting, workspace=ws,
+                    fair_share_count=64)
+        lp, _ = build_lp_pt(instance, requests, waiting, workspace=ws,
+                            fair_share_count=4)
+        assert lp.content_key() == key_a
+        assert key_a == cold_key(instance, requests, waiting, count=4)
+
+    def test_solutions_agree_after_patch(self, pt_inputs):
+        instance, requests, waiting = pt_inputs
+        ws = LpPtWorkspace()
+        build_lp_pt(instance, requests, waiting, workspace=ws,
+                    fair_share_count=3)
+        patched, _ = build_lp_pt(instance, requests, waiting,
+                                 workspace=ws, fair_share_count=9)
+        cold, _ = build_lp_pt(instance, requests, waiting,
+                              fair_share_count=9)
+        warm_sol = solve_lp(patched)
+        cold_sol = solve_lp(cold)
+        assert warm_sol.objective == cold_sol.objective
+        assert warm_sol.values == cold_sol.values

@@ -1,0 +1,217 @@
+"""Bulk construction, incremental edits, and sparse export of the model.
+
+These APIs form the warm-started LP hot path: vectorized builders
+append whole column blocks (`add_variables_bulk`), mutate single rows
+in place (`update_constraint*`), and export CSR matrices in O(nnz)
+(`sparse_rows`).  The tests pin the contract the solvers rely on -
+byte-identical semantics to the scalar/dense paths.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.exceptions import ConfigurationError
+from repro.solver.model import LinearProgram
+
+
+def knapsack_lp() -> LinearProgram:
+    """A small mixed-sense LP touching every export branch."""
+    lp = LinearProgram(name="knap")
+    lp.add_variables_bulk(
+        ["x0", "x1", "x2", "x3"],
+        (0.0, 0.0, 0.0, 0.0), (1.0, 1.0, 1.0, 1.0),
+        np.array([3.0, 1.0, 4.0, 1.5]))
+    lp.add_constraint_indexed({0: 2.0, 1: 1.0, 2: 3.0}, "<=", 4.0,
+                              name="cap")
+    lp.add_constraint_indexed({1: 1.0, 3: 1.0}, ">=", 0.5, name="floor")
+    lp.add_constraint_indexed({0: 1.0, 3: -1.0}, "==", 0.0, name="tie")
+    return lp
+
+
+class TestBulkVariables:
+    def test_block_appends_after_existing(self):
+        lp = LinearProgram()
+        lp.add_variable("w")
+        first = lp.add_variables_bulk(["a", "b"], (0.0, 0.0),
+                                      (1.0, 2.0), (0.5, 0.25))
+        assert first == 1
+        assert lp.num_variables == 3
+        assert [v.name for v in lp.variables] == ["w", "a", "b"]
+        assert lp.variable("b").high == 2.0
+        assert lp.variable("b").objective == 0.25
+
+    def test_numpy_objectives_round_trip(self):
+        lp = LinearProgram()
+        objs = np.linspace(0.1, 0.9, 5)
+        lp.add_variables_bulk([f"y{i}" for i in range(5)],
+                              (0.0,) * 5, (1.0,) * 5, objs)
+        assert lp.objective_vector().tolist() == objs.tolist()
+
+    def test_mismatched_lengths_rejected(self):
+        lp = LinearProgram()
+        with pytest.raises(ConfigurationError):
+            lp.add_variables_bulk(["a", "b"], (0.0,), (1.0, 1.0),
+                                  (0.0, 0.0))
+
+    def test_duplicate_rejected(self):
+        lp = LinearProgram()
+        lp.add_variable("a")
+        with pytest.raises(ConfigurationError):
+            lp.add_variables_bulk(["b", "a"], (0.0, 0.0), (1.0, 1.0),
+                                  (0.0, 0.0))
+
+    def test_inverted_bounds_rejected(self):
+        lp = LinearProgram()
+        with pytest.raises(ConfigurationError):
+            lp.add_variables_bulk(["a"], (2.0,), (1.0,), (0.0,))
+
+    def test_variable_names_in_column_order(self):
+        lp = knapsack_lp()
+        assert lp.variable_names() == ["x0", "x1", "x2", "x3"]
+
+
+class TestIndexedConstraints:
+    def test_row_content(self):
+        lp = knapsack_lp()
+        con = lp.constraints[0]
+        assert con.coeffs == {0: 2.0, 1: 1.0, 2: 3.0}
+        assert con.sense == "<=" and con.rhs == 4.0
+
+    def test_structural_zero_dropped(self):
+        lp = LinearProgram()
+        lp.add_variables_bulk(["a", "b"], (0.0,) * 2, (1.0,) * 2,
+                              (0.0,) * 2)
+        con = lp.add_constraint_indexed({0: 0.0, 1: 1.0}, "<=", 1.0)
+        assert con.coeffs == {1: 1.0}
+
+    def test_out_of_range_rejected(self):
+        lp = LinearProgram()
+        lp.add_variable("a")
+        with pytest.raises(ConfigurationError):
+            lp.add_constraint_indexed({1: 1.0}, "<=", 1.0)
+        with pytest.raises(ConfigurationError):
+            lp.add_constraint_indexed({-1: 1.0}, "<=", 1.0)
+
+    def test_empty_row_rules(self):
+        lp = LinearProgram()
+        lp.add_variable("a")
+        lp.add_constraint_indexed({0: 0.0}, "<=", 1.0)  # trivially ok
+        with pytest.raises(ConfigurationError):
+            lp.add_constraint_indexed({0: 0.0}, ">=", 1.0)
+
+
+class TestIncrementalEdits:
+    def test_update_rhs_keeps_row_position(self):
+        lp = knapsack_lp()
+        before = [c.name for c in lp.constraints]
+        lp.update_constraint_indexed("cap", {0: 2.0, 1: 1.0, 2: 3.0},
+                                     rhs=5.0)
+        assert [c.name for c in lp.constraints] == before
+        assert lp.constraints[0].rhs == 5.0
+        assert lp.constraints[0].sense == "<="
+
+    def test_update_coeffs_by_name(self):
+        lp = knapsack_lp()
+        lp.update_constraint("floor", coeffs={"x1": 2.0})
+        assert lp.constraints[1].coeffs == {1: 2.0}
+        assert lp.constraints[1].rhs == 0.5  # rhs untouched
+
+    def test_unknown_row_rejected(self):
+        lp = knapsack_lp()
+        with pytest.raises(ConfigurationError):
+            lp.update_constraint_indexed("nope", {0: 1.0})
+
+    def test_set_variable_bounds_and_objective(self):
+        lp = knapsack_lp()
+        lp.set_variable_bounds("x1", 0.25, 0.75)
+        lp.set_objective("x1", 9.0)
+        var = lp.variable("x1")
+        assert (var.low, var.high, var.objective) == (0.25, 0.75, 9.0)
+
+    def test_version_bumps_on_every_edit(self):
+        lp = knapsack_lp()
+        seen = {lp.version}
+        lp.update_constraint_indexed("cap", {0: 1.0})
+        seen.add(lp.version)
+        lp.set_variable_bounds("x0", 0.0, 0.5)
+        seen.add(lp.version)
+        lp.set_objective("x0", 1.0)
+        seen.add(lp.version)
+        assert len(seen) == 4  # strictly increasing
+
+    def test_content_key_tracks_content(self):
+        lp = knapsack_lp()
+        key = lp.content_key()
+        assert lp.content_key() == key  # stable while unmutated
+        assert knapsack_lp().content_key() == key  # content-based
+        lp.update_constraint_indexed("cap", {0: 2.0, 1: 1.0, 2: 3.0},
+                                     rhs=5.0)
+        assert lp.content_key() != key
+
+
+class TestSparseExport:
+    def test_sparse_matches_dense(self):
+        lp = knapsack_lp()
+        a_ub, b_ub, a_eq, b_eq = lp.sparse_rows()
+        d_ub, db_ub, d_eq, db_eq = lp.dense_rows()
+        assert isinstance(a_ub, sparse.csr_array)
+        np.testing.assert_array_equal(a_ub.toarray(), d_ub)
+        np.testing.assert_array_equal(a_eq.toarray(), d_eq)
+        np.testing.assert_array_equal(b_ub, db_ub)
+        np.testing.assert_array_equal(b_eq, db_eq)
+
+    def test_sparse_is_canonical_csr(self):
+        lp = knapsack_lp()
+        a_ub, _, a_eq, _ = lp.sparse_rows()
+        ref_ub = sparse.csr_array(lp.dense_rows()[0])
+        assert a_ub.indptr.tolist() == ref_ub.indptr.tolist()
+        assert a_ub.indices.tolist() == ref_ub.indices.tolist()
+        assert a_ub.data.tolist() == ref_ub.data.tolist()
+
+    def test_export_cache_invalidated_by_edit(self):
+        lp = knapsack_lp()
+        first = lp.sparse_rows()
+        assert lp.sparse_rows() is first  # cached while unmutated
+        lp.update_constraint_indexed("cap", {0: 1.0}, rhs=2.0)
+        second = lp.sparse_rows()
+        assert second is not first
+        assert second[0].toarray()[0, 0] == 1.0
+
+    def test_empty_groups_have_column_width(self):
+        lp = LinearProgram()
+        lp.add_variables_bulk(["a", "b"], (0.0,) * 2, (1.0,) * 2,
+                              (1.0,) * 2)
+        lp.add_constraint_indexed({0: 1.0}, "<=", 1.0)
+        a_ub, _, a_eq, b_eq = lp.sparse_rows()
+        assert a_eq.shape == (0, 2)
+        assert b_eq.size == 0
+
+
+class TestUniformBounds:
+    def test_shared_pair(self):
+        lp = LinearProgram()
+        lp.add_variables_bulk(["a", "b", "c"], (0.0,) * 3, (1.0,) * 3,
+                              (0.0,) * 3)
+        assert lp.uniform_bounds() == (0.0, 1.0)
+
+    def test_disagreement_returns_none(self):
+        lp = LinearProgram()
+        lp.add_variable("a", low=0.0, high=1.0)
+        lp.add_variable("b", low=0.0, high=math.inf)
+        assert lp.uniform_bounds() is None
+
+    def test_empty_model_returns_none(self):
+        assert LinearProgram().uniform_bounds() is None
+
+    def test_cache_tracks_edits(self):
+        lp = LinearProgram()
+        lp.add_variables_bulk(["a", "b"], (0.0,) * 2, (1.0,) * 2,
+                              (0.0,) * 2)
+        assert lp.uniform_bounds() == (0.0, 1.0)
+        lp.set_variable_bounds("b", 0.0, 0.5)
+        assert lp.uniform_bounds() is None
+        lp.set_variable_bounds("b", 0.0, 1.0)
+        assert lp.uniform_bounds() == (0.0, 1.0)

@@ -92,6 +92,20 @@ class TestDiffManifests:
         assert diff_manifests(base, slower, gate_wall=True,
                               wall_tol=2.0).ok
 
+    def test_wall_keys_limit_the_gate(self):
+        base = make_manifest(runtime=1.0, phases={"fig3": 1.0})
+        slow_phase = perturbed(base, phases={"fig3": 100.0})
+        slow_algo = perturbed(base, runtime=5.0)
+        # A gated pattern only fires on matching keys ...
+        assert diff_manifests(base, slow_phase, gate_wall=True,
+                              wall_keys=["Greedy.runtime_s"]).ok
+        assert not diff_manifests(base, slow_algo, gate_wall=True,
+                                  wall_keys=["Greedy.runtime_s"]).ok
+        # ... wildcards work, and no patterns means gate everything.
+        assert not diff_manifests(base, slow_algo, gate_wall=True,
+                                  wall_keys=["*.runtime_s"]).ok
+        assert not diff_manifests(base, slow_phase, gate_wall=True).ok
+
     def test_phases_and_rss_are_wall_clock(self):
         base = make_manifest(phases={"fig3": 1.0})
         slower = perturbed(base, phases={"fig3": 100.0})
@@ -197,6 +211,28 @@ class TestCli:
         assert regression.main([old, new, "--gate-wall"]) == 1
         assert regression.main([old, new, "--gate-wall",
                                 "--wall-tol", "10"]) == 0
+
+    def test_gate_wall_keys_flag(self, tmp_path):
+        old = self.bench(tmp_path, "old.json",
+                         make_manifest(runtime=1.0,
+                                       phases={"fig3": 1.0}))
+        new = self.bench(tmp_path, "new.json",
+                         make_manifest(runtime=1.0,
+                                       phases={"fig3": 100.0}))
+        # The phase slowdown is outside the pattern -> passes; the
+        # flag alone implies --gate-wall for matching keys.
+        assert regression.main([old, new, "--gate-wall-keys",
+                                "Greedy.runtime_s"]) == 0
+        assert regression.main([old, new, "--gate-wall-keys",
+                                "phase.*"]) == 1
+        slow = self.bench(tmp_path, "slow.json",
+                          make_manifest(runtime=5.0,
+                                        phases={"fig3": 1.0}))
+        assert regression.main([old, slow, "--gate-wall-keys",
+                                "Greedy.runtime_s,phase.*"]) == 1
+        assert regression.main([old, slow, "--gate-wall-keys",
+                                "Greedy.runtime_s", "--wall-tol",
+                                "10"]) == 0
 
     def test_missing_file_exits_two(self, tmp_path, capsys):
         base = self.bench(tmp_path, "old.json", make_manifest())

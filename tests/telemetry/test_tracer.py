@@ -157,5 +157,6 @@ class TestCurrentTracer:
             solve_lp(lp)
         spans = [e for e in tracer.events() if e["kind"] == "span"]
         assert any(e["name"] == "lp_solve"
-                   and e["labels"] == {"backend": "scipy"}
+                   and e["labels"] == {"backend": "scipy",
+                                       "warm": "cold"}
                    for e in spans)
