@@ -303,6 +303,58 @@ class DynamicRR:
                       * cfg_req.data_rate_range_mbps[1])
         return max(per_slot * max_reward, 1e-9)
 
+    # ------------------------------------------------------------------
+    # Checkpoint/restore (streaming service)
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Snapshot everything :meth:`begin` initializes plus learning.
+
+        The bandit, the LP-PT workspace, and the warm-start cache are
+        deep-copied *jointly* in one call: :class:`WarmStartState`
+        caches by object identity against the workspace's model, so
+        copying them separately would silently turn every post-restore
+        solve into a cold start (same placements, different journal-free
+        perf) - one ``deepcopy`` of the tuple preserves the shared
+        references.
+        """
+        import copy
+
+        bandit, workspace, solve_state, tracker = copy.deepcopy(
+            (self._bandit, self._workspace, self._solve_state,
+             self.tracker))
+        return {
+            "bandit": bandit,
+            "workspace": workspace,
+            "solve_state": solve_state,
+            "tracker": tracker,
+            "rng_state": self._rng.bit_generator.state,
+            "cumulative_reward": self._cumulative_reward,
+            "reward_scale": self._reward_scale,
+            "selected_this_slot": self._selected_this_slot,
+            "last_arm_value": self._last_arm_value,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Install a snapshot produced by :meth:`export_state`.
+
+        Call after :meth:`begin` (which binds the engine); this
+        overwrites the fresh learning state with the checkpointed one.
+        """
+        self._bandit = state["bandit"]
+        self._workspace = state["workspace"]
+        self._solve_state = state["solve_state"]
+        self.tracker = state["tracker"]
+        self._rng.bit_generator.state = state["rng_state"]
+        self._cumulative_reward = state["cumulative_reward"]
+        self._reward_scale = state["reward_scale"]
+        self._selected_this_slot = state["selected_this_slot"]
+        self._last_arm_value = state["last_arm_value"]
+        # EpsilonGreedy shares the policy RNG with the rounding RNG at
+        # construction; re-bind so the restored run keeps sharing it.
+        if self._bandit is not None and self._bandit.policy is not None \
+                and hasattr(self._bandit.policy, "_rng"):
+            self._bandit.policy._rng = self._rng
+
     # Introspection -----------------------------------------------------
     @property
     def bandit(self) -> Optional[LipschitzBandit]:

@@ -39,6 +39,12 @@ bench-diff)::
     python -m repro.experiments --figures 3 --journal serial.jsonl
     python -m repro.experiments --figures 3 --workers 2 --journal par.jsonl
     python -m repro.experiments trace-diff serial.jsonl par.jsonl
+
+The streaming admission service (``python -m repro.service loadgen`` /
+``resume``) emits the same journal format and ``BENCH_service.json``
+manifests, so ``trace-diff`` doubles as its resume byte-identity gate
+and ``bench-diff`` as its throughput-regression check - see
+``docs/SERVICE.md``.
 """
 
 from __future__ import annotations

@@ -10,8 +10,8 @@ from .tasks import ARTask, TaskPipeline, standard_ar_pipeline
 from .distributions import RateRewardDistribution, make_decaying_distribution
 from .request import ARRequest
 from .generator import RequestGenerator, slotted_arrivals
-from .arrivals import (assign_arrival_slots, burst_arrivals,
-                       diurnal_arrivals, poisson_arrivals)
+from .arrivals import (PoissonArrivalStream, assign_arrival_slots,
+                       burst_arrivals, diurnal_arrivals, poisson_arrivals)
 from .traces import FrameTrace, TraceSynthesizer, rate_distribution_from_traces
 
 __all__ = [
@@ -27,6 +27,7 @@ __all__ = [
     "diurnal_arrivals",
     "burst_arrivals",
     "assign_arrival_slots",
+    "PoissonArrivalStream",
     "FrameTrace",
     "TraceSynthesizer",
     "rate_distribution_from_traces",

@@ -17,16 +17,25 @@ uniform load:
 Each process returns sorted arrival slots; combine with a
 :class:`~repro.requests.generator.RequestGenerator` via
 :func:`assign_arrival_slots`.
+
+The finite processes above materialize a whole workload up front, which
+the batch experiments need.  The long-lived admission service
+(:mod:`repro.service`) instead consumes :class:`PoissonArrivalStream` -
+a *lazy* per-slot Poisson source that never materializes more than one
+slot's batch, runs unbounded (or up to an optional ``limit``), and
+checkpoints/restores its exact position so a resumed service draws the
+same remaining arrivals.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..exceptions import ConfigurationError
 from ..rng import RngLike, ensure_rng
+from .generator import RequestGenerator
 from .request import ARRequest
 
 
@@ -145,3 +154,99 @@ def assign_arrival_slots(requests: Sequence[ARRequest],
             c_unit_mhz_per_mbps=request.c_unit_mhz_per_mbps,
         ))
     return sorted(stamped, key=lambda r: (r.arrival_slot, r.request_id))
+
+
+class PoissonArrivalStream:
+    """A lazy, unbounded Poisson arrival source for the streaming service.
+
+    Each call to :meth:`next_batch` advances one slot and draws
+    ``Poisson(mean_per_slot)`` fresh requests with monotonically
+    increasing ids.  Nothing is precomputed: memory stays flat no
+    matter how many slots are consumed.  The stream is fully
+    deterministic given its seed and is checkpointable - the pair
+    :meth:`export_state` / :meth:`restore_state` captures the exact
+    position (next id, next slot, both RNG states), so a resumed stream
+    emits byte-identical remaining arrivals.
+
+    Args:
+        generator: draws per-request parameters (owns its own RNG; its
+            state is part of the stream checkpoint).
+        mean_per_slot: mean arrivals per slot (Poisson rate).
+        rng: randomness for the per-slot *counts* (kept separate from
+            the generator's parameter draws so the two streams stay
+            statistically independent).
+        limit: optional cap on total arrivals; once reached, further
+            batches are empty (the count RNG is no longer drawn, which
+            is deterministic as long as both runs share the limit).
+    """
+
+    def __init__(self, generator: RequestGenerator, mean_per_slot: float,
+                 rng: RngLike = None,
+                 limit: Optional[int] = None) -> None:
+        if mean_per_slot <= 0:
+            raise ConfigurationError(
+                f"mean_per_slot must be > 0, got {mean_per_slot}")
+        if limit is not None and limit < 0:
+            raise ConfigurationError(
+                f"limit must be >= 0, got {limit}")
+        self._generator = generator
+        self._mean = float(mean_per_slot)
+        self._rng = ensure_rng(rng)
+        self._limit = limit
+        self._next_id = 0
+        self._next_slot = 0
+
+    @property
+    def emitted(self) -> int:
+        """Total requests emitted so far."""
+        return self._next_id
+
+    @property
+    def next_slot(self) -> int:
+        """The slot the next :meth:`next_batch` call will produce."""
+        return self._next_slot
+
+    @property
+    def exhausted(self) -> bool:
+        """True when a ``limit`` was set and has been reached."""
+        return self._limit is not None and self._next_id >= self._limit
+
+    def next_batch(self) -> Tuple[int, List[ARRequest]]:
+        """Advance one slot; return ``(slot, fresh requests)``.
+
+        The batch is empty when the Poisson draw is 0 or the stream is
+        exhausted.
+        """
+        slot = self._next_slot
+        self._next_slot += 1
+        if self.exhausted:
+            return slot, []
+        count = int(self._rng.poisson(self._mean))
+        if self._limit is not None:
+            count = min(count, self._limit - self._next_id)
+        batch = [self._generator.generate_one(
+            request_id=self._next_id + k, arrival_slot=slot)
+            for k in range(count)]
+        self._next_id += count
+        return slot, batch
+
+    def export_state(self) -> Dict[str, Any]:
+        """Snapshot the stream position for a service checkpoint."""
+        return {
+            "next_id": self._next_id,
+            "next_slot": self._next_slot,
+            "count_rng": self._rng.bit_generator.state,
+            "generator_rng": self._generator.rng.bit_generator.state,
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Install a snapshot produced by :meth:`export_state`."""
+        self._next_id = int(state["next_id"])
+        self._next_slot = int(state["next_slot"])
+        self._rng.bit_generator.state = state["count_rng"]
+        self._generator.rng.bit_generator.state = state["generator_rng"]
+
+    def __repr__(self) -> str:
+        return (f"PoissonArrivalStream(mean={self._mean:g}, "
+                f"emitted={self._next_id}, next_slot={self._next_slot}, "
+                f"limit={self._limit})")

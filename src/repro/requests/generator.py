@@ -45,6 +45,11 @@ class RequestGenerator:
         """The workload parameters."""
         return self._config
 
+    @property
+    def rng(self) -> np.random.Generator:
+        """The generator's random stream (checkpointable state)."""
+        return self._rng
+
     def generate_one(self, request_id: int, arrival_slot: int = 0,
                      serving_station: Optional[int] = None) -> ARRequest:
         """Draw one request.

@@ -1,0 +1,36 @@
+"""Long-lived streaming admission service.
+
+The batch experiments answer "what did the horizon earn?"; this package
+answers "can the online machinery run *forever*?".  It wraps the
+slotted engine in an asyncio admission loop with bounded-queue
+backpressure (ADMIT / ADMIT_DEFERRED / SHED journaled as first-class
+events), deterministic checkpoint/restore (a killed service resumes
+with a byte-identical decision journal), and a load-generator CLI
+(``python -m repro.service loadgen``) that measures sustained
+throughput, p95 slot latency, and peak RSS into the repository's run
+manifest format.
+"""
+
+from .checkpoint import (CHECKPOINT_SCHEMA, JournalCursor,
+                         ServiceCheckpoint, read_checkpoint,
+                         truncate_journal, write_checkpoint)
+from .loop import (COUNTER_KEYS, SERVICE_POLICIES, AdmissionService,
+                   ServiceConfig, SlotReport)
+from .loadgen import build_config, run_loadgen, run_resume
+
+__all__ = [
+    "AdmissionService",
+    "ServiceConfig",
+    "SlotReport",
+    "SERVICE_POLICIES",
+    "COUNTER_KEYS",
+    "ServiceCheckpoint",
+    "JournalCursor",
+    "CHECKPOINT_SCHEMA",
+    "read_checkpoint",
+    "write_checkpoint",
+    "truncate_journal",
+    "build_config",
+    "run_loadgen",
+    "run_resume",
+]

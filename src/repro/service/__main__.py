@@ -1,0 +1,108 @@
+"""CLI for the streaming admission service.
+
+Usage::
+
+    # Sustained-throughput benchmark, manifest to BENCH_service.json:
+    python -m repro.service loadgen --arrivals 500000 --rate 32 \
+        --bench BENCH_service.json
+
+    # Journaled + checkpointed run, killed mid-flight:
+    python -m repro.service loadgen --arrivals 50000 --rate 16 \
+        --journal run.jsonl --checkpoint run.ckpt \
+        --checkpoint-every 200 --kill-at-slot 1500
+
+    # Resume the killed run from its checkpoint:
+    python -m repro.service resume --checkpoint run.ckpt
+
+    # Byte-identity gate against an uninterrupted baseline:
+    python -m repro.experiments trace-diff baseline.jsonl run.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .loadgen import run_loadgen, run_resume
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Long-lived streaming admission service: load "
+                    "generation, checkpointing, and crash/resume.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    load = sub.add_parser(
+        "loadgen",
+        help="replay a synthetic Poisson arrival stream and report "
+             "throughput/latency/RSS")
+    load.add_argument("--arrivals", type=int, default=50_000,
+                      help="total requests to generate (default 50000)")
+    load.add_argument("--rate", type=float, default=8.0,
+                      help="mean arrivals per slot (default 8)")
+    load.add_argument("--policy", default="greedy",
+                      choices=("greedy", "dynamicrr", "random"),
+                      help="admission policy (default greedy)")
+    load.add_argument("--seed", type=int, default=0,
+                      help="root seed (default 0)")
+    load.add_argument("--queue-limit", type=int, default=256,
+                      help="pending-queue bound; overflow is SHED "
+                           "(default 256)")
+    load.add_argument("--journal", default=None, metavar="PATH",
+                      help="stream the decision journal to this JSONL "
+                           "file")
+    load.add_argument("--flush-every", type=int, default=1024,
+                      help="journal flush chunk in events (default "
+                           "1024; any value yields identical bytes)")
+    load.add_argument("--checkpoint", default=None, metavar="PATH",
+                      help="write checkpoints to this file")
+    load.add_argument("--checkpoint-every", type=int, default=None,
+                      metavar="SLOTS",
+                      help="checkpoint cadence in slots")
+    load.add_argument("--kill-at-slot", type=int, default=None,
+                      metavar="SLOT",
+                      help="simulate a crash after this slot (nothing "
+                           "flushed or finalized)")
+    load.add_argument("--bench", default=None, metavar="PATH",
+                      help="write a BENCH_<name>.json run manifest")
+    load.add_argument("--name", default="service",
+                      help="manifest name (default 'service')")
+
+    res = sub.add_parser(
+        "resume",
+        help="restore a killed service from its checkpoint and run it "
+             "to drain")
+    res.add_argument("--checkpoint", required=True, metavar="PATH",
+                     help="checkpoint file written by a loadgen run")
+    res.add_argument("--bench", default=None, metavar="PATH",
+                     help="write a BENCH_<name>.json run manifest")
+    res.add_argument("--name", default="service",
+                     help="manifest name (default 'service')")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "loadgen":
+        summary = run_loadgen(
+            arrivals=args.arrivals, rate=args.rate, policy=args.policy,
+            seed=args.seed, queue_limit=args.queue_limit,
+            journal_path=args.journal,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+            flush_every=args.flush_every,
+            kill_at_slot=args.kill_at_slot,
+            bench_path=args.bench, name=args.name)
+    else:
+        summary = run_resume(args.checkpoint, bench_path=args.bench,
+                             name=args.name)
+    print(json.dumps(summary, sort_keys=True, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

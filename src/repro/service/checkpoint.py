@@ -1,0 +1,143 @@
+"""Deterministic checkpoint persistence for the admission service.
+
+A checkpoint freezes everything the service needs to continue a run as
+if it had never stopped: the engine's queues and realization RNG, the
+policy's learning state (bandit, warm-start caches), the arrival
+stream's position, the decision journal's cursor, and the service's
+cumulative counters.  The proof obligation - enforced by the property
+tests and the CI smoke job - is *journal byte-identity*: kill the
+service at any checkpointed slot, resume from disk, and the decision
+journal of the resumed run is byte-for-byte the journal of an
+uninterrupted run (``trace-diff`` exit 0).
+
+Files are written atomically (temp file + ``os.replace``) so a crash
+mid-checkpoint leaves the previous checkpoint intact.  The payload is a
+pickle of plain dataclasses, numpy generator states, and the solver
+workspace objects - everything the repository already keeps
+deterministic.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..exceptions import ConfigurationError
+
+#: Format tag stored in every checkpoint; bumped on layout changes so a
+#: stale file fails loudly instead of resuming garbage.
+CHECKPOINT_SCHEMA = "repro.service-checkpoint/1"
+
+
+@dataclass
+class JournalCursor:
+    """Where the decision journal stood when the checkpoint was cut.
+
+    Attributes:
+        events_recorded: events recorded so far (including flushed).
+        byte_position: length of the journal stream file in bytes.  A
+            resumed service truncates the file back to exactly this
+            offset before appending, discarding any events the killed
+            run journaled past its last checkpoint.
+    """
+
+    events_recorded: int = 0
+    byte_position: int = 0
+
+
+@dataclass
+class ServiceCheckpoint:
+    """One frozen service state (see the module docstring).
+
+    Attributes:
+        config: the :class:`~repro.service.loop.ServiceConfig` the run
+            was started with - a resume rebuilds the whole runtime from
+            it, then overwrites the mutable state below.
+        slot: the last fully executed slot; the resumed run continues
+            at ``slot + 1``.
+        engine_state: :meth:`OnlineEngine.export_state` payload.
+        policy_state: the policy's ``export_state()`` payload (None for
+            stateless policies like the greedy baseline).
+        stream_state: :meth:`PoissonArrivalStream.export_state` payload.
+        journal: the decision journal's cursor.
+        counters: the service's cumulative metric counters.
+    """
+
+    config: Any
+    slot: int
+    engine_state: Dict[str, Any]
+    policy_state: Optional[Dict[str, Any]]
+    stream_state: Dict[str, Any]
+    journal: JournalCursor
+    counters: Dict[str, float] = field(default_factory=dict)
+    schema: str = CHECKPOINT_SCHEMA
+
+
+def write_checkpoint(path: str, checkpoint: ServiceCheckpoint) -> str:
+    """Atomically persist a checkpoint; returns the path written.
+
+    The temp file lives next to the target so ``os.replace`` stays on
+    one filesystem (rename atomicity).
+    """
+    if checkpoint.schema != CHECKPOINT_SCHEMA:
+        raise ConfigurationError(
+            f"checkpoint schema mismatch: {checkpoint.schema!r}")
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as handle:
+        pickle.dump(checkpoint, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    return path
+
+
+def read_checkpoint(path: str) -> ServiceCheckpoint:
+    """Load a checkpoint written by :func:`write_checkpoint`.
+
+    Raises:
+        ConfigurationError: when the file is missing, unreadable, or
+            carries a different schema tag.
+    """
+    if not os.path.exists(path):
+        raise ConfigurationError(f"no checkpoint at {path}")
+    try:
+        with open(path, "rb") as handle:
+            checkpoint = pickle.load(handle)
+    except (OSError, pickle.UnpicklingError, EOFError,
+            AttributeError) as error:
+        raise ConfigurationError(
+            f"unreadable checkpoint {path}: {error}") from error
+    if not isinstance(checkpoint, ServiceCheckpoint):
+        raise ConfigurationError(
+            f"{path} does not contain a ServiceCheckpoint")
+    if checkpoint.schema != CHECKPOINT_SCHEMA:
+        raise ConfigurationError(
+            f"{path}: schema {checkpoint.schema!r} != "
+            f"{CHECKPOINT_SCHEMA!r} (stale checkpoint format)")
+    return checkpoint
+
+
+def truncate_journal(path: str, byte_position: int) -> None:
+    """Cut a journal stream file back to a checkpoint's byte cursor.
+
+    A killed service may have flushed events past its last checkpoint;
+    those lines never happened as far as the resumed timeline is
+    concerned and are discarded here.  Truncating to a position beyond
+    the current size is a hard error (the journal and checkpoint
+    disagree about history).
+    """
+    if byte_position < 0:
+        raise ConfigurationError(
+            f"byte_position must be >= 0, got {byte_position}")
+    size = os.path.getsize(path)
+    if byte_position > size:
+        raise ConfigurationError(
+            f"journal {path} is {size} bytes but the checkpoint's "
+            f"cursor is {byte_position} - the journal was truncated or "
+            f"replaced since the checkpoint was written")
+    if byte_position != size:
+        os.truncate(path, byte_position)

@@ -1,0 +1,182 @@
+"""Load generator and resume driver for the admission service.
+
+``python -m repro.service loadgen`` replays a synthetic Poisson
+arrival stream through an :class:`~repro.service.loop.AdmissionService`
+at a configurable rate, reports sustained throughput (requests/sec),
+p95 per-slot latency, final queue depth, and peak RSS, and writes the
+result as a ``BENCH_service.json`` run manifest - the same format the
+bench-regression CI job diffs, with the wall-clock metrics classified
+advisory (see :data:`repro.telemetry.ledger.WALL_CLOCK_METRICS`).
+
+``--kill-at-slot`` simulates a crash: the loop abandons the service
+without flushing, exactly like a SIGKILL.  ``python -m repro.service
+resume`` then restores the latest checkpoint and runs the remainder;
+the CI smoke job trace-diffs the resulting journal against an
+uninterrupted run's.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import platform as platform_module
+import time
+from typing import Any, Dict, Optional
+
+from ..config import SimulationConfig
+from ..telemetry.ledger import (RunManifest, _utc_now_iso, config_hash,
+                                git_revision, peak_rss_kb, write_bench)
+from ..telemetry.summary import percentile_linear
+from .loop import AdmissionService, ServiceConfig
+
+
+def build_config(arrivals: int, rate: float, policy: str = "greedy",
+                 seed: int = 0, queue_limit: int = 256,
+                 journal_path: Optional[str] = None,
+                 checkpoint_path: Optional[str] = None,
+                 checkpoint_every: Optional[int] = None,
+                 flush_every: int = 1024) -> ServiceConfig:
+    """A loadgen :class:`ServiceConfig` with a derived horizon.
+
+    The horizon covers the arrival phase (``arrivals / rate`` slots)
+    plus a generous drain margin (stream duration, deadline budget, and
+    slack), so a healthy run always finishes by draining rather than by
+    hitting the horizon.
+    """
+    sim = SimulationConfig(seed=seed)
+    drain_margin = (sim.requests.stream_duration_slots
+                    + int(sim.requests.deadline_ms / 50.0) + 1000)
+    horizon = int(arrivals / rate) + drain_margin
+    return ServiceConfig(
+        sim=sim,
+        horizon_slots=horizon,
+        mean_arrivals_per_slot=rate,
+        max_arrivals=arrivals,
+        policy=policy,
+        queue_limit=queue_limit,
+        journal_path=journal_path,
+        flush_every=flush_every,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=checkpoint_every,
+    )
+
+
+def _metrics_row(service: AdmissionService,
+                 elapsed_s: float) -> Dict[str, float]:
+    """The loadgen's headline metric row (deterministic counts first).
+
+    ``requests_per_s`` and ``p95_slot_ms`` are wall-clock and compare
+    advisory-only in bench-diff; every other entry is a pure function
+    of config + seed and gates normally.
+    """
+    counters = service.counters
+    latencies = list(service.slot_latencies)
+    p95_ms = (percentile_linear(latencies, 95.0) * 1000.0
+              if latencies else 0.0)
+    rate = counters["arrivals"] / elapsed_s if elapsed_s > 0 else 0.0
+    return {
+        "num_arrivals": counters["arrivals"],
+        "num_accepted": counters["accepted"],
+        "num_shed": counters["shed"],
+        "num_deferred": counters["deferred"],
+        "num_started": counters["started"],
+        "num_completed": counters["completed"],
+        "num_dropped": counters["dropped"],
+        "total_reward": counters["reward"],
+        "num_slots": counters["slots"],
+        "requests_per_s": rate,
+        "p95_slot_ms": p95_ms,
+        "runtime_s": elapsed_s,
+    }
+
+
+def run_loadgen(arrivals: int = 50_000, rate: float = 8.0,
+                policy: str = "greedy", seed: int = 0,
+                queue_limit: int = 256,
+                journal_path: Optional[str] = None,
+                checkpoint_path: Optional[str] = None,
+                checkpoint_every: Optional[int] = None,
+                flush_every: int = 1024,
+                kill_at_slot: Optional[int] = None,
+                bench_path: Optional[str] = None,
+                name: str = "service") -> Dict[str, Any]:
+    """Run one loadgen pass; returns a summary dict.
+
+    Args:
+        kill_at_slot: abandon the service (crash simulation: nothing
+            flushed or finalized) once this slot has executed.  The
+            summary then carries ``"killed": True`` and no bench file
+            is written.
+        bench_path: write a ``BENCH_<name>.json`` manifest here.
+    """
+    config = build_config(arrivals, rate, policy=policy, seed=seed,
+                          queue_limit=queue_limit,
+                          journal_path=journal_path,
+                          checkpoint_path=checkpoint_path,
+                          checkpoint_every=checkpoint_every,
+                          flush_every=flush_every)
+    service = AdmissionService(config)
+    began = time.perf_counter()  # repro: noqa DET001 -- advisory runtime metric
+    if kill_at_slot is not None:
+        while not service.done:
+            report = service.tick()
+            if report.outcome.slot >= kill_at_slot:
+                return {"killed": True,
+                        "slot": report.outcome.slot,
+                        "counters": dict(service.counters)}
+    else:
+        asyncio.run(service.serve())
+    service.close()
+    elapsed = time.perf_counter() - began  # repro: noqa DET001 -- advisory runtime metric
+    return finish_run(service, elapsed, bench_path=bench_path,
+                      name=name)
+
+
+def run_resume(checkpoint_path: str,
+               bench_path: Optional[str] = None,
+               name: str = "service") -> Dict[str, Any]:
+    """Resume a killed service from its checkpoint and run to drain."""
+    service = AdmissionService.resume(checkpoint_path)
+    began = time.perf_counter()  # repro: noqa DET001 -- advisory runtime metric
+    asyncio.run(service.serve())
+    service.close()
+    elapsed = time.perf_counter() - began  # repro: noqa DET001 -- advisory runtime metric
+    return finish_run(service, elapsed, bench_path=bench_path,
+                      name=name, resumed=True)
+
+
+def finish_run(service: AdmissionService, elapsed_s: float,
+               bench_path: Optional[str] = None,
+               name: str = "service",
+               resumed: bool = False) -> Dict[str, Any]:
+    """Build the summary (and optionally the bench manifest)."""
+    row = _metrics_row(service, elapsed_s)
+    summary: Dict[str, Any] = {
+        "killed": False,
+        "resumed": resumed,
+        "policy": service.config.policy,
+        "metrics": row,
+    }
+    if bench_path is not None:
+        import numpy as np
+
+        manifest = RunManifest(
+            name=name,
+            created_at=_utc_now_iso(),
+            git_rev=git_revision(),
+            config_hash=config_hash(service.config),
+            seeds=(int(service.config.sim.seed),),
+            workers=1,
+            python_version=platform_module.python_version(),
+            numpy_version=np.__version__,
+            platform=platform_module.platform(),
+            peak_rss_kb=peak_rss_kb(),
+            phases={"serve": elapsed_s},
+            metrics={"loadgen": row},
+            extra={"policy": service.config.policy,
+                   "mean_arrivals_per_slot":
+                       service.config.mean_arrivals_per_slot,
+                   "queue_limit": service.config.queue_limit,
+                   "resumed": resumed},
+        )
+        summary["bench_path"] = str(write_bench(bench_path, manifest))
+    return summary

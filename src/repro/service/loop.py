@@ -1,0 +1,412 @@
+"""The long-lived streaming admission loop.
+
+:class:`AdmissionService` turns the batch-oriented
+:class:`~repro.sim.online_engine.OnlineEngine` into a service: an
+unbounded :class:`~repro.requests.arrivals.PoissonArrivalStream` feeds
+per-slot batches through a **bounded pending queue**, every ingress
+decision (ADMIT into the engine, ADMIT_DEFERRED when the request waits
+past its arrival slot, SHED when the queue is full) is journaled as a
+first-class event, and the whole mutable state checkpoints to disk at a
+deterministic slot cadence.
+
+Determinism contract: all randomness forks from ``config.sim.seed``
+via :class:`~repro.rng.RngForks` named children, the engine runs in
+``streaming`` mode (flat memory), and checkpoint/restore reproduces the
+remaining slots exactly - the decision journal of a killed-and-resumed
+run is byte-identical to an uninterrupted run (see
+:mod:`repro.service.checkpoint`).
+
+The synchronous core is :meth:`AdmissionService.tick` (one slot);
+:meth:`AdmissionService.serve` drives it as an asyncio coroutine,
+yielding the event loop between slots (and sleeping the slot cadence in
+``realtime`` mode) so a host process can multiplex the service with
+other work.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from ..baselines import GreedyOnline, RandomOnline
+from ..config import SimulationConfig
+from ..core.dynamic_rr import DynamicRR
+from ..core.instance import ProblemInstance
+from ..exceptions import ConfigurationError
+from ..requests.arrivals import PoissonArrivalStream
+from ..requests.generator import RequestGenerator
+from ..rng import RngForks
+from ..sim.events import Event, EventKind
+from ..sim.online_engine import OnlineEngine, SlotOutcome
+from ..telemetry.audit import Journal, use_journal
+from .checkpoint import (JournalCursor, ServiceCheckpoint,
+                         read_checkpoint, truncate_journal,
+                         write_checkpoint)
+
+#: Policies the service can run (name -> needs an RNG fork).
+SERVICE_POLICIES = ("greedy", "dynamicrr", "random")
+
+#: Cumulative counter keys, in reporting order.
+COUNTER_KEYS = ("arrivals", "accepted", "shed", "deferred", "started",
+                "completed", "dropped", "reward", "slots")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything that defines one service run.
+
+    A checkpoint stores this whole object; a resume rebuilds the
+    runtime from it, so every field must stay picklable and
+    deterministic.
+
+    Attributes:
+        sim: the simulation substrate (network, request parameters,
+            seed - the root of every RNG fork).
+        horizon_slots: hard upper bound on the slot count (the engine
+            clock's horizon; pick generously for "unbounded" runs).
+        mean_arrivals_per_slot: Poisson rate of the arrival stream.
+        max_arrivals: stop generating after this many requests (None =
+            truly unbounded; the service then runs to the horizon).
+        policy: one of :data:`SERVICE_POLICIES`.
+        queue_limit: bound on the engine's pending queue - arrivals
+            beyond it are SHED at ingress (backpressure).
+        journal_path: JSONL file for the streaming decision journal
+            (None = no journaling, the throughput configuration).
+        flush_every: journal flush chunk (bytes-identical for any
+            value; only syscall batching changes).
+        checkpoint_path: where checkpoints are written (None = never
+            checkpoint).
+        checkpoint_every: cut a checkpoint after every this many slots.
+            The cadence is part of the deterministic timeline: the
+            baseline run and a killed run must share it for the
+            CHECKPOINT journal events to line up.
+        realtime: sleep one slot length between slots in
+            :meth:`AdmissionService.serve` (default is virtual time:
+            run as fast as the machine allows).
+        latency_window: ring-buffer size for per-slot latency samples
+            (bounded so memory stays flat).
+    """
+
+    sim: SimulationConfig = field(default_factory=SimulationConfig)
+    horizon_slots: int = 100_000
+    mean_arrivals_per_slot: float = 4.0
+    max_arrivals: Optional[int] = None
+    policy: str = "greedy"
+    queue_limit: int = 256
+    journal_path: Optional[str] = None
+    flush_every: int = 1024
+    checkpoint_path: Optional[str] = None
+    checkpoint_every: Optional[int] = None
+    realtime: bool = False
+    latency_window: int = 65_536
+
+    def validate(self) -> "ServiceConfig":
+        """Raise :class:`ConfigurationError` on inconsistent values."""
+        self.sim.validate()
+        if self.horizon_slots < 1:
+            raise ConfigurationError(
+                f"horizon must be >= 1 slot, got {self.horizon_slots}")
+        if self.mean_arrivals_per_slot <= 0:
+            raise ConfigurationError(
+                f"mean_arrivals_per_slot must be > 0, got "
+                f"{self.mean_arrivals_per_slot}")
+        if self.max_arrivals is not None and self.max_arrivals < 0:
+            raise ConfigurationError(
+                f"max_arrivals must be >= 0, got {self.max_arrivals}")
+        if self.policy not in SERVICE_POLICIES:
+            raise ConfigurationError(
+                f"policy must be one of {SERVICE_POLICIES}, got "
+                f"{self.policy!r}")
+        if self.queue_limit < 1:
+            raise ConfigurationError(
+                f"queue_limit must be >= 1, got {self.queue_limit}")
+        if self.flush_every < 1:
+            raise ConfigurationError(
+                f"flush_every must be >= 1, got {self.flush_every}")
+        if self.checkpoint_every is not None:
+            if self.checkpoint_every < 1:
+                raise ConfigurationError(
+                    f"checkpoint_every must be >= 1, got "
+                    f"{self.checkpoint_every}")
+            if self.checkpoint_path is None:
+                raise ConfigurationError(
+                    "checkpoint_every needs a checkpoint_path")
+        if self.latency_window < 1:
+            raise ConfigurationError(
+                f"latency_window must be >= 1, got {self.latency_window}")
+        return self
+
+
+@dataclass(frozen=True)
+class SlotReport:
+    """What one service slot did (the :meth:`AdmissionService.tick`
+    result): the engine's outcome plus the ingress decisions the
+    service itself made around it."""
+
+    outcome: SlotOutcome
+    num_shed: int
+    num_deferred: int
+    checkpointed: bool
+
+
+def _make_policy(config: ServiceConfig, forks: RngForks):
+    """Build the configured policy with its own named RNG fork."""
+    if config.policy == "dynamicrr":
+        return DynamicRR(config.sim.online,
+                         rng=forks.child("service.policy"))
+    if config.policy == "random":
+        return RandomOnline(rng=forks.child("service.policy"))
+    return GreedyOnline()
+
+
+class AdmissionService:
+    """One streaming admission run (see the module docstring).
+
+    Args:
+        config: the run's definition (validated here).
+
+    Use :meth:`resume` to rebuild a service from a checkpoint instead
+    of constructing one directly.
+    """
+
+    def __init__(self, config: ServiceConfig,
+                 _checkpoint: Optional[ServiceCheckpoint] = None) -> None:
+        config.validate()
+        self.config = config
+        forks = RngForks(config.sim.seed)
+        self._instance = ProblemInstance.build(config.sim,
+                                               seed=config.sim.seed)
+        generator = RequestGenerator(config.sim.requests,
+                                     self._instance.network,
+                                     rng=forks.child("service.requests"))
+        self._stream = PoissonArrivalStream(
+            generator, config.mean_arrivals_per_slot,
+            rng=forks.child("service.counts"),
+            limit=config.max_arrivals)
+        self._engine = OnlineEngine(
+            self._instance, requests=[],
+            horizon_slots=config.horizon_slots,
+            rng=forks.child("service.engine"),
+            streaming=True)
+        self._policy = _make_policy(config, forks)
+        self._journal: Optional[Journal] = None
+        self.counters: Dict[str, float] = {key: 0.0
+                                           for key in COUNTER_KEYS}
+        #: Per-slot wall-clock latencies (seconds), bounded window.
+        self.slot_latencies: Deque[float] = deque(
+            maxlen=config.latency_window)
+        #: Operational side stream (CHECKPOINT/RESUME markers); never
+        #: part of the decision journal.
+        self.ops_events: List[Event] = []
+        self.done = False
+        self._started = False
+        if _checkpoint is not None:
+            self._restore(_checkpoint)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def resume(cls, checkpoint_path: str) -> "AdmissionService":
+        """Rebuild a service from its checkpoint and continue.
+
+        The decision journal file (when configured) is truncated back
+        to the checkpoint's byte cursor and reopened in append mode, so
+        the continued journal is byte-identical to an uninterrupted
+        run's.
+        """
+        checkpoint = read_checkpoint(checkpoint_path)
+        return cls(checkpoint.config, _checkpoint=checkpoint)
+
+    def start(self) -> None:
+        """Announce stations and initialize the policy (fresh run)."""
+        if self._started:
+            return
+        self._started = True
+        if self.config.journal_path is not None:
+            self._journal = Journal(
+                stream_path=self.config.journal_path,
+                flush_every=self.config.flush_every)
+        with use_journal(self._journal):
+            self._engine.announce_stations()
+            self._policy.begin(self._engine)
+
+    def _restore(self, checkpoint: ServiceCheckpoint) -> None:
+        """Install a checkpoint (the :meth:`resume` second half)."""
+        self._started = True
+        if self.config.journal_path is not None:
+            truncate_journal(self.config.journal_path,
+                             checkpoint.journal.byte_position)
+            self._journal = Journal(
+                stream_path=self.config.journal_path,
+                flush_every=self.config.flush_every,
+                append=True,
+                already_recorded=checkpoint.journal.events_recorded)
+        # begin() binds the engine and builds fresh learning state;
+        # restore_state() then overwrites it with the checkpointed one.
+        self._policy.begin(self._engine)
+        if checkpoint.policy_state is not None:
+            self._policy.restore_state(checkpoint.policy_state)
+        self._engine.restore_state(checkpoint.engine_state)
+        self._stream.restore_state(checkpoint.stream_state)
+        self.counters.update(checkpoint.counters)
+        self.ops_events.append(Event(slot=checkpoint.slot,
+                                     kind=EventKind.RESUME))
+
+    # ------------------------------------------------------------------
+    # The slot loop
+    # ------------------------------------------------------------------
+    def tick(self) -> SlotReport:
+        """Execute one slot: pull arrivals, shed, step, defer, checkpoint.
+
+        Ingress order is fixed (it is part of the journal's canonical
+        byte stream): SHED decisions are journaled before the engine
+        steps, ADMIT_DEFERRED after it (a request is deferred when it
+        was accepted this slot but the policy left it pending), and the
+        CHECKPOINT marker closes the slot.
+        """
+        if self.done:
+            raise ConfigurationError("service already drained; "
+                                     "construct a new one to run again")
+        if not self._started:
+            self.start()
+        began = time.perf_counter()  # repro: noqa DET001 -- advisory runtime metric
+        slot, batch = self._stream.next_batch()
+        self._engine.clock.advance_to(slot)
+        with use_journal(self._journal) as journal:
+            room = max(0, self.config.queue_limit
+                       - self._engine.pending_count())
+            accepted = list(batch[:room])
+            shed = list(batch[room:])
+            if shed and journal.enabled:
+                depth = float(self._engine.pending_count()
+                              + len(accepted))
+                for request in shed:
+                    journal.record(Event(
+                        slot=slot, kind=EventKind.SHED,
+                        request_id=request.request_id, value=depth))
+            outcome = self._engine.step(self._policy, slot, accepted)
+            deferred = 0
+            if accepted:
+                still_pending = set(self._engine.pending_ids())
+                for request in accepted:
+                    if request.request_id in still_pending:
+                        deferred += 1
+                        if journal.enabled:
+                            journal.record(Event(
+                                slot=slot,
+                                kind=EventKind.ADMIT_DEFERRED,
+                                request_id=request.request_id,
+                                value=float(outcome.pending_after)))
+            # Account before checkpointing so the checkpoint's
+            # counters include the slot it closes.
+            self._account(outcome, len(shed), deferred)
+            checkpointed = self._maybe_checkpoint(slot, journal)
+        self.slot_latencies.append(
+            time.perf_counter() - began)  # repro: noqa DET001 -- advisory runtime metric
+        if self._stream.exhausted and outcome.pending_after == 0 \
+                and outcome.active_after == 0:
+            self.done = True
+        elif slot >= self.config.horizon_slots - 1:
+            self.done = True
+        return SlotReport(outcome=outcome, num_shed=len(shed),
+                          num_deferred=deferred,
+                          checkpointed=checkpointed)
+
+    async def serve(self, max_slots: Optional[int] = None) -> int:
+        """Drive :meth:`tick` as a coroutine until drained.
+
+        Yields the event loop after every slot (``realtime`` mode
+        additionally sleeps one slot length), so the service coexists
+        with other coroutines on the same loop.
+
+        Returns:
+            Slots processed by this call.
+        """
+        processed = 0
+        while not self.done:
+            if max_slots is not None and processed >= max_slots:
+                break
+            self.tick()
+            processed += 1
+            if self.config.realtime:
+                await asyncio.sleep(self._engine.clock.slot_length_s)
+            else:
+                await asyncio.sleep(0)
+        return processed
+
+    def close(self) -> None:
+        """Settle leftovers and flush/close the journal (clean stop).
+
+        A *crash* is the absence of this call: buffered journal events
+        past the last checkpoint are lost, which is exactly what the
+        resume path's truncation reconciles.
+        """
+        with use_journal(self._journal):
+            if self._engine.pending_count() or self._engine.active_total():
+                self._engine.finalize()
+        if self._journal is not None:
+            self._journal.close()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _maybe_checkpoint(self, slot: int, journal) -> bool:
+        every = self.config.checkpoint_every
+        if every is None or (slot + 1) % every != 0:
+            return False
+        if journal.enabled:
+            journal.record(Event(slot=slot, kind=EventKind.CHECKPOINT))
+        cursor = JournalCursor()
+        if self._journal is not None:
+            cursor = JournalCursor(
+                events_recorded=self._journal.total_recorded,
+                byte_position=self._journal.byte_position())
+        policy_state = None
+        if hasattr(self._policy, "export_state"):
+            policy_state = self._policy.export_state()
+        checkpoint = ServiceCheckpoint(
+            config=self.config,
+            slot=slot,
+            engine_state=self._engine.export_state(),
+            policy_state=policy_state,
+            stream_state=self._stream.export_state(),
+            journal=cursor,
+            counters=dict(self.counters),
+        )
+        write_checkpoint(self.config.checkpoint_path, checkpoint)
+        self.ops_events.append(Event(slot=slot,
+                                     kind=EventKind.CHECKPOINT))
+        return True
+
+    def _account(self, outcome: SlotOutcome, num_shed: int,
+                 num_deferred: int) -> None:
+        counters = self.counters
+        counters["arrivals"] += outcome.num_arrivals + num_shed
+        counters["accepted"] += outcome.num_arrivals
+        counters["shed"] += num_shed
+        counters["deferred"] += num_deferred
+        counters["started"] += outcome.num_started
+        counters["completed"] += outcome.num_completed
+        counters["dropped"] += outcome.num_dropped
+        counters["reward"] += outcome.slot_reward
+        counters["slots"] += 1
+
+    # Introspection -----------------------------------------------------
+    @property
+    def engine(self) -> OnlineEngine:
+        """The underlying engine (live occupancy views)."""
+        return self._engine
+
+    @property
+    def journal(self) -> Optional[Journal]:
+        """The streaming decision journal (None when unjournaled)."""
+        return self._journal
+
+    def __repr__(self) -> str:
+        return (f"AdmissionService(policy={self.config.policy!r}, "
+                f"slots={int(self.counters['slots'])}, "
+                f"done={self.done})")

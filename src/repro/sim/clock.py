@@ -61,11 +61,26 @@ class SlotClock:
                 f"start slot {start_slot} precedes arrival {arrival_slot}")
         return self.ms_of(start_slot - arrival_slot)
 
-    def ticks(self) -> Iterator[int]:
-        """Iterate slots 0..T-1, tracking the current slot."""
-        for t in range(self.horizon_slots):
+    def ticks(self, first_slot: int = 0) -> Iterator[int]:
+        """Iterate slots ``first_slot..T-1``, tracking the current slot.
+
+        Args:
+            first_slot: where to start (0 for a fresh run; a resumed
+                service continues from its checkpoint slot).
+        """
+        if first_slot < 0:
+            raise ConfigurationError(
+                f"first_slot must be >= 0, got {first_slot}")
+        for t in range(first_slot, self.horizon_slots):
             self._current = t
             yield t
+
+    def advance_to(self, slot: int) -> None:
+        """Set the current slot directly (checkpoint restore)."""
+        if not 0 <= slot < self.horizon_slots:
+            raise ConfigurationError(
+                f"slot {slot} outside horizon 0..{self.horizon_slots - 1}")
+        self._current = slot
 
     def __repr__(self) -> str:
         return (f"SlotClock(T={self.horizon_slots}, "

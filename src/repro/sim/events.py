@@ -50,6 +50,23 @@ class EventKind(enum.Enum):
     STATION_DOWN = "station_down"
     #: A station (re)announced itself available (carries its capacity).
     STATION_UP = "station_up"
+    #: The admission service accepted a request into the pending queue
+    #: but did not place it in its arrival slot (it waits, and must
+    #: later START or be SHED/dropped - the deferred_resolution
+    #: invariant).  ``value`` carries the queue depth at deferral.
+    ADMIT_DEFERRED = "admit_deferred"
+    #: Bounded-queue backpressure rejected a request at ingress (it
+    #: never entered the engine).  ``value`` carries the queue depth
+    #: that triggered the shed.
+    SHED = "shed"
+    #: The admission service persisted a checkpoint after this slot.
+    #: Emitted at a deterministic cadence, so an uninterrupted run and
+    #: a kill/resume run journal identical CHECKPOINT events.
+    CHECKPOINT = "checkpoint"
+    #: The admission service restored from a checkpoint.  Recorded on
+    #: the *operational* stream only (never the decision journal -
+    #: resuming must not perturb journal byte-identity).
+    RESUME = "resume"
 
 
 #: ``request_id`` of events that concern no particular request

@@ -55,6 +55,35 @@ CLOUD_LATENCY_MS = 320.0
 
 
 @dataclass(frozen=True)
+class SlotOutcome:
+    """What one engine slot did (the :meth:`OnlineEngine.step` result).
+
+    The streaming service consumes these instead of the end-of-run
+    :class:`~repro.core.assignment.ScheduleResult`, so its metrics stay
+    flat in memory no matter how long the run is.
+
+    Attributes:
+        slot: the time slot that was executed.
+        num_arrivals: requests admitted into the pending queue.
+        num_dropped: pending requests dropped as deadline-hopeless.
+        num_started: requests started (placed) this slot.
+        num_completed: streams that finished their volume this slot.
+        slot_reward: reward settled by this slot's starts.
+        pending_after: queue depth after the slot.
+        active_after: running streams after the slot.
+    """
+
+    slot: int
+    num_arrivals: int
+    num_dropped: int
+    num_started: int
+    num_completed: int
+    slot_reward: float
+    pending_after: int
+    active_after: int
+
+
+@dataclass(frozen=True)
 class Placement:
     """A policy's decision to start one pending request at a station.
 
@@ -122,6 +151,13 @@ class OnlineEngine:
             uncertainty; policies see the outage through
             :meth:`free_mhz` / :meth:`station_capacity_mhz` and must
             route around it.
+        streaming: long-lived service mode.  The engine keeps no
+            per-request history (no in-memory event list, no
+            end-of-run :class:`OffloadDecision` table), so memory
+            stays flat over an unbounded slot stream; callers consume
+            the per-slot :class:`SlotOutcome` returned by :meth:`step`
+            instead of :meth:`run`.  The decision physics are
+            identical.
     """
 
     def __init__(self, instance: ProblemInstance,
@@ -129,8 +165,8 @@ class OnlineEngine:
                  horizon_slots: int,
                  slot_length_ms: float = 50.0,
                  rng: RngLike = None,
-                 outages: Optional[Dict[int, Tuple[int, int]]] = None
-                 ) -> None:
+                 outages: Optional[Dict[int, Tuple[int, int]]] = None,
+                 streaming: bool = False) -> None:
         self.instance = instance
         self.clock = SlotClock(horizon_slots, slot_length_ms)
         self._rng = ensure_rng(rng)
@@ -147,6 +183,7 @@ class OnlineEngine:
         self._pending: List[ARRequest] = []
         self._active: Dict[int, _Active] = {}
         self._decided: Dict[int, OffloadDecision] = {}
+        self.streaming = bool(streaming)
         self.events: List[Event] = []
         self._min_delay_cache: Dict[int, float] = {}
         arrivals: Dict[int, List[ARRequest]] = {}
@@ -192,6 +229,18 @@ class OnlineEngine:
         return float(sum(self.free_mhz(sid)
                          for sid in self.instance.network.station_ids))
 
+    def pending_count(self) -> int:
+        """Requests waiting in the pending queue."""
+        return len(self._pending)
+
+    def pending_ids(self) -> Tuple[int, ...]:
+        """Ids of pending requests, in queue order."""
+        return tuple(r.request_id for r in self._pending)
+
+    def active_total(self) -> int:
+        """Running streams across every station."""
+        return len(self._active)
+
     def waiting_ms(self, request: ARRequest, slot: int) -> float:
         """Waiting time if the request started at `slot`."""
         return self.clock.waiting_ms(request.arrival_slot, slot)
@@ -215,29 +264,15 @@ class OnlineEngine:
             A :class:`ScheduleResult` covering every request that
             arrived within the horizon.
         """
+        if self.streaming:
+            raise ConfigurationError(
+                "run() needs the per-request decision table; a "
+                "streaming engine is driven slot by slot via step()")
         start_time = time.perf_counter()  # repro: noqa DET001 -- advisory runtime metric
-        tracer = get_tracer()
-        journal = get_journal()
-        if journal.enabled:
-            for sid in self.instance.network.station_ids:
-                journal.record(Event(
-                    slot=0, kind=EventKind.STATION_UP, station_id=sid,
-                    value=self.instance.network.station(sid).capacity_mhz))
+        self.announce_stations()
         policy.begin(self)
         for t in self.clock.ticks():
-            if journal.enabled:
-                self._journal_outage_transitions(t, journal)
-            with tracer.span("slot_admission", policy=policy.name):
-                self._admit_arrivals(t)
-                self._drop_hopeless(t)
-                placements = policy.schedule(t, tuple(self._pending))
-                started = self._apply_placements(t, placements)
-                self._progress(t)
-                slot_reward = self._settle_started(t, started)
-                self._complete(t)
-                policy.observe(t, slot_reward)
-            if started:
-                tracer.count("requests_started", len(started))
+            self.step(policy, t, self._arrivals.get(t, ()))
         self._finalize()
         result = ScheduleResult(algorithm=policy.name)
         for request in self._requests:
@@ -245,6 +280,61 @@ class OnlineEngine:
                 result.add(self._decided[request.request_id])
         result.runtime_s = time.perf_counter() - start_time  # repro: noqa DET001 -- advisory runtime metric
         return result
+
+    def announce_stations(self) -> None:
+        """Journal the initial STATION_UP capacity announcements."""
+        journal = get_journal()
+        if journal.enabled:
+            for sid in self.instance.network.station_ids:
+                journal.record(Event(
+                    slot=0, kind=EventKind.STATION_UP, station_id=sid,
+                    value=self.instance.network.station(sid).capacity_mhz))
+
+    def step(self, policy: OnlinePolicy, t: int,
+             arrivals: Sequence[ARRequest] = ()) -> SlotOutcome:
+        """Execute one time slot of the admission loop.
+
+        The slot phases are exactly those of :meth:`run` (which is
+        implemented on top of this method): admit arrivals, drop
+        deadline-hopeless pending requests, let the policy place, apply
+        placements, progress streams, settle this slot's starts, free
+        completed streams, and feed the settled reward back to the
+        policy.  The streaming service calls this directly with
+        externally batched arrivals.
+
+        Args:
+            policy: the online policy (must have seen :meth:`begin`).
+            t: the slot to execute (callers drive slots in order).
+            arrivals: requests entering the pending queue this slot.
+
+        Returns:
+            The slot's :class:`SlotOutcome`.
+        """
+        tracer = get_tracer()
+        journal = get_journal()
+        if journal.enabled:
+            self._journal_outage_transitions(t, journal)
+        with tracer.span("slot_admission", policy=policy.name):
+            self._admit_arrivals(t, arrivals)
+            dropped = self._drop_hopeless(t)
+            placements = policy.schedule(t, tuple(self._pending))
+            started = self._apply_placements(t, placements)
+            self._progress(t)
+            slot_reward = self._settle_started(t, started)
+            completed = self._complete(t)
+            policy.observe(t, slot_reward)
+        if started:
+            tracer.count("requests_started", len(started))
+        return SlotOutcome(
+            slot=t,
+            num_arrivals=len(arrivals),
+            num_dropped=dropped,
+            num_started=len(started),
+            num_completed=completed,
+            slot_reward=slot_reward,
+            pending_after=len(self._pending),
+            active_after=len(self._active),
+        )
 
     # ------------------------------------------------------------------
     # Slot phases
@@ -265,8 +355,8 @@ class OnlineEngine:
                     slot=t, kind=EventKind.STATION_UP, station_id=sid,
                     value=self.instance.network.station(sid).capacity_mhz))
 
-    def _admit_arrivals(self, t: int) -> None:
-        arrivals = self._arrivals.get(t, ())
+    def _admit_arrivals(self, t: int,
+                        arrivals: Sequence[ARRequest]) -> None:
         if arrivals:
             get_tracer().count("arrivals", len(arrivals))
         journal = get_journal()
@@ -274,12 +364,17 @@ class OnlineEngine:
             self._pending.append(request)
             event = Event(slot=t, kind=EventKind.ARRIVAL,
                           request_id=request.request_id)
-            self.events.append(event)
+            if not self.streaming:
+                self.events.append(event)
             if journal.enabled:
                 journal.record(event)
 
-    def _drop_hopeless(self, t: int) -> None:
-        """Drop pending requests that can no longer meet their deadline."""
+    def _drop_hopeless(self, t: int) -> int:
+        """Drop pending requests that can no longer meet their deadline.
+
+        Returns:
+            The number of requests dropped.
+        """
         survivors: List[ARRequest] = []
         dropped = 0
         journal = get_journal()
@@ -287,20 +382,24 @@ class OnlineEngine:
             best_case = (self.waiting_ms(request, t)
                          + self.min_placement_delay_ms(request))
             if best_case > request.deadline_ms + 1e-9:
-                self._decided[request.request_id] = OffloadDecision(
-                    request_id=request.request_id, admitted=False,
-                    waiting_ms=self.waiting_ms(request, t))
-                event = Event(slot=t, kind=EventKind.DROP,
-                              request_id=request.request_id)
-                self.events.append(event)
+                if not self.streaming:
+                    self._decided[request.request_id] = OffloadDecision(
+                        request_id=request.request_id, admitted=False,
+                        waiting_ms=self.waiting_ms(request, t))
+                    self.events.append(Event(
+                        slot=t, kind=EventKind.DROP,
+                        request_id=request.request_id))
                 if journal.enabled:
-                    journal.record(event)
+                    journal.record(Event(slot=t, kind=EventKind.DROP,
+                                         request_id=request.request_id))
+                self._min_delay_cache.pop(request.request_id, None)
                 dropped += 1
             else:
                 survivors.append(request)
         if dropped:
             get_tracer().count("deadline_drops", dropped)
         self._pending = survivors
+        return dropped
 
     def _apply_placements(self, t: int,
                           placements: Sequence[Placement]
@@ -334,9 +433,11 @@ class OnlineEngine:
             self._active[request.request_id] = active
             started.append(active)
             del pending_by_id[request.request_id]
-            self.events.append(Event(slot=t, kind=EventKind.START,
-                                     request_id=request.request_id,
-                                     station_id=placement.station_id))
+            self._min_delay_cache.pop(request.request_id, None)
+            if not self.streaming:
+                self.events.append(Event(slot=t, kind=EventKind.START,
+                                         request_id=request.request_id,
+                                         station_id=placement.station_id))
         self._pending = [r for r in self._pending
                          if r.request_id in pending_by_id]
         return started
@@ -354,19 +455,21 @@ class OnlineEngine:
         latency = waiting + CLOUD_LATENCY_MS
         met = latency <= request.deadline_ms + 1e-9
         reward = request.realized_reward if met else 0.0
-        self._decided[request.request_id] = OffloadDecision(
-            request_id=request.request_id,
-            admitted=True,
-            primary_station=None,
-            realized_rate_mbps=request.realized_rate_mbps,
-            reward=reward,
-            latency_ms=latency,
-            waiting_ms=waiting,
-            deadline_met=met,
-        )
-        self.events.append(Event(slot=t, kind=EventKind.START,
-                                 request_id=request.request_id,
-                                 station_id=CLOUD_STATION))
+        self._min_delay_cache.pop(request.request_id, None)
+        if not self.streaming:
+            self._decided[request.request_id] = OffloadDecision(
+                request_id=request.request_id,
+                admitted=True,
+                primary_station=None,
+                realized_rate_mbps=request.realized_rate_mbps,
+                reward=reward,
+                latency_ms=latency,
+                waiting_ms=waiting,
+                deadline_met=met,
+            )
+            self.events.append(Event(slot=t, kind=EventKind.START,
+                                     request_id=request.request_id,
+                                     station_id=CLOUD_STATION))
         journal = get_journal()
         if journal.enabled:
             journal.record(Event(slot=t, kind=EventKind.START,
@@ -409,17 +512,18 @@ class OnlineEngine:
             active.reward = reward
             active.latency_ms = latency
             slot_reward += reward
-            self._decided[request.request_id] = OffloadDecision(
-                request_id=request.request_id,
-                admitted=True,
-                primary_station=active.station_id,
-                realized_rate_mbps=request.realized_rate_mbps,
-                reward=reward,
-                latency_ms=latency,
-                waiting_ms=self.clock.waiting_ms(request.arrival_slot,
-                                                 active.start_slot),
-                deadline_met=met,
-            )
+            if not self.streaming:
+                self._decided[request.request_id] = OffloadDecision(
+                    request_id=request.request_id,
+                    admitted=True,
+                    primary_station=active.station_id,
+                    realized_rate_mbps=request.realized_rate_mbps,
+                    reward=reward,
+                    latency_ms=latency,
+                    waiting_ms=self.clock.waiting_ms(
+                        request.arrival_slot, active.start_slot),
+                    deadline_met=met,
+                )
             if journal.enabled:
                 journal.record(Event(
                     slot=t, kind=EventKind.START,
@@ -429,8 +533,12 @@ class OnlineEngine:
                     share_mhz=active.first_share_mhz))
         return slot_reward
 
-    def _complete(self, t: int) -> None:
-        """Release the capacity of streams that finished their volume."""
+    def _complete(self, t: int) -> int:
+        """Release the capacity of streams that finished their volume.
+
+        Returns:
+            The number of streams completed.
+        """
         done = [a for a in self._active.values() if a.remaining_mb <= 1e-9]
         if done:
             get_tracer().count("completions", len(done))
@@ -441,10 +549,12 @@ class OnlineEngine:
                 request_id=active.request.request_id,
                 station_id=active.station_id, reward=active.reward,
                 latency_ms=active.latency_ms)
-            self.events.append(event)
+            if not self.streaming:
+                self.events.append(event)
             if journal.enabled:
                 journal.record(event)
             del self._active[active.request.request_id]
+        return len(done)
 
     def _experienced_latency_ms(self, active: _Active) -> float:
         request = active.request
@@ -456,6 +566,16 @@ class OnlineEngine:
             request, active.station_id)
         return waiting + transfer + processing * active.slowdown()
 
+    def finalize(self) -> None:
+        """Settle leftovers at shutdown (the streaming service's hook).
+
+        Journals a DROP for every request still pending or running so
+        the decision stream closes every lifecycle (the
+        deferred_resolution invariant needs deferred requests to end in
+        a terminal event even when the service stops early).
+        """
+        self._finalize()
+
     def _finalize(self) -> None:
         """Settle everything still pending at the horizon.
 
@@ -465,9 +585,10 @@ class OnlineEngine:
         t = self.clock.horizon_slots - 1
         journal = get_journal()
         for request in self._pending:
-            self._decided[request.request_id] = OffloadDecision(
-                request_id=request.request_id, admitted=False,
-                waiting_ms=self.waiting_ms(request, t))
+            if not self.streaming:
+                self._decided[request.request_id] = OffloadDecision(
+                    request_id=request.request_id, admitted=False,
+                    waiting_ms=self.waiting_ms(request, t))
             if journal.enabled:
                 journal.record(Event(slot=t, kind=EventKind.DROP,
                                      request_id=request.request_id))
@@ -479,8 +600,39 @@ class OnlineEngine:
                 event = Event(slot=t, kind=EventKind.DROP,
                               request_id=active.request.request_id,
                               station_id=active.station_id)
-                self.events.append(event)
+                if not self.streaming:
+                    self.events.append(event)
                 if journal.enabled:
                     journal.record(event)
         self._pending = []
         self._active = {}
+
+    # ------------------------------------------------------------------
+    # Checkpoint/restore (streaming service)
+    # ------------------------------------------------------------------
+    def export_state(self) -> Dict[str, object]:
+        """Snapshot the engine's mutable state (deep-copied).
+
+        Everything a resumed engine needs to reproduce the remaining
+        slots byte-for-byte: the pending queue, the active streams
+        (with their realized rates and remaining volumes), the
+        realization RNG state, and the current slot.  The static parts
+        (instance, outages, clock geometry) are reconstructed from
+        configuration by the caller.
+        """
+        import copy
+
+        return {
+            "slot": self.clock.current_slot,
+            "rng_state": self._rng.bit_generator.state,
+            "pending": copy.deepcopy(self._pending),
+            "active": copy.deepcopy(self._active),
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Install a snapshot produced by :meth:`export_state`."""
+        self._rng.bit_generator.state = state["rng_state"]
+        self._pending = list(state["pending"])  # type: ignore[arg-type]
+        self._active = dict(state["active"])  # type: ignore[arg-type]
+        self._min_delay_cache = {}
+        self.clock.advance_to(int(state["slot"]))  # type: ignore[arg-type]

@@ -26,6 +26,10 @@ _GLYPHS = {
     EventKind.ARM_ELIMINATED: "e",
     EventKind.STATION_DOWN: "D",
     EventKind.STATION_UP: "U",
+    EventKind.ADMIT_DEFERRED: "d",
+    EventKind.SHED: "!",
+    EventKind.CHECKPOINT: "k",
+    EventKind.RESUME: "R",
 }
 
 

@@ -31,6 +31,8 @@ localizable property (``python -m repro.experiments trace-diff``).
 
 from __future__ import annotations
 
+import json
+import os
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import (Any, Dict, Iterator, List, Mapping, Optional,
@@ -79,13 +81,64 @@ class Journal:
     :class:`InvariantMonitor`) see each event synchronously as it is
     recorded; a strict monitor therefore fails the run at the exact
     decision that broke an invariant.
+
+    **Streaming mode** (opt-in, for the long-lived admission service):
+    pass ``stream_path`` and events are flushed to disk as JSONL in
+    chunks of ``flush_every``, after which they leave memory - the
+    journal stays flat no matter how long the run.  The on-disk format
+    is byte-identical to :func:`repro.telemetry.export.write_jsonl`
+    (``json.dumps(event, sort_keys=True)`` per line), so streamed
+    journals diff directly with ``trace-diff``.  In streaming mode
+    :meth:`events` returns only the *unflushed* tail.  ``append=True``
+    reopens an existing journal file to continue it after a checkpoint
+    restore; pass ``already_recorded`` so indices delivered to
+    observers keep counting from the right place.
+
+    Args:
+        stream_path: JSONL file to stream events to (None = in-memory).
+        flush_every: flush to disk every this many buffered events
+            (the analysis-safe knob: any value produces the same bytes,
+            only syscall batching changes).
+        append: reopen ``stream_path`` and append instead of truncating.
+        already_recorded: events already in the reopened file.
     """
 
     enabled = True
 
-    def __init__(self) -> None:
+    def __init__(self, stream_path: Optional[str] = None,
+                 flush_every: int = 1024, append: bool = False,
+                 already_recorded: int = 0) -> None:
+        if flush_every < 1:
+            raise ConfigurationError(
+                f"flush_every must be >= 1, got {flush_every}")
+        if already_recorded < 0:
+            raise ConfigurationError(
+                f"already_recorded must be >= 0, got {already_recorded}")
+        if append and stream_path is None:
+            raise ConfigurationError(
+                "append=True requires a stream_path")
         self._events: List[Dict[str, Any]] = []
         self._observers: List[Any] = []
+        self._stream_path = stream_path
+        self._flush_every = int(flush_every)
+        self._total = int(already_recorded) if append else 0
+        self._handle = None
+        if stream_path is not None:
+            self._handle = open(stream_path, "ab" if append else "wb")
+            self._handle.seek(0, os.SEEK_END)
+            self._bytes = self._handle.tell()
+        else:
+            self._bytes = 0
+
+    @property
+    def streaming(self) -> bool:
+        """True when events are flushed to a JSONL file."""
+        return self._handle is not None
+
+    @property
+    def total_recorded(self) -> int:
+        """Events recorded over the journal's lifetime (incl. flushed)."""
+        return self._total
 
     def attach(self, observer) -> None:
         """Deliver every future event to ``observer.observe(event, i)``."""
@@ -95,23 +148,67 @@ class Journal:
         """Append one event (an ``Event`` or a pre-built dict)."""
         record = event.to_record() if hasattr(event, "to_record") \
             else dict(event)
-        index = len(self._events)
+        index = self._total
+        self._total += 1
         self._events.append(record)
         for observer in self._observers:
             observer.observe(record, index)
+        if self._handle is not None \
+                and len(self._events) >= self._flush_every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write buffered events to the stream file and drop them.
+
+        No-op for in-memory journals.  Lines match
+        :func:`~repro.telemetry.export.write_jsonl` byte for byte.
+        """
+        if self._handle is None or not self._events:
+            return
+        chunk = "".join(json.dumps(event, sort_keys=True) + "\n"
+                        for event in self._events)
+        data = chunk.encode("utf-8")
+        self._handle.write(data)
+        self._handle.flush()
+        self._bytes += len(data)
+        self._events.clear()
+
+    def byte_position(self) -> int:
+        """Flush, then return the stream file's byte length.
+
+        A checkpoint stores this so a resumed service can truncate a
+        journal that ran past the checkpoint back to the exact byte.
+        """
+        self.flush()
+        return self._bytes
+
+    def close(self) -> None:
+        """Flush and close the stream file (no-op in-memory)."""
+        if self._handle is not None:
+            self.flush()
+            self._handle.close()
+            self._handle = None
 
     def events(self) -> List[Dict[str, Any]]:
-        """The journal as a list of event dicts (shallow copies)."""
+        """The journal as a list of event dicts (shallow copies).
+
+        In streaming mode this is only the unflushed tail - read the
+        stream file for the full history.
+        """
         return [dict(event) for event in self._events]
 
     def clear(self) -> None:
-        """Drop everything recorded so far (observers stay attached)."""
+        """Drop unflushed events (observers stay attached)."""
+        self._total -= len(self._events)
         self._events.clear()
 
     def __len__(self) -> int:
-        return len(self._events)
+        return self._total
 
     def __repr__(self) -> str:
+        if self.streaming:
+            return (f"Journal(stream={self._stream_path!r}, "
+                    f"events={self._total}, buffered={len(self._events)})")
         return f"Journal(events={len(self._events)})"
 
 
@@ -172,6 +269,8 @@ INVARIANTS: Dict[str, str] = {
     "arm_separation": "arms are eliminated only when confidence "
                       "intervals separate (Theorem 3)",
     "station_outage": "no request starts on a station that is down",
+    "deferred_resolution": "every ADMIT_DEFERRED request is later "
+                           "started, shed, or dropped (never lost)",
 }
 
 #: Event kinds that advance a request's lifecycle state machine.
@@ -182,6 +281,11 @@ _LIFECYCLE_KINDS = ("arrival", "start", "preempt_wait", "complete",
 #: not a time slot (see :class:`repro.sim.events.Event`) - the
 #: slot-order invariant does not apply to them.
 _RESOURCE_SLOT_KINDS = ("admit", "reject_rounding", "migrate")
+
+#: Kinds emitted by the streaming admission service
+#: (:mod:`repro.service`): ingress/backpressure decisions and
+#: checkpoint lifecycle markers.
+_SERVICE_KINDS = ("admit_deferred", "shed", "checkpoint", "resume")
 
 
 @dataclass(frozen=True)
@@ -247,6 +351,7 @@ class InvariantMonitor:
         self._reserved: Dict[int, float] = {}  # station -> committed MHz
         self._down: set = set()                # stations currently down
         self._eliminated: set = set()          # dead bandit arms
+        self._deferred: set = set()            # unresolved deferrals
         self._num_events = 0
 
     # ------------------------------------------------------------------
@@ -295,12 +400,22 @@ class InvariantMonitor:
                 self._down.add(event["station"])
         elif kind == "migrate":
             self._check_migration(event, index)
+        elif kind == "admit_deferred":
+            request = event.get("request")
+            if request is not None:
+                self.checks["deferred_resolution"] += 1
+                self._deferred.add(request)
+        elif kind == "shed":
+            self._check_shed(event, index)
         elif kind == "arm_selected":
             self._check_arm_replay(event, index)
         elif kind == "arm_eliminated":
             self._check_elimination(event, index)
         if kind == "start":
             self._check_station_up(event, index)
+        if kind in ("start", "admit", "drop"):
+            # Any of these resolves a pending deferral.
+            self._deferred.discard(event.get("request"))
         self._check_capacity(event, index)
 
     def check_events(self, events: Sequence[Mapping[str, Any]]
@@ -318,8 +433,16 @@ class InvariantMonitor:
                 or any mapping with ``total_reward`` /
                 ``num_admitted`` entries (e.g. a
                 :class:`~repro.sim.results.RunRecord` metric row).
-                ``None`` skips the accounting check.
+                ``None`` skips the accounting check (the
+                deferred-resolution check still runs).
         """
+        self.checks["deferred_resolution"] += 1
+        if self._deferred:
+            sample = sorted(self._deferred)[:10]
+            self._fail(Violation(
+                "deferred_resolution",
+                f"{len(self._deferred)} deferred request(s) never "
+                f"resolved by START/ADMIT, SHED, or DROP: {sample}"))
         if result is None:
             return self
         if isinstance(result, Mapping):
@@ -546,6 +669,25 @@ class InvariantMonitor:
                     f"arm {arm} eliminated with UCB {ucb:.6g} >= best "
                     f"LCB {best_lcb:.6g} (intervals had not separated)",
                     index, event))
+
+    def _check_shed(self, event, index) -> None:
+        """A SHED is terminal: the request never enters the engine.
+
+        Shares the double-terminal books with COMPLETE/DROP so a
+        request cannot be shed after (or before) any other terminal
+        event, and resolves any pending deferral.
+        """
+        request = event.get("request")
+        if request is None:
+            return
+        self.checks["double_terminal"] += 1
+        if self._state.get(request) == "done":
+            self._fail(Violation(
+                "double_terminal",
+                f"request {request} was shed after a terminal event",
+                index, event))
+        self._state[request] = "done"
+        self._deferred.discard(request)
 
     def _check_station_up(self, event, index) -> None:
         station = event.get("station")

@@ -38,8 +38,10 @@ from ..exceptions import ConfigurationError
 MANIFEST_SCHEMA = "repro.run-manifest/1"
 
 #: Metric names measured from the executing machine's clock; compared
-#: advisory-only by :mod:`repro.telemetry.regression`.
-WALL_CLOCK_METRICS = ("runtime_s",)
+#: advisory-only by :mod:`repro.telemetry.regression`.  The service
+#: loadgen's throughput/latency metrics are wall-clock by nature; its
+#: deterministic counts (arrivals, sheds, rewards) gate normally.
+WALL_CLOCK_METRICS = ("runtime_s", "requests_per_s", "p95_slot_ms")
 
 
 @dataclass(frozen=True)

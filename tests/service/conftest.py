@@ -1,0 +1,41 @@
+"""Fixtures for the streaming admission-service tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import NetworkConfig, OnlineConfig, RequestConfig, \
+    SimulationConfig
+from repro.service import ServiceConfig
+
+
+@pytest.fixture(scope="session")
+def service_sim() -> SimulationConfig:
+    """A reduced substrate so service tests stay fast."""
+    return SimulationConfig(
+        network=NetworkConfig(num_base_stations=6),
+        requests=RequestConfig(stream_duration_slots=10),
+        online=OnlineConfig(horizon_slots=40),
+        seed=4321,
+    ).validate()
+
+
+@pytest.fixture()
+def make_service_config(service_sim, tmp_path):
+    """Factory for small, journaled service configurations."""
+
+    def build(**overrides) -> ServiceConfig:
+        defaults = dict(
+            sim=service_sim,
+            horizon_slots=200,
+            mean_arrivals_per_slot=3.0,
+            max_arrivals=150,
+            policy="greedy",
+            queue_limit=64,
+            journal_path=str(tmp_path / "journal.jsonl"),
+            flush_every=16,
+        )
+        defaults.update(overrides)
+        return ServiceConfig(**defaults)
+
+    return build

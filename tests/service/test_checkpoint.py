@@ -1,0 +1,149 @@
+"""Checkpoint/restore: kill at a random slot, resume, byte-identity.
+
+The property at the heart of the service subsystem: for ANY kill point
+past the first checkpoint, resuming from disk yields a decision journal
+byte-identical to an uninterrupted run's.  trace-diff is reused as the
+assertion, and raw bytes are compared on top (trace-diff compares
+parsed events; byte equality is the stronger claim).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.service import (AdmissionService, ServiceCheckpoint,
+                           read_checkpoint, truncate_journal,
+                           write_checkpoint)
+from repro.service.checkpoint import JournalCursor
+from repro.telemetry.tracediff import first_divergence, load_journal
+
+
+def run_to_drain(service):
+    while not service.done:
+        service.tick()
+    service.close()
+
+
+def run_killed(service, kill_slot):
+    """Crash simulation: abandon the service, flush nothing."""
+    while not service.done:
+        report = service.tick()
+        if report.outcome.slot >= kill_slot:
+            return
+
+
+def checkpointed_config(make_service_config, tmp_path, tag,
+                        **overrides):
+    return make_service_config(
+        journal_path=str(tmp_path / f"{tag}.jsonl"),
+        checkpoint_path=str(tmp_path / f"{tag}.ckpt"),
+        checkpoint_every=5,
+        **overrides)
+
+
+class TestResumeByteIdentity:
+    @pytest.mark.parametrize("policy", ["greedy", "dynamicrr"])
+    def test_random_kill_slots_resume_identically(
+            self, make_service_config, tmp_path, policy):
+        """The property test of the ISSUE: checkpoint at a random slot,
+        resume, and the journal is byte-identical (trace-diff clean)."""
+        overrides = dict(policy=policy, max_arrivals=60,
+                         mean_arrivals_per_slot=3.0)
+        baseline_config = checkpointed_config(
+            make_service_config, tmp_path, f"base-{policy}", **overrides)
+        baseline = AdmissionService(baseline_config)
+        run_to_drain(baseline)
+        total_slots = int(baseline.counters["slots"])
+        baseline_bytes = open(baseline_config.journal_path, "rb").read()
+
+        rng = np.random.default_rng(20260808)
+        kill_slots = sorted(set(
+            int(s) for s in rng.integers(6, total_slots - 2, size=3)))
+        for kill_slot in kill_slots:
+            tag = f"kill-{policy}-{kill_slot}"
+            config = checkpointed_config(make_service_config, tmp_path,
+                                         tag, **overrides)
+            killed = AdmissionService(config)
+            run_killed(killed, kill_slot)
+            resumed = AdmissionService.resume(config.checkpoint_path)
+            run_to_drain(resumed)
+
+            assert open(config.journal_path, "rb").read() == \
+                baseline_bytes, f"bytes diverged for kill@{kill_slot}"
+            divergence = first_divergence(
+                load_journal(baseline_config.journal_path),
+                load_journal(config.journal_path))
+            assert divergence is None
+
+    def test_resumed_counters_are_cumulative(self, make_service_config,
+                                             tmp_path):
+        config = checkpointed_config(make_service_config, tmp_path,
+                                     "counters", max_arrivals=60)
+        baseline = AdmissionService(config)
+        run_to_drain(baseline)
+        expected = dict(baseline.counters)
+
+        config2 = checkpointed_config(make_service_config, tmp_path,
+                                      "counters2", max_arrivals=60)
+        killed = AdmissionService(config2)
+        run_killed(killed, 12)
+        resumed = AdmissionService.resume(config2.checkpoint_path)
+        run_to_drain(resumed)
+        assert resumed.counters == expected
+
+    def test_resume_emits_ops_resume_event_not_journal(
+            self, make_service_config, tmp_path):
+        config = checkpointed_config(make_service_config, tmp_path,
+                                     "ops", max_arrivals=40)
+        killed = AdmissionService(config)
+        run_killed(killed, 10)
+        resumed = AdmissionService.resume(config.checkpoint_path)
+        kinds = [e.kind.value for e in resumed.ops_events]
+        assert kinds[0] == "resume"
+        run_to_drain(resumed)
+        with open(config.journal_path) as handle:
+            journal_kinds = {json.loads(line)["kind"] for line in handle}
+        assert "resume" not in journal_kinds
+        assert "checkpoint" in journal_kinds
+
+
+class TestCheckpointFiles:
+    def test_roundtrip(self, tmp_path):
+        checkpoint = ServiceCheckpoint(
+            config={"policy": "greedy"}, slot=9,
+            engine_state={"slot": 9}, policy_state=None,
+            stream_state={"next_id": 3},
+            journal=JournalCursor(events_recorded=5, byte_position=120),
+            counters={"arrivals": 3.0})
+        path = str(tmp_path / "c.ckpt")
+        write_checkpoint(path, checkpoint)
+        loaded = read_checkpoint(path)
+        assert loaded.slot == 9
+        assert loaded.journal.byte_position == 120
+        assert loaded.counters == {"arrivals": 3.0}
+
+    def test_read_missing_checkpoint_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            read_checkpoint(str(tmp_path / "absent.ckpt"))
+
+    def test_read_garbage_raises(self, tmp_path):
+        path = tmp_path / "bad.ckpt"
+        path.write_bytes(b"not a pickle")
+        with pytest.raises(ConfigurationError):
+            read_checkpoint(str(path))
+
+    def test_truncate_journal_cuts_back(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_bytes(b"a" * 100)
+        truncate_journal(str(path), 40)
+        assert path.stat().st_size == 40
+
+    def test_truncate_beyond_size_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_bytes(b"a" * 10)
+        with pytest.raises(ConfigurationError):
+            truncate_journal(str(path), 40)

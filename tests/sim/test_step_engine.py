@@ -1,0 +1,148 @@
+"""Tests for the per-slot step() surface extracted from run().
+
+run() is now implemented on top of step(); these tests pin the
+refactor: driving step() by hand is byte-identical to run() (events,
+journal, decisions), streaming mode keeps no history and forbids
+run(), and engine state export/restore reproduces the remaining slots
+exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import GreedyOnline
+from repro.exceptions import ConfigurationError
+from repro.sim.online_engine import OnlineEngine, SlotOutcome
+from repro.telemetry.audit import Journal, use_journal
+
+HORIZON = 40
+
+
+def make_engine(small_instance, workload, streaming=False):
+    return OnlineEngine(small_instance, workload, horizon_slots=HORIZON,
+                        rng=123, streaming=streaming)
+
+
+def arrivals_by_slot(workload):
+    buckets = {}
+    for request in workload:
+        buckets.setdefault(request.arrival_slot, []).append(request)
+    return buckets
+
+
+class TestRunStepIdentity:
+    def test_manual_step_loop_matches_run(self, small_instance,
+                                          online_workload):
+        run_journal = Journal()
+        with use_journal(run_journal):
+            engine_a = make_engine(small_instance, online_workload)
+            result_a = engine_a.run(GreedyOnline())
+
+        step_journal = Journal()
+        with use_journal(step_journal):
+            engine_b = make_engine(small_instance, online_workload)
+            policy = GreedyOnline()
+            engine_b.announce_stations()
+            policy.begin(engine_b)
+            buckets = arrivals_by_slot(online_workload)
+            for t in engine_b.clock.ticks():
+                engine_b.step(policy, t, buckets.get(t, ()))
+            engine_b._finalize()
+
+        assert run_journal.events() == step_journal.events()
+        assert [str(e) for e in engine_a.events] == \
+            [str(e) for e in engine_b.events]
+        assert engine_a._decided.keys() == engine_b._decided.keys()
+        total_b = sum(d.reward for d in engine_b._decided.values())
+        assert result_a.total_reward == pytest.approx(total_b)
+
+    def test_step_returns_slot_outcome(self, small_instance,
+                                       online_workload):
+        engine = make_engine(small_instance, online_workload)
+        policy = GreedyOnline()
+        engine.announce_stations()
+        policy.begin(engine)
+        buckets = arrivals_by_slot(online_workload)
+        outcome = engine.step(policy, 0, buckets.get(0, ()))
+        assert isinstance(outcome, SlotOutcome)
+        assert outcome.slot == 0
+        assert outcome.num_arrivals == len(buckets.get(0, ()))
+        assert outcome.pending_after == engine.pending_count()
+        assert outcome.active_after == engine.active_total()
+
+
+class TestStreamingMode:
+    def test_run_is_forbidden(self, small_instance, online_workload):
+        engine = make_engine(small_instance, online_workload,
+                             streaming=True)
+        with pytest.raises(ConfigurationError):
+            engine.run(GreedyOnline())
+
+    def test_streaming_keeps_no_history(self, small_instance,
+                                        online_workload):
+        engine = make_engine(small_instance, online_workload,
+                             streaming=True)
+        policy = GreedyOnline()
+        policy.begin(engine)
+        buckets = arrivals_by_slot(online_workload)
+        for t in engine.clock.ticks():
+            engine.step(policy, t, buckets.get(t, ()))
+        assert engine.events == []
+        assert engine._decided == {}
+
+    def test_streaming_journal_matches_batch_mode(self, small_instance,
+                                                  online_workload):
+        """Streaming gates only in-memory history, never the journal."""
+        journals = []
+        for streaming in (False, True):
+            journal = Journal()
+            with use_journal(journal):
+                engine = make_engine(small_instance, online_workload,
+                                     streaming=streaming)
+                policy = GreedyOnline()
+                engine.announce_stations()
+                policy.begin(engine)
+                buckets = arrivals_by_slot(online_workload)
+                for t in engine.clock.ticks():
+                    engine.step(policy, t, buckets.get(t, ()))
+                engine.finalize()
+            journals.append(journal.events())
+        assert journals[0] == journals[1]
+
+
+class TestEngineCheckpoint:
+    def test_export_restore_reproduces_remaining_slots(
+            self, small_instance, online_workload):
+        split = 17
+        buckets = arrivals_by_slot(online_workload)
+
+        baseline = make_engine(small_instance, online_workload)
+        policy_a = GreedyOnline()
+        policy_a.begin(baseline)
+        state = None
+        tail_a = []
+        journal_a = Journal()
+        with use_journal(journal_a):
+            for t in baseline.clock.ticks():
+                outcome = baseline.step(policy_a, t, buckets.get(t, ()))
+                if t == split - 1:
+                    state = baseline.export_state()
+                if t >= split:
+                    tail_a.append(outcome)
+
+        resumed = make_engine(small_instance, [])
+        policy_b = GreedyOnline()
+        policy_b.begin(resumed)
+        resumed.restore_state(state)
+        tail_b = []
+        journal_b = Journal()
+        with use_journal(journal_b):
+            for t in resumed.clock.ticks(first_slot=split):
+                tail_b.append(resumed.step(policy_b, t,
+                                           buckets.get(t, ())))
+
+        assert tail_a == tail_b
+        start = next(i for i, e in enumerate(journal_a.events())
+                     if e["slot"] >= split and e["kind"] != "station_up")
+        assert journal_a.events()[start:] == journal_b.events()

@@ -289,6 +289,23 @@ class TestMutations:
                      reward=1.0)]
         assert InvariantMonitor(mode="strict").check_events(events).ok
 
+    def test_deferred_resolution_lost_request(self):
+        events = [ev("arrival", request=1),
+                  ev("admit_deferred", slot=0, request=1, value=1.0)]
+        monitor = InvariantMonitor(mode="collect").check_events(events)
+        monitor.finish(None)
+        assert any(v.invariant == "deferred_resolution"
+                   for v in monitor.violations)
+
+    def test_deferred_resolution_started_later_passes(self):
+        events = [ev("station_up", station=0, value=100.0),
+                  ev("arrival", request=1),
+                  ev("admit_deferred", slot=0, request=1, value=1.0),
+                  ev("start", slot=2, request=1, station=0,
+                     reward=1.0)]
+        monitor = InvariantMonitor(mode="strict").check_events(events)
+        assert monitor.finish(None).ok
+
     def test_every_invariant_has_a_mutation(self):
         """Meta-check: the suite above covers all named invariants."""
         import inspect

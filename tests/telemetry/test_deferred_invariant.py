@@ -1,0 +1,121 @@
+"""Tests for the deferred_resolution invariant and service event kinds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvariantViolation
+from repro.telemetry.audit import INVARIANTS, InvariantMonitor
+
+
+def ev(kind, slot=0, request=None, **extra):
+    event = {"kind": kind, "slot": slot}
+    if request is not None:
+        event["request"] = request
+    event.update(extra)
+    return event
+
+
+class TestDeferredResolution:
+    def test_registered_invariant(self):
+        assert "deferred_resolution" in INVARIANTS
+
+    def test_deferral_resolved_by_start_is_clean(self):
+        monitor = InvariantMonitor(mode="collect")
+        monitor.check_events([
+            ev("arrival", 0, request=1),
+            ev("admit_deferred", 0, request=1, value=1.0),
+            ev("start", 2, request=1, station=0, reward=1.0),
+            ev("complete", 5, request=1, station=0, reward=1.0),
+        ])
+        monitor.finish(None)
+        assert monitor.ok, monitor.report()
+
+    def test_deferral_resolved_by_drop_is_clean(self):
+        monitor = InvariantMonitor(mode="collect")
+        monitor.check_events([
+            ev("arrival", 0, request=1),
+            ev("admit_deferred", 0, request=1),
+            ev("drop", 4, request=1),
+        ])
+        monitor.finish(None)
+        assert monitor.ok, monitor.report()
+
+    def test_unresolved_deferral_fails_at_finish(self):
+        monitor = InvariantMonitor(mode="collect")
+        monitor.check_events([
+            ev("arrival", 0, request=1),
+            ev("admit_deferred", 0, request=1),
+        ])
+        monitor.finish(None)
+        assert not monitor.ok
+        assert any(v.invariant == "deferred_resolution"
+                   for v in monitor.violations)
+
+    def test_finish_without_result_still_checks(self):
+        """finish(None) must not early-return past the deferred check."""
+        monitor = InvariantMonitor(mode="strict")
+        monitor.observe(ev("arrival", 0, request=9))
+        monitor.observe(ev("admit_deferred", 0, request=9))
+        with pytest.raises(InvariantViolation):
+            monitor.finish(None)
+
+    def test_deferral_counts_are_tracked(self):
+        monitor = InvariantMonitor(mode="collect")
+        monitor.check_events([
+            ev("arrival", 0, request=1),
+            ev("admit_deferred", 0, request=1),
+            ev("start", 1, request=1, station=0, reward=0.0),
+        ])
+        monitor.finish(None)
+        assert monitor.checks["deferred_resolution"] >= 2
+
+
+class TestShed:
+    def test_shed_is_clean_for_fresh_request(self):
+        monitor = InvariantMonitor(mode="collect")
+        monitor.check_events([ev("shed", 3, request=7, value=64.0)])
+        monitor.finish(None)
+        assert monitor.ok, monitor.report()
+
+    def test_shed_after_terminal_is_double_terminal(self):
+        monitor = InvariantMonitor(mode="collect")
+        monitor.check_events([
+            ev("arrival", 0, request=1),
+            ev("drop", 1, request=1),
+            ev("shed", 2, request=1),
+        ])
+        assert any(v.invariant == "double_terminal"
+                   for v in monitor.violations)
+
+    def test_terminal_after_shed_is_double_terminal(self):
+        monitor = InvariantMonitor(mode="collect")
+        monitor.check_events([
+            ev("shed", 0, request=1),
+            ev("drop", 1, request=1),
+        ])
+        assert any(v.invariant == "double_terminal"
+                   for v in monitor.violations)
+
+
+class TestServiceKindsPassThrough:
+    def test_checkpoint_and_resume_are_inert(self):
+        monitor = InvariantMonitor(mode="strict")
+        monitor.check_events([
+            ev("arrival", 0, request=1),
+            ev("checkpoint", 0),
+            ev("resume", 0),
+            ev("start", 1, request=1, station=0, reward=0.0),
+            ev("complete", 2, request=1, station=0, reward=0.0),
+        ])
+        monitor.finish(None)
+        assert monitor.ok
+
+    def test_checkpoint_respects_slot_order(self):
+        monitor = InvariantMonitor(mode="collect")
+        monitor.check_events([
+            ev("checkpoint", 5),
+            ev("arrival", 3, request=1),
+        ])
+        assert any(v.invariant == "slot_order"
+                   for v in monitor.violations)

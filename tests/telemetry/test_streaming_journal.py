@@ -1,0 +1,130 @@
+"""Tests for the opt-in streaming (chunked JSONL) Journal mode."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sim.events import Event, EventKind
+from repro.telemetry.audit import Journal
+from repro.telemetry.export import write_jsonl
+
+
+def make_events(n):
+    return [Event(slot=t, kind=EventKind.ARRIVAL, request_id=t)
+            for t in range(n)]
+
+
+class TestStreamingBytes:
+    def test_stream_matches_write_jsonl_bytes(self, tmp_path):
+        """The streamed file is byte-identical to the batch exporter's."""
+        events = make_events(25)
+        streamed = tmp_path / "stream.jsonl"
+        journal = Journal(stream_path=str(streamed), flush_every=7)
+        for event in events:
+            journal.record(event)
+        journal.close()
+
+        batch = tmp_path / "batch.jsonl"
+        write_jsonl(batch, [e.to_record() for e in events])
+        assert streamed.read_bytes() == batch.read_bytes()
+
+    @pytest.mark.parametrize("flush_every", [1, 3, 10, 1000])
+    def test_flush_interval_never_changes_bytes(self, tmp_path,
+                                                flush_every):
+        events = make_events(17)
+        path = tmp_path / f"f{flush_every}.jsonl"
+        journal = Journal(stream_path=str(path), flush_every=flush_every)
+        for event in events:
+            journal.record(event)
+        journal.close()
+        reference = "".join(
+            json.dumps(e.to_record(), sort_keys=True) + "\n"
+            for e in events)
+        assert path.read_text() == reference
+
+    def test_flushed_events_leave_memory(self, tmp_path):
+        journal = Journal(stream_path=str(tmp_path / "j.jsonl"),
+                          flush_every=5)
+        for event in make_events(12):
+            journal.record(event)
+        # Two full chunks flushed; only the tail of 2 remains buffered.
+        assert len(journal.events()) == 2
+        assert journal.total_recorded == 12
+        assert len(journal) == 12
+        journal.close()
+
+
+class TestAppendMode:
+    def test_append_continues_file_and_indices(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        first = Journal(stream_path=str(path), flush_every=2)
+        for event in make_events(6):
+            first.record(event)
+        first.close()
+
+        seen = []
+
+        class Spy:
+            def observe(self, record, index):
+                seen.append(index)
+
+        second = Journal(stream_path=str(path), flush_every=2,
+                         append=True, already_recorded=6)
+        second.attach(Spy())
+        second.record(Event(slot=6, kind=EventKind.ARRIVAL,
+                            request_id=6))
+        second.close()
+        assert seen == [6]
+        lines = path.read_text().splitlines()
+        assert len(lines) == 7
+        assert json.loads(lines[-1])["request"] == 6
+
+    def test_byte_position_flushes_and_reports_length(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = Journal(stream_path=str(path), flush_every=100)
+        for event in make_events(4):
+            journal.record(event)
+        pos = journal.byte_position()
+        assert pos == path.stat().st_size > 0
+        assert journal.events() == []  # byte_position flushed
+        journal.close()
+
+    def test_append_requires_stream_path(self):
+        with pytest.raises(ConfigurationError):
+            Journal(append=True)
+
+    def test_rejects_bad_knobs(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            Journal(flush_every=0)
+        with pytest.raises(ConfigurationError):
+            Journal(stream_path=str(tmp_path / "x.jsonl"),
+                    append=True, already_recorded=-1)
+
+
+class TestInMemoryUnchanged:
+    """The default (no stream_path) behaviour is exactly the old one."""
+
+    def test_events_and_len(self):
+        journal = Journal()
+        for event in make_events(5):
+            journal.record(event)
+        assert len(journal) == 5
+        assert len(journal.events()) == 5
+        assert not journal.streaming
+
+    def test_clear_resets(self):
+        journal = Journal()
+        for event in make_events(5):
+            journal.record(event)
+        journal.clear()
+        assert len(journal) == 0
+        assert journal.events() == []
+
+    def test_flush_is_noop_in_memory(self):
+        journal = Journal()
+        journal.record(make_events(1)[0])
+        journal.flush()
+        assert len(journal.events()) == 1
