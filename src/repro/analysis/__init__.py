@@ -15,6 +15,7 @@ NUM001     no float ``==``/``!=`` on reward/capacity/rate expressions
 UNIT001    ``*_mhz``/``*_mbps`` only mix via ``repro.units``
 PKL001     no lambdas/closures/local classes in RunSpec/Event payloads
 EVT001     every EventKind has a timeline glyph and an audit check
+MET001     every audited EventKind increments a registered metric
 =========  ==========================================================
 
 Run it with ``python -m repro.analysis src`` (exit 0 clean / 1 new
@@ -29,6 +30,7 @@ from __future__ import annotations
 # Importing the rule modules populates the registry.
 from . import determinism as _determinism  # noqa: F401
 from . import events_rule as _events_rule  # noqa: F401
+from . import metrics_rule as _metrics_rule  # noqa: F401
 from . import numerics as _numerics  # noqa: F401
 from . import pickles as _pickles  # noqa: F401
 from .baseline import (apply_baseline, load_baseline, save_baseline)

@@ -70,9 +70,16 @@ class WallClockRule(Rule):
     hint = ("route timing through repro.telemetry (tracer/ledger own "
             "provenance clocks); a justified advisory measurement "
             "needs '# repro: noqa DET001 -- why'")
+    # service/http.py and service/console.py are the *exposition
+    # layer*: scrape timestamps and poll pacing are wall-clock by
+    # meaning, and nothing in either module can reach journals,
+    # checkpoints, or records (docs/ANALYSIS.md, "DET001 and the
+    # exposition layer").
     allowlist = ("repro/telemetry/ledger.py",
                  "repro/telemetry/tracer.py",
-                 "repro/telemetry/progress.py")
+                 "repro/telemetry/progress.py",
+                 "repro/service/http.py",
+                 "repro/service/console.py")
 
     _BANNED: Set[str] = {
         "time.time", "time.time_ns",

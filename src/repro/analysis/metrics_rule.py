@@ -1,0 +1,177 @@
+"""MET001: cross-module metric coverage for audited event kinds.
+
+Every event kind the audit monitor models (the decision vocabulary of
+the whole system) must map to at least one live metric: the
+``EVENT_METRIC_MAP`` table in ``repro/telemetry/metrics.py`` declares
+which metric names a kind increments, and each declared name must
+actually appear as a string literal at an instrumentation site (any
+scanned module *other than* metrics.py itself).  Without this rule the
+event vocabulary and the metrics runtime drift apart silently: a new
+EventKind ships journaled and audited but invisible on the `/metrics`
+endpoint and the ops console.
+
+Mirrors EVT001's project-rule shape: the rule only fires when
+events.py, audit.py, and metrics.py are all inside the scanned tree,
+so fixture subsets and single-file scans never produce spurious
+coverage findings.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, Optional, Sequence, Set, Tuple
+
+from .findings import Finding
+from .framework import ModuleInfo, ProjectRule, register
+
+_EVENTS_SUFFIX = "repro/sim/events.py"
+_AUDIT_SUFFIX = "repro/telemetry/audit.py"
+_METRICS_SUFFIX = "repro/telemetry/metrics.py"
+
+#: Module-level assignments in audit.py treated as kind check tables
+#: (same convention as EVT001).
+_KIND_TABLE_RE = re.compile(r"^_[A-Z0-9_]*KINDS$")
+
+
+def _find_module(modules: Sequence[ModuleInfo],
+                 suffix: str) -> Optional[ModuleInfo]:
+    for module in modules:
+        if module.relpath.endswith(suffix):
+            return module
+    return None
+
+
+def _event_kind_values(module: ModuleInfo) -> Set[str]:
+    """Value strings of every ``EventKind`` member."""
+    values: Set[str] = set()
+    for node in module.tree.body:
+        if not (isinstance(node, ast.ClassDef)
+                and node.name == "EventKind"):
+            continue
+        for statement in node.body:
+            if isinstance(statement, ast.Assign) \
+                    and isinstance(statement.value, ast.Constant) \
+                    and isinstance(statement.value.value, str):
+                values.add(statement.value.value)
+    return values
+
+
+def _audited_kinds(module: ModuleInfo) -> Set[str]:
+    """Kind strings named in audit.py's ``_*KINDS`` tables."""
+    kinds: Set[str] = set()
+    for node in module.tree.body:
+        if isinstance(node, ast.Assign) \
+                and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name) \
+                and _KIND_TABLE_RE.match(node.targets[0].id):
+            for inner in ast.walk(node.value):
+                if isinstance(inner, ast.Constant) \
+                        and isinstance(inner.value, str):
+                    kinds.add(inner.value)
+    return kinds
+
+
+def _event_metric_map(module: ModuleInfo
+                      ) -> Tuple[Optional[ast.Assign],
+                                 Dict[str, Tuple[str, ...]]]:
+    """The ``EVENT_METRIC_MAP`` assignment and its parsed contents.
+
+    The table is required to be a pure dict literal of string keys to
+    tuples of string metric names, so it stays AST-parseable - a
+    computed table would defeat the static contract.
+    """
+    for node in module.tree.body:
+        target = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            target = node.target
+            value = node.value
+        if not (isinstance(target, ast.Name)
+                and target.id == "EVENT_METRIC_MAP"
+                and isinstance(value, ast.Dict)):
+            continue
+        table: Dict[str, Tuple[str, ...]] = {}
+        for key, entry in zip(value.keys, value.values):
+            if not (isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)):
+                continue
+            names = tuple(
+                inner.value for inner in ast.walk(entry)
+                if isinstance(inner, ast.Constant)
+                and isinstance(inner.value, str))
+            table[key.value] = names
+        return node, table
+    return None, {}
+
+
+def _string_literals(module: ModuleInfo) -> Set[str]:
+    found: Set[str] = set()
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Constant) \
+                and isinstance(node.value, str):
+            found.add(node.value)
+    return found
+
+
+@register
+class MetricCoverageRule(ProjectRule):
+    """MET001: every audited EventKind increments a registered metric."""
+
+    rule_id = "MET001"
+    title = "audited EventKind not covered by a live metric"
+    rationale = (
+        "The metrics runtime is the service's only *live* view; an "
+        "event kind that is journaled and audited but mapped to no "
+        "metric (or mapped to a metric no instrumentation site "
+        "increments) is invisible to operators until the post-mortem.")
+    hint = ("map the kind to >= 1 metric name in "
+            "telemetry/metrics.py:EVENT_METRIC_MAP and increment that "
+            "metric (inc/set_gauge/observe) at the site that emits "
+            "the event")
+
+    def check_project(self, modules: Sequence[ModuleInfo]
+                      ) -> Iterator[Finding]:
+        events = _find_module(modules, _EVENTS_SUFFIX)
+        audit = _find_module(modules, _AUDIT_SUFFIX)
+        metrics = _find_module(modules, _METRICS_SUFFIX)
+        if events is None or audit is None or metrics is None:
+            return
+        kind_values = _event_kind_values(events)
+        if not kind_values:
+            return
+        audited = _audited_kinds(audit) & kind_values
+        map_node, table = _event_metric_map(metrics)
+        anchor: ast.AST = map_node if map_node is not None \
+            else metrics.tree
+        if map_node is None:
+            yield self.finding(
+                metrics, anchor,
+                "EVENT_METRIC_MAP dict literal not found in "
+                "telemetry/metrics.py")
+            return
+        # Instrumentation sites: every scanned module except the map's
+        # own (its table entries must not count as their own coverage).
+        instrumented: Set[str] = set()
+        for module in modules:
+            if module is metrics:
+                continue
+            instrumented |= _string_literals(module)
+        for kind in sorted(audited):
+            names = table.get(kind)
+            if not names:
+                yield self.finding(
+                    metrics, anchor,
+                    f"audited event kind {kind!r} maps to no metric "
+                    f"in EVENT_METRIC_MAP")
+                continue
+            dead = sorted(name for name in names
+                          if name not in instrumented)
+            for name in dead:
+                yield self.finding(
+                    metrics, anchor,
+                    f"metric {name!r} (mapped from event kind "
+                    f"{kind!r}) is incremented by no instrumentation "
+                    f"site in the scanned tree")

@@ -37,6 +37,7 @@ from ..sim.events import Event, EventKind
 from ..solver.interface import WarmStartState, solve_lp
 from ..telemetry import get_tracer
 from ..telemetry.audit import get_journal
+from ..telemetry.metrics import get_metrics
 from .lp_relaxation import LpPtWorkspace, build_lp_pt
 from .rounding import DEFAULT_ROUNDING_SCALE, admit_slot_by_slot, \
     randomized_round
@@ -143,6 +144,10 @@ class DynamicRR:
             self._selected_this_slot = True
             self._last_arm_value = threshold
             tracer.observe("threshold_mhz", threshold)
+            metrics = get_metrics()
+            if metrics.enabled:
+                metrics.inc("bandit_rounds_total")
+                metrics.set_gauge("bandit_threshold_mhz", threshold)
             journal = get_journal()
             if journal.enabled:
                 journal.record(Event(
@@ -213,16 +218,28 @@ class DynamicRR:
             return
         normalized = min(1.0, max(0.0, slot_reward / self._reward_scale))
         journal = get_journal()
+        metrics = get_metrics()
         active_arms = getattr(self._bandit.policy, "active_arms", None)
-        before = (set(active_arms()) if journal.enabled
+        before = (set(active_arms())
+                  if (journal.enabled or metrics.enabled)
                   and active_arms is not None else None)
         self._bandit.record(normalized)
         if before is not None:
-            self._journal_eliminations(slot, before, set(active_arms()),
-                                       journal)
+            after = set(active_arms())
+            eliminated = len(before) - len(after)
+            if eliminated and metrics.enabled:
+                metrics.inc("bandit_arms_eliminated_total", eliminated)
+            if journal.enabled:
+                self._journal_eliminations(slot, before, after, journal)
         arm = self._bandit.grid.nearest_arm(self._last_arm_value)
         self.tracker.record(arm, normalized)
         self._cumulative_reward += slot_reward
+        if metrics.enabled:
+            metrics.set_gauge("bandit_cumulative_reward",
+                              self._cumulative_reward)
+            if active_arms is not None:
+                metrics.set_gauge("bandit_surviving_arms",
+                                  float(len(active_arms())))
         tracer = get_tracer()
         if tracer.enabled:
             tracer.observe("bandit_cumulative_reward",

@@ -25,6 +25,7 @@ from ..sim.events import Event, EventKind
 from ..solver.interface import solve_lp
 from ..telemetry import get_tracer
 from ..telemetry.audit import get_journal
+from ..telemetry.metrics import get_metrics
 from .assignment import OffloadDecision, ScheduleResult
 from .instance import ProblemInstance
 from .lp_relaxation import build_lp_relaxation
@@ -208,6 +209,7 @@ class Heu:
                 migrations[donor.request_id] = trial
                 self.last_num_migrations += 1
                 get_tracer().count("migrations")
+                get_metrics().inc("migrations_total")
                 if journal.enabled:
                     journal.record(Event(
                         slot=slot, kind=EventKind.MIGRATE,

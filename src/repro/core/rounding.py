@@ -26,6 +26,7 @@ from ..requests.request import ARRequest
 from ..rng import RngLike, ensure_rng
 from ..sim.events import Event, EventKind
 from ..telemetry.audit import get_journal
+from ..telemetry.metrics import get_metrics
 from .assignment import SlotAssignment
 from .instance import ProblemInstance
 from .lp_relaxation import LpIndex
@@ -187,6 +188,7 @@ def admit_slot_by_slot(instance: ProblemInstance,
                     attempts += 1
                     open_now = ledger.prefix_open(station_id, slot)
                 if not open_now:
+                    get_metrics().inc("rounding_rejects_total")
                     if journal.enabled:
                         journal.record(Event(
                             slot=slot, kind=EventKind.REJECT_ROUNDING,
@@ -203,6 +205,7 @@ def admit_slot_by_slot(instance: ProblemInstance,
                     ledger.reserve(request.request_id, station_id, reserved)
                 outcome.admitted = True
                 outcome.reserved_mhz = reserved
+                get_metrics().inc("rounding_admits_total")
                 if demand <= free + 1e-9:
                     outcome.reward = reward
                 if journal.enabled:

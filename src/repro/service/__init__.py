@@ -7,13 +7,22 @@ backpressure (ADMIT / ADMIT_DEFERRED / SHED journaled as first-class
 events), deterministic checkpoint/restore (a killed service resumes
 with a byte-identical decision journal), and a load-generator CLI
 (``python -m repro.service loadgen``) that measures sustained
-throughput, p95 slot latency, and peak RSS into the repository's run
-manifest format.
+throughput, p50/p95/p99 slot latency, and peak RSS into the
+repository's run manifest format.
+
+Live observability rides on :mod:`repro.telemetry.metrics`: a
+:class:`~repro.telemetry.metrics.MetricsRegistry` attached to the
+service is exposed over HTTP by :class:`~repro.service.http.
+MetricsEndpoint` (`/metrics` Prometheus text + JSON, `/healthz`,
+`/readyz`) and rendered in a terminal by ``python -m repro.service
+status`` / ``watch`` (:mod:`repro.service.console`).
 """
 
 from .checkpoint import (CHECKPOINT_SCHEMA, JournalCursor,
                          ServiceCheckpoint, read_checkpoint,
                          truncate_journal, write_checkpoint)
+from .console import fetch_status, render_status, run_status, run_watch
+from .http import MetricsEndpoint
 from .loop import (COUNTER_KEYS, SERVICE_POLICIES, AdmissionService,
                    ServiceConfig, SlotReport)
 from .loadgen import build_config, run_loadgen, run_resume
@@ -27,10 +36,15 @@ __all__ = [
     "ServiceCheckpoint",
     "JournalCursor",
     "CHECKPOINT_SCHEMA",
+    "MetricsEndpoint",
     "read_checkpoint",
     "write_checkpoint",
     "truncate_journal",
     "build_config",
+    "fetch_status",
+    "render_status",
     "run_loadgen",
     "run_resume",
+    "run_status",
+    "run_watch",
 ]

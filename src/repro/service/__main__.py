@@ -16,6 +16,11 @@ Usage::
 
     # Byte-identity gate against an uninterrupted baseline:
     python -m repro.experiments trace-diff baseline.jsonl run.jsonl
+
+    # Scrapeable run + live terminal console from another shell:
+    python -m repro.service loadgen --arrivals 500000 --rate 32 \
+        --metrics-port 9178
+    python -m repro.service watch --url http://127.0.0.1:9178
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ import json
 import sys
 from typing import List, Optional
 
+from .console import run_status, run_watch
 from .loadgen import run_loadgen, run_resume
 
 
@@ -70,6 +76,14 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="write a BENCH_<name>.json run manifest")
     load.add_argument("--name", default="service",
                       help="manifest name (default 'service')")
+    load.add_argument("--metrics-port", type=int, default=None,
+                      metavar="PORT",
+                      help="serve /metrics, /healthz, /readyz on this "
+                           "port while the run drains (0 = pick a free "
+                           "port, printed to stderr)")
+    load.add_argument("--no-metrics", action="store_true",
+                      help="run with the zero-overhead null registry "
+                           "instead of a live MetricsRegistry")
 
     res = sub.add_parser(
         "resume",
@@ -81,12 +95,49 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="write a BENCH_<name>.json run manifest")
     res.add_argument("--name", default="service",
                      help="manifest name (default 'service')")
+    res.add_argument("--metrics-port", type=int, default=None,
+                     metavar="PORT",
+                     help="serve the scrape endpoint while draining")
+    res.add_argument("--no-metrics", action="store_true",
+                     help="resume with the null registry (the "
+                          "checkpoint's metric series are dropped)")
+
+    stat = sub.add_parser(
+        "status",
+        help="print one ops-console frame scraped from a running "
+             "service's endpoint")
+    stat.add_argument("--url", default="http://127.0.0.1:9178",
+                      help="endpoint base URL (default "
+                           "http://127.0.0.1:9178)")
+    stat.add_argument("--timeout", type=float, default=5.0,
+                      help="scrape timeout in seconds (default 5)")
+
+    watch = sub.add_parser(
+        "watch",
+        help="poll the endpoint and redraw the ops console, "
+             "top(1)-style")
+    watch.add_argument("--url", default="http://127.0.0.1:9178",
+                       help="endpoint base URL (default "
+                            "http://127.0.0.1:9178)")
+    watch.add_argument("--interval", type=float, default=2.0,
+                       help="poll interval in seconds (default 2)")
+    watch.add_argument("--iterations", type=int, default=None,
+                       help="stop after this many frames (default: "
+                            "until Ctrl-C or the service drains)")
+    watch.add_argument("--timeout", type=float, default=5.0,
+                       help="scrape timeout in seconds (default 5)")
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
+    if args.command == "status":
+        return run_status(args.url, timeout=args.timeout)
+    if args.command == "watch":
+        return run_watch(args.url, interval=args.interval,
+                         iterations=args.iterations,
+                         timeout=args.timeout)
     if args.command == "loadgen":
         summary = run_loadgen(
             arrivals=args.arrivals, rate=args.rate, policy=args.policy,
@@ -96,10 +147,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             checkpoint_every=args.checkpoint_every,
             flush_every=args.flush_every,
             kill_at_slot=args.kill_at_slot,
-            bench_path=args.bench, name=args.name)
+            bench_path=args.bench, name=args.name,
+            metrics=not args.no_metrics,
+            metrics_port=args.metrics_port)
     else:
         summary = run_resume(args.checkpoint, bench_path=args.bench,
-                             name=args.name)
+                             name=args.name,
+                             metrics=not args.no_metrics,
+                             metrics_port=args.metrics_port)
     print(json.dumps(summary, sort_keys=True, indent=2))
     return 0
 

@@ -27,8 +27,10 @@ from typing import Any, Dict, Optional
 from ..exceptions import ConfigurationError
 
 #: Format tag stored in every checkpoint; bumped on layout changes so a
-#: stale file fails loudly instead of resuming garbage.
-CHECKPOINT_SCHEMA = "repro.service-checkpoint/1"
+#: stale file fails loudly instead of resuming garbage.  /2 added the
+#: ``metrics_state`` field (PR 8): resumed services continue their
+#: metric series instead of restarting them from zero.
+CHECKPOINT_SCHEMA = "repro.service-checkpoint/2"
 
 
 @dataclass
@@ -63,6 +65,9 @@ class ServiceCheckpoint:
         stream_state: :meth:`PoissonArrivalStream.export_state` payload.
         journal: the decision journal's cursor.
         counters: the service's cumulative metric counters.
+        metrics_state: :meth:`MetricsRegistry.export_state` payload
+            (None when the run used the null registry), restored on
+            resume so live series are continuous across the kill.
     """
 
     config: Any
@@ -72,6 +77,7 @@ class ServiceCheckpoint:
     stream_state: Dict[str, Any]
     journal: JournalCursor
     counters: Dict[str, float] = field(default_factory=dict)
+    metrics_state: Optional[Dict[str, Any]] = None
     schema: str = CHECKPOINT_SCHEMA
 
 

@@ -3,10 +3,17 @@
 ``python -m repro.service loadgen`` replays a synthetic Poisson
 arrival stream through an :class:`~repro.service.loop.AdmissionService`
 at a configurable rate, reports sustained throughput (requests/sec),
-p95 per-slot latency, final queue depth, and peak RSS, and writes the
-result as a ``BENCH_service.json`` run manifest - the same format the
-bench-regression CI job diffs, with the wall-clock metrics classified
-advisory (see :data:`repro.telemetry.ledger.WALL_CLOCK_METRICS`).
+p50/p95/p99 per-slot latency (from the service's bounded streaming
+histogram - RSS stays flat at any arrival count), final queue depth,
+and peak RSS, and writes the result as a ``BENCH_service.json`` run
+manifest - the same format the bench-regression CI job diffs, with the
+wall-clock metrics classified advisory (see
+:data:`repro.telemetry.ledger.WALL_CLOCK_METRICS`).
+
+Runs are metered by default: a live
+:class:`~repro.telemetry.metrics.MetricsRegistry` rides the service
+(scrapeable via ``--metrics-port``), and its state checkpoints with
+the service so a resumed run's counters continue instead of resetting.
 
 ``--kill-at-slot`` simulates a crash: the loop abandons the service
 without flushing, exactly like a SIGKILL.  ``python -m repro.service
@@ -19,13 +26,15 @@ from __future__ import annotations
 
 import asyncio
 import platform as platform_module
+import sys
 import time
 from typing import Any, Dict, Optional
 
 from ..config import SimulationConfig
 from ..telemetry.ledger import (RunManifest, _utc_now_iso, config_hash,
                                 git_revision, peak_rss_kb, write_bench)
-from ..telemetry.summary import percentile_linear
+from ..telemetry.metrics import MetricsRegistry, NULL_REGISTRY
+from .http import MetricsEndpoint
 from .loop import AdmissionService, ServiceConfig
 
 
@@ -64,14 +73,14 @@ def _metrics_row(service: AdmissionService,
                  elapsed_s: float) -> Dict[str, float]:
     """The loadgen's headline metric row (deterministic counts first).
 
-    ``requests_per_s`` and ``p95_slot_ms`` are wall-clock and compare
-    advisory-only in bench-diff; every other entry is a pure function
-    of config + seed and gates normally.
+    ``requests_per_s`` and the latency percentiles are wall-clock and
+    compare advisory-only in bench-diff; every other entry is a pure
+    function of config + seed and gates normally.  Percentiles come
+    from the service's streaming histogram - no per-slot sample list
+    exists anywhere, so RSS stays flat at 10^6+ arrivals.
     """
     counters = service.counters
-    latencies = list(service.slot_latencies)
-    p95_ms = (percentile_linear(latencies, 95.0) * 1000.0
-              if latencies else 0.0)
+    latency = service.slot_latency
     rate = counters["arrivals"] / elapsed_s if elapsed_s > 0 else 0.0
     return {
         "num_arrivals": counters["arrivals"],
@@ -84,9 +93,22 @@ def _metrics_row(service: AdmissionService,
         "total_reward": counters["reward"],
         "num_slots": counters["slots"],
         "requests_per_s": rate,
-        "p95_slot_ms": p95_ms,
+        "p50_slot_ms": latency.quantile(50.0) * 1000.0,
+        "p95_slot_ms": latency.quantile(95.0) * 1000.0,
+        "p99_slot_ms": latency.quantile(99.0) * 1000.0,
         "runtime_s": elapsed_s,
     }
+
+
+async def _serve_with_endpoint(service: AdmissionService,
+                               port: int) -> None:
+    """Serve to drain with a scrape endpoint on the same loop."""
+    endpoint = await MetricsEndpoint(service, port=port).start()
+    print(f"metrics endpoint: {endpoint.url}/metrics", file=sys.stderr)
+    try:
+        await service.serve()
+    finally:
+        await endpoint.stop()
 
 
 def run_loadgen(arrivals: int = 50_000, rate: float = 8.0,
@@ -98,7 +120,9 @@ def run_loadgen(arrivals: int = 50_000, rate: float = 8.0,
                 flush_every: int = 1024,
                 kill_at_slot: Optional[int] = None,
                 bench_path: Optional[str] = None,
-                name: str = "service") -> Dict[str, Any]:
+                name: str = "service",
+                metrics: bool = True,
+                metrics_port: Optional[int] = None) -> Dict[str, Any]:
     """Run one loadgen pass; returns a summary dict.
 
     Args:
@@ -107,6 +131,11 @@ def run_loadgen(arrivals: int = 50_000, rate: float = 8.0,
             summary then carries ``"killed": True`` and no bench file
             is written.
         bench_path: write a ``BENCH_<name>.json`` manifest here.
+        metrics: attach a live :class:`MetricsRegistry` (the default;
+            ``False`` runs with the zero-overhead null registry).
+        metrics_port: additionally serve `/metrics` / `/healthz` /
+            `/readyz` on this port while the run drains (0 = pick a
+            free port; printed to stderr).
     """
     config = build_config(arrivals, rate, policy=policy, seed=seed,
                           queue_limit=queue_limit,
@@ -114,15 +143,23 @@ def run_loadgen(arrivals: int = 50_000, rate: float = 8.0,
                           checkpoint_path=checkpoint_path,
                           checkpoint_every=checkpoint_every,
                           flush_every=flush_every)
-    service = AdmissionService(config)
+    registry = MetricsRegistry() if metrics else NULL_REGISTRY
+    service = AdmissionService(config, registry=registry)
     began = time.perf_counter()  # repro: noqa DET001 -- advisory runtime metric
     if kill_at_slot is not None:
         while not service.done:
             report = service.tick()
             if report.outcome.slot >= kill_at_slot:
-                return {"killed": True,
-                        "slot": report.outcome.slot,
-                        "counters": dict(service.counters)}
+                summary: Dict[str, Any] = {
+                    "killed": True,
+                    "slot": report.outcome.slot,
+                    "counters": dict(service.counters)}
+                if registry.enabled:
+                    summary["registry_counters"] = \
+                        registry.snapshot()["counters"]
+                return summary
+    elif metrics_port is not None:
+        asyncio.run(_serve_with_endpoint(service, metrics_port))
     else:
         asyncio.run(service.serve())
     service.close()
@@ -133,11 +170,23 @@ def run_loadgen(arrivals: int = 50_000, rate: float = 8.0,
 
 def run_resume(checkpoint_path: str,
                bench_path: Optional[str] = None,
-               name: str = "service") -> Dict[str, Any]:
-    """Resume a killed service from its checkpoint and run to drain."""
-    service = AdmissionService.resume(checkpoint_path)
+               name: str = "service",
+               metrics: bool = True,
+               metrics_port: Optional[int] = None) -> Dict[str, Any]:
+    """Resume a killed service from its checkpoint and run to drain.
+
+    With ``metrics`` (the default) the checkpoint's registry state is
+    restored into a fresh registry, so the reported series continue
+    from their pre-kill values.
+    """
+    registry = MetricsRegistry() if metrics else None
+    service = AdmissionService.resume(checkpoint_path,
+                                      registry=registry)
     began = time.perf_counter()  # repro: noqa DET001 -- advisory runtime metric
-    asyncio.run(service.serve())
+    if metrics_port is not None:
+        asyncio.run(_serve_with_endpoint(service, metrics_port))
+    else:
+        asyncio.run(service.serve())
     service.close()
     elapsed = time.perf_counter() - began  # repro: noqa DET001 -- advisory runtime metric
     return finish_run(service, elapsed, bench_path=bench_path,
@@ -156,6 +205,9 @@ def finish_run(service: AdmissionService, elapsed_s: float,
         "policy": service.config.policy,
         "metrics": row,
     }
+    if service.metrics.enabled:
+        summary["registry_counters"] = \
+            service.metrics.snapshot()["counters"]
     if bench_path is not None:
         import numpy as np
 

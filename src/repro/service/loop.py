@@ -29,7 +29,7 @@ import asyncio
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional
+from typing import Deque, Dict, Optional
 
 from ..baselines import GreedyOnline, RandomOnline
 from ..config import SimulationConfig
@@ -42,6 +42,8 @@ from ..rng import RngForks
 from ..sim.events import Event, EventKind
 from ..sim.online_engine import OnlineEngine, SlotOutcome
 from ..telemetry.audit import Journal, use_journal
+from ..telemetry.metrics import (MetricsRegistry, StreamingHistogram,
+                                 get_metrics, use_metrics)
 from .checkpoint import (JournalCursor, ServiceCheckpoint,
                          read_checkpoint, truncate_journal,
                          write_checkpoint)
@@ -86,8 +88,18 @@ class ServiceConfig:
         realtime: sleep one slot length between slots in
             :meth:`AdmissionService.serve` (default is virtual time:
             run as fast as the machine allows).
-        latency_window: ring-buffer size for per-slot latency samples
-            (bounded so memory stays flat).
+        metrics_window_slots: sliding-window length (in slots) of the
+            service's streaming latency histogram and of lazily
+            created registry histograms.
+        metrics_snapshot_every: append a METRICS_SNAPSHOT event to the
+            ops stream after every this many slots (None = never).
+            Ops-side only - the decision journal stays byte-identical
+            with or without snapshots.
+        ops_journal_path: optional JSONL file for the operational side
+            stream (CHECKPOINT / RESUME / METRICS_SNAPSHOT markers).
+            Unlike the decision journal it is never truncated on
+            resume: it is the service's flight recorder, not part of
+            the determinism contract.
     """
 
     sim: SimulationConfig = field(default_factory=SimulationConfig)
@@ -101,7 +113,9 @@ class ServiceConfig:
     checkpoint_path: Optional[str] = None
     checkpoint_every: Optional[int] = None
     realtime: bool = False
-    latency_window: int = 65_536
+    metrics_window_slots: int = 256
+    metrics_snapshot_every: Optional[int] = None
+    ops_journal_path: Optional[str] = None
 
     def validate(self) -> "ServiceConfig":
         """Raise :class:`ConfigurationError` on inconsistent values."""
@@ -134,22 +148,35 @@ class ServiceConfig:
             if self.checkpoint_path is None:
                 raise ConfigurationError(
                     "checkpoint_every needs a checkpoint_path")
-        if self.latency_window < 1:
+        if self.metrics_window_slots < 1:
             raise ConfigurationError(
-                f"latency_window must be >= 1, got {self.latency_window}")
+                f"metrics_window_slots must be >= 1, got "
+                f"{self.metrics_window_slots}")
+        if (self.metrics_snapshot_every is not None
+                and self.metrics_snapshot_every < 1):
+            raise ConfigurationError(
+                f"metrics_snapshot_every must be >= 1, got "
+                f"{self.metrics_snapshot_every}")
         return self
 
 
 @dataclass(frozen=True)
 class SlotReport:
     """What one service slot did (the :meth:`AdmissionService.tick`
-    result): the engine's outcome plus the ingress decisions the
-    service itself made around it."""
+    result): the engine's outcome, the ingress decisions the service
+    made around it, and the run's cumulative tallies so far - so
+    callers watching the loop never re-derive totals from the journal.
+    """
 
     outcome: SlotOutcome
     num_shed: int
     num_deferred: int
     checkpointed: bool
+    #: Cumulative counts including this slot.
+    admitted_total: int = 0
+    deferred_total: int = 0
+    shed_total: int = 0
+    dropped_total: int = 0
 
 
 def _make_policy(config: ServiceConfig, forks: RngForks):
@@ -167,15 +194,23 @@ class AdmissionService:
 
     Args:
         config: the run's definition (validated here).
+        registry: the metrics registry instrumentation writes to
+            (default: the ambient registry from
+            :func:`~repro.telemetry.metrics.get_metrics`, normally the
+            no-op null registry).  :meth:`tick` installs it as current
+            for the slot, so engine/policy/solver instrumentation all
+            land in the same registry.
 
     Use :meth:`resume` to rebuild a service from a checkpoint instead
     of constructing one directly.
     """
 
     def __init__(self, config: ServiceConfig,
+                 registry: Optional[MetricsRegistry] = None,
                  _checkpoint: Optional[ServiceCheckpoint] = None) -> None:
         config.validate()
         self.config = config
+        self._metrics = registry if registry is not None else get_metrics()
         forks = RngForks(config.sim.seed)
         self._instance = ProblemInstance.build(config.sim,
                                                seed=config.sim.seed)
@@ -193,14 +228,19 @@ class AdmissionService:
             streaming=True)
         self._policy = _make_policy(config, forks)
         self._journal: Optional[Journal] = None
+        self._ops_journal: Optional[Journal] = None
         self.counters: Dict[str, float] = {key: 0.0
                                            for key in COUNTER_KEYS}
-        #: Per-slot wall-clock latencies (seconds), bounded window.
-        self.slot_latencies: Deque[float] = deque(
-            maxlen=config.latency_window)
-        #: Operational side stream (CHECKPOINT/RESUME markers); never
-        #: part of the decision journal.
-        self.ops_events: List[Event] = []
+        #: Per-slot wall-clock latencies (seconds): bounded log-scale
+        #: histogram with a slot-keyed sliding window, so p50/p95/p99
+        #: stay available at flat memory over unbounded runs.
+        self.slot_latency = StreamingHistogram(
+            window_slots=config.metrics_window_slots)
+        #: Operational side stream (CHECKPOINT/RESUME/METRICS_SNAPSHOT
+        #: markers); never part of the decision journal.  Bounded: the
+        #: full stream goes to ``config.ops_journal_path`` when set.
+        self.ops_events: Deque[Event] = deque(maxlen=4096)
+        self.last_checkpoint_slot: Optional[int] = None
         self.done = False
         self._started = False
         if _checkpoint is not None:
@@ -210,16 +250,22 @@ class AdmissionService:
     # Lifecycle
     # ------------------------------------------------------------------
     @classmethod
-    def resume(cls, checkpoint_path: str) -> "AdmissionService":
+    def resume(cls, checkpoint_path: str,
+               registry: Optional[MetricsRegistry] = None,
+               ) -> "AdmissionService":
         """Rebuild a service from its checkpoint and continue.
 
         The decision journal file (when configured) is truncated back
         to the checkpoint's byte cursor and reopened in append mode, so
         the continued journal is byte-identical to an uninterrupted
-        run's.
+        run's.  When the checkpoint carries metrics state and
+        ``registry`` is a live one, the state is restored into it -
+        counters continue from their pre-kill values instead of
+        resetting.
         """
         checkpoint = read_checkpoint(checkpoint_path)
-        return cls(checkpoint.config, _checkpoint=checkpoint)
+        return cls(checkpoint.config, registry=registry,
+                   _checkpoint=checkpoint)
 
     def start(self) -> None:
         """Announce stations and initialize the policy (fresh run)."""
@@ -230,7 +276,11 @@ class AdmissionService:
             self._journal = Journal(
                 stream_path=self.config.journal_path,
                 flush_every=self.config.flush_every)
-        with use_journal(self._journal):
+        if self.config.ops_journal_path is not None:
+            self._ops_journal = Journal(
+                stream_path=self.config.ops_journal_path,
+                flush_every=self.config.flush_every)
+        with use_journal(self._journal), use_metrics(self._metrics):
             self._engine.announce_stations()
             self._policy.begin(self._engine)
 
@@ -245,16 +295,27 @@ class AdmissionService:
                 flush_every=self.config.flush_every,
                 append=True,
                 already_recorded=checkpoint.journal.events_recorded)
+        if self.config.ops_journal_path is not None:
+            # The ops stream is a flight recorder: append, never
+            # truncate - a RESUME marker explains the discontinuity.
+            self._ops_journal = Journal(
+                stream_path=self.config.ops_journal_path,
+                flush_every=self.config.flush_every,
+                append=True)
         # begin() binds the engine and builds fresh learning state;
         # restore_state() then overwrites it with the checkpointed one.
-        self._policy.begin(self._engine)
+        with use_metrics(self._metrics):
+            self._policy.begin(self._engine)
         if checkpoint.policy_state is not None:
             self._policy.restore_state(checkpoint.policy_state)
         self._engine.restore_state(checkpoint.engine_state)
         self._stream.restore_state(checkpoint.stream_state)
         self.counters.update(checkpoint.counters)
-        self.ops_events.append(Event(slot=checkpoint.slot,
-                                     kind=EventKind.RESUME))
+        self._metrics.restore_state(checkpoint.metrics_state)
+        self._metrics.inc("service_resumes_total")
+        self.last_checkpoint_slot = checkpoint.slot
+        self._ops_record(Event(slot=checkpoint.slot,
+                               kind=EventKind.RESUME))
 
     # ------------------------------------------------------------------
     # The slot loop
@@ -273,24 +334,30 @@ class AdmissionService:
                                      "construct a new one to run again")
         if not self._started:
             self.start()
+        metrics = self._metrics
         began = time.perf_counter()  # repro: noqa DET001 -- advisory runtime metric
         slot, batch = self._stream.next_batch()
         self._engine.clock.advance_to(slot)
-        with use_journal(self._journal) as journal:
+        metrics.advance_slot(slot)
+        with use_journal(self._journal) as journal, \
+                use_metrics(metrics):
             room = max(0, self.config.queue_limit
                        - self._engine.pending_count())
             accepted = list(batch[:room])
             shed = list(batch[room:])
-            if shed and journal.enabled:
-                depth = float(self._engine.pending_count()
-                              + len(accepted))
-                for request in shed:
-                    journal.record(Event(
-                        slot=slot, kind=EventKind.SHED,
-                        request_id=request.request_id, value=depth))
+            if shed:
+                metrics.inc("service_shed_total", len(shed))
+                if journal.enabled:
+                    depth = float(self._engine.pending_count()
+                                  + len(accepted))
+                    for request in shed:
+                        journal.record(Event(
+                            slot=slot, kind=EventKind.SHED,
+                            request_id=request.request_id, value=depth))
             outcome = self._engine.step(self._policy, slot, accepted)
             deferred = 0
             if accepted:
+                metrics.inc("service_admitted_total", len(accepted))
                 still_pending = set(self._engine.pending_ids())
                 for request in accepted:
                     if request.request_id in still_pending:
@@ -301,12 +368,26 @@ class AdmissionService:
                                 kind=EventKind.ADMIT_DEFERRED,
                                 request_id=request.request_id,
                                 value=float(outcome.pending_after)))
+            if deferred:
+                metrics.inc("service_deferred_total", deferred)
             # Account before checkpointing so the checkpoint's
             # counters include the slot it closes.
             self._account(outcome, len(shed), deferred)
+            if metrics.enabled:
+                metrics.inc("service_slots_total")
+                metrics.set_gauge("service_queue_depth",
+                                  float(outcome.pending_after))
+                metrics.set_gauge("service_active_requests",
+                                  float(outcome.active_after))
+                metrics.observe("service_batch_size",
+                                float(len(batch)), slot=slot)
             checkpointed = self._maybe_checkpoint(slot, journal)
-        self.slot_latencies.append(
-            time.perf_counter() - began)  # repro: noqa DET001 -- advisory runtime metric
+            self._maybe_snapshot_metrics(slot)
+        tick_seconds = time.perf_counter() - began  # repro: noqa DET001 -- advisory runtime metric
+        self.slot_latency.observe(tick_seconds, slot)
+        if metrics.enabled:
+            metrics.observe("service_slot_latency_seconds",
+                            tick_seconds, slot=slot)
         if self._stream.exhausted and outcome.pending_after == 0 \
                 and outcome.active_after == 0:
             self.done = True
@@ -314,7 +395,11 @@ class AdmissionService:
             self.done = True
         return SlotReport(outcome=outcome, num_shed=len(shed),
                           num_deferred=deferred,
-                          checkpointed=checkpointed)
+                          checkpointed=checkpointed,
+                          admitted_total=int(self.counters["accepted"]),
+                          deferred_total=int(self.counters["deferred"]),
+                          shed_total=int(self.counters["shed"]),
+                          dropped_total=int(self.counters["dropped"]))
 
     async def serve(self, max_slots: Optional[int] = None) -> int:
         """Drive :meth:`tick` as a coroutine until drained.
@@ -339,17 +424,19 @@ class AdmissionService:
         return processed
 
     def close(self) -> None:
-        """Settle leftovers and flush/close the journal (clean stop).
+        """Settle leftovers and flush/close the journals (clean stop).
 
         A *crash* is the absence of this call: buffered journal events
         past the last checkpoint are lost, which is exactly what the
         resume path's truncation reconciles.
         """
-        with use_journal(self._journal):
+        with use_journal(self._journal), use_metrics(self._metrics):
             if self._engine.pending_count() or self._engine.active_total():
                 self._engine.finalize()
         if self._journal is not None:
             self._journal.close()
+        if self._ops_journal is not None:
+            self._ops_journal.close()
 
     # ------------------------------------------------------------------
     # Internals
@@ -368,6 +455,10 @@ class AdmissionService:
         policy_state = None
         if hasattr(self._policy, "export_state"):
             policy_state = self._policy.export_state()
+        # Count the checkpoint *before* exporting the registry, so the
+        # checkpoint includes its own write and a resumed series
+        # continues exactly (no off-by-one against an uninterrupted run).
+        self._metrics.inc("service_checkpoints_total")
         checkpoint = ServiceCheckpoint(
             config=self.config,
             slot=slot,
@@ -376,11 +467,44 @@ class AdmissionService:
             stream_state=self._stream.export_state(),
             journal=cursor,
             counters=dict(self.counters),
+            metrics_state=self._metrics.export_state(),
         )
         write_checkpoint(self.config.checkpoint_path, checkpoint)
-        self.ops_events.append(Event(slot=slot,
-                                     kind=EventKind.CHECKPOINT))
+        self.last_checkpoint_slot = slot
+        self._ops_record(Event(slot=slot, kind=EventKind.CHECKPOINT))
         return True
+
+    def _maybe_snapshot_metrics(self, slot: int) -> None:
+        """Append a METRICS_SNAPSHOT marker to the ops stream.
+
+        The payload is the registry's counters and gauges as canonical
+        sorted tuples - enough for offline replay of the live series
+        without re-running the service.  Ops-side only by construction:
+        the decision journal's byte stream is untouched.
+        """
+        every = self.config.metrics_snapshot_every
+        if every is None or (slot + 1) % every != 0:
+            return
+        self._metrics.inc("service_metrics_snapshots_total")
+        snapshot = self._metrics.snapshot()
+        detail = tuple(
+            [("slot", snapshot["slot"])]
+            + [("counter", series, value)
+               for series, value in sorted(snapshot["counters"].items())]
+            + [("gauge", series, value)
+               for series, value in sorted(snapshot["gauges"].items())]
+            + [("hist", series, stats["count"], stats["sum"],
+                stats["p50"], stats["p95"], stats["p99"])
+               for series, stats in sorted(snapshot["histograms"].items())]
+        )
+        self._ops_record(Event(slot=slot,
+                               kind=EventKind.METRICS_SNAPSHOT,
+                               detail=detail))
+
+    def _ops_record(self, event: Event) -> None:
+        self.ops_events.append(event)
+        if self._ops_journal is not None:
+            self._ops_journal.record(event)
 
     def _account(self, outcome: SlotOutcome, num_shed: int,
                  num_deferred: int) -> None:
@@ -406,7 +530,36 @@ class AdmissionService:
         """The streaming decision journal (None when unjournaled)."""
         return self._journal
 
+    @property
+    def metrics(self):
+        """The registry instrumentation writes to (possibly null)."""
+        return self._metrics
+
+    def status(self) -> Dict[str, object]:
+        """A JSON-able live-state summary (the `/metrics?format=json`
+        and ops-console payload)."""
+        return {
+            "policy": self.config.policy,
+            "slot": self._engine.clock.current_slot,
+            "done": self.done,
+            "pending": self._engine.pending_count(),
+            "active": self._engine.active_total(),
+            "queue_limit": self.config.queue_limit,
+            "last_checkpoint_slot": self.last_checkpoint_slot,
+            "checkpoint_every": self.config.checkpoint_every,
+            "counters": {key: self.counters[key]
+                         for key in COUNTER_KEYS},
+            "slot_latency": self.slot_latency.snapshot(),
+        }
+
     def __repr__(self) -> str:
+        pending = self._engine.pending_count()
+        checkpoint = ("never" if self.last_checkpoint_slot is None
+                      else f"@{self.last_checkpoint_slot}")
         return (f"AdmissionService(policy={self.config.policy!r}, "
-                f"slots={int(self.counters['slots'])}, "
+                f"slot={self._engine.clock.current_slot}, "
+                f"pending={pending}/{self.config.queue_limit}, "
+                f"active={self._engine.active_total()}, "
+                f"shed={int(self.counters['shed'])}, "
+                f"checkpoint={checkpoint}, "
                 f"done={self.done})")

@@ -67,6 +67,10 @@ class EventKind(enum.Enum):
     #: the *operational* stream only (never the decision journal -
     #: resuming must not perturb journal byte-identity).
     RESUME = "resume"
+    #: Periodic dump of the live metrics registry (counters/gauges/
+    #: histogram summaries as canonical tuples in ``detail``).  Like
+    #: RESUME, strictly operational: never the decision journal.
+    METRICS_SNAPSHOT = "metrics_snapshot"
 
 
 #: ``request_id`` of events that concern no particular request

@@ -40,6 +40,7 @@ from ..requests.request import ARRequest
 from ..rng import RngLike, ensure_rng
 from ..telemetry import get_tracer
 from ..telemetry.audit import get_journal
+from ..telemetry.metrics import get_metrics
 from .clock import SlotClock
 from .events import Event, EventKind
 
@@ -284,6 +285,9 @@ class OnlineEngine:
     def announce_stations(self) -> None:
         """Journal the initial STATION_UP capacity announcements."""
         journal = get_journal()
+        get_metrics().inc("station_transitions_total",
+                          len(self.instance.network.station_ids),
+                          direction="up")
         if journal.enabled:
             for sid in self.instance.network.station_ids:
                 journal.record(Event(
@@ -325,6 +329,19 @@ class OnlineEngine:
             policy.observe(t, slot_reward)
         if started:
             tracer.count("requests_started", len(started))
+        metrics = get_metrics()
+        if metrics.enabled:
+            if arrivals:
+                metrics.inc("engine_arrivals_total", len(arrivals))
+            if dropped:
+                metrics.inc("engine_drops_total", dropped)
+            if started:
+                metrics.inc("engine_starts_total", len(started))
+            if completed:
+                metrics.inc("engine_completions_total", completed)
+            metrics.inc("engine_reward_total", slot_reward)
+            metrics.set_gauge("engine_pending", float(len(self._pending)))
+            metrics.set_gauge("engine_active", float(len(self._active)))
         return SlotOutcome(
             slot=t,
             num_arrivals=len(arrivals),
@@ -347,10 +364,14 @@ class OnlineEngine:
             if window is None:
                 continue
             if t == window[0]:
+                get_metrics().inc("station_transitions_total",
+                                  direction="down")
                 journal.record(Event(slot=t,
                                      kind=EventKind.STATION_DOWN,
                                      station_id=sid))
             elif t == window[1] + 1:
+                get_metrics().inc("station_transitions_total",
+                                  direction="up")
                 journal.record(Event(
                     slot=t, kind=EventKind.STATION_UP, station_id=sid,
                     value=self.instance.network.station(sid).capacity_mhz))
@@ -450,6 +471,7 @@ class OnlineEngine:
         latency and earns no reward.
         """
         get_tracer().count("cloud_served")
+        get_metrics().inc("engine_cloud_served_total")
         request.realize(self._rng)
         waiting = self.clock.waiting_ms(request.arrival_slot, t)
         latency = waiting + CLOUD_LATENCY_MS

@@ -30,6 +30,7 @@ _GLYPHS = {
     EventKind.SHED: "!",
     EventKind.CHECKPOINT: "k",
     EventKind.RESUME: "R",
+    EventKind.METRICS_SNAPSHOT: "M",
 }
 
 

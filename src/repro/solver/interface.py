@@ -44,6 +44,7 @@ from typing import Dict, List, Mapping, Optional
 
 from ..exceptions import SolverError
 from ..telemetry import get_tracer
+from ..telemetry.metrics import get_metrics
 from .branch_and_bound import solve_with_branch_and_bound
 from .model import LinearProgram
 from .scipy_backend import solve_ilp_scipy, solve_lp_scipy
@@ -174,6 +175,7 @@ def solve_lp(lp: LinearProgram,
                 warm_start.hits += 1
                 warm_start.last_mode = mode = "hit"
                 span.annotate(warm=mode)
+                get_metrics().inc("lp_solves_total", mode=mode)
                 elapsed = time.perf_counter() - start  # repro: noqa DET001 -- advisory runtime metric
                 return replace(cached, solve_time_s=elapsed)
             mode = "miss"
@@ -188,6 +190,7 @@ def solve_lp(lp: LinearProgram,
             if warm_used:
                 mode = "basis"
         span.annotate(warm=mode)
+        get_metrics().inc("lp_solves_total", mode=mode)
     elapsed = time.perf_counter() - start  # repro: noqa DET001 -- advisory runtime metric
     solution = Solution(status=SolveStatus.OPTIMAL, objective=objective,
                         values=values, backend=backend,

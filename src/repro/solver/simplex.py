@@ -49,6 +49,7 @@ import numpy as np
 
 from ..exceptions import (InfeasibleProblemError, SolverError,
                           UnboundedProblemError)
+from ..telemetry.metrics import get_metrics
 from .model import LinearProgram
 
 _TOL = 1e-9
@@ -166,7 +167,7 @@ def _pivot(tableau: np.ndarray, basis: List[int], row: int,
 
 
 def _run_simplex(tableau: np.ndarray, basis: List[int],
-                 num_cols: int, max_iter: int) -> None:
+                 num_cols: int, max_iter: int) -> int:
     """Optimize the tableau in place (objective in the last row).
 
     Uses Bland's rule: entering variable is the lowest-index column
@@ -177,13 +178,16 @@ def _run_simplex(tableau: np.ndarray, basis: List[int],
     deterministic tie-breaks as the classical loops (lowest column
     index; then lowest basis index among exact minimum-ratio ties), so
     the pivot sequence is unchanged.
+
+    Returns:
+        Pivots performed before reaching optimality.
     """
     m = tableau.shape[0] - 1
     rhs_col = tableau.shape[1] - 1
-    for _ in range(max_iter):
+    for pivots in range(max_iter):
         negative = np.flatnonzero(tableau[-1, :num_cols] < -_TOL)
         if negative.size == 0:
-            return
+            return pivots
         enter = int(negative[0])
         coefs = tableau[:m, enter]
         eligible = coefs > _TOL
@@ -309,7 +313,10 @@ def solve_with_simplex_state(lp: LinearProgram,
             for i, bj in enumerate(basis):
                 if abs(tableau2[-1, bj]) > _TOL:
                     tableau2[-1, :] -= tableau2[-1, bj] * tableau2[i, :]
-            _run_simplex(tableau2, basis, num_cols=n, max_iter=max_iter)
+            pivots = _run_simplex(tableau2, basis, num_cols=n,
+                                  max_iter=max_iter)
+            get_metrics().inc("simplex_iterations_total", pivots,
+                              phase="warm")
             objective, values = _recover_solution(lp, form, tableau2,
                                                   basis)
             return objective, values, list(basis), True
@@ -323,7 +330,8 @@ def solve_with_simplex_state(lp: LinearProgram,
     # Phase-1 objective: minimize the artificial sum.
     tableau[-1, :n] = -a.sum(axis=0)
     tableau[-1, -1] = -b.sum()
-    _run_simplex(tableau, basis, num_cols=n + m, max_iter=max_iter)
+    pivots = _run_simplex(tableau, basis, num_cols=n + m,
+                          max_iter=max_iter)
     if tableau[-1, -1] < -1e-7:
         raise InfeasibleProblemError(
             f"{lp.name}: phase-1 optimum {-tableau[-1, -1]:.3e} > 0")
@@ -361,7 +369,9 @@ def solve_with_simplex_state(lp: LinearProgram,
     for i, bj in enumerate(basis):
         if bj < n and abs(tableau2[-1, bj]) > _TOL:
             tableau2[-1, :] -= tableau2[-1, bj] * tableau2[i, :]
-    _run_simplex(tableau2, basis, num_cols=n, max_iter=max_iter)
+    pivots += _run_simplex(tableau2, basis, num_cols=n,
+                           max_iter=max_iter)
+    get_metrics().inc("simplex_iterations_total", pivots, phase="cold")
 
     objective, values = _recover_solution(lp, form, tableau2, basis)
     return objective, values, list(basis), False

@@ -50,6 +50,9 @@ from .ledger import (MANIFEST_SCHEMA, WALL_CLOCK_METRICS, RunManifest,
                      latest_by_name, load_manifests,
                      manifest_from_sweeps, peak_rss_kb, read_ledger,
                      write_bench)
+from .metrics import (EVENT_METRIC_MAP, NULL_REGISTRY, MetricsRegistry,
+                      NullRegistry, StreamingHistogram, get_metrics,
+                      set_metrics, use_metrics)
 from .progress import ProgressReporter
 from .regression import (DEFAULT_METRIC_TOL, DEFAULT_WALL_TOL, Delta,
                          DiffReport, diff_ledgers, diff_manifests)
@@ -64,14 +67,19 @@ __all__ = [
     "DEFAULT_WALL_TOL",
     "Delta",
     "DiffReport",
+    "EVENT_METRIC_MAP",
     "INVARIANTS",
     "InvariantMonitor",
     "Journal",
     "MANIFEST_SCHEMA",
+    "MetricsRegistry",
     "NULL_JOURNAL",
+    "NULL_REGISTRY",
     "NULL_TRACER",
     "NullJournal",
+    "NullRegistry",
     "NullTracer",
+    "StreamingHistogram",
     "ProgressReporter",
     "RunManifest",
     "SpanStats",
@@ -87,6 +95,7 @@ __all__ = [
     "collect_sweep_trace",
     "config_hash",
     "get_journal",
+    "get_metrics",
     "diff_ledgers",
     "diff_manifests",
     "get_tracer",
@@ -99,9 +108,11 @@ __all__ = [
     "read_ledger",
     "render_summary",
     "set_journal",
+    "set_metrics",
     "set_tracer",
     "summarize_events",
     "use_journal",
+    "use_metrics",
     "use_tracer",
     "write_bench",
     "write_jsonl",

@@ -285,7 +285,8 @@ _RESOURCE_SLOT_KINDS = ("admit", "reject_rounding", "migrate")
 #: Kinds emitted by the streaming admission service
 #: (:mod:`repro.service`): ingress/backpressure decisions and
 #: checkpoint lifecycle markers.
-_SERVICE_KINDS = ("admit_deferred", "shed", "checkpoint", "resume")
+_SERVICE_KINDS = ("admit_deferred", "shed", "checkpoint", "resume",
+                  "metrics_snapshot")
 
 
 @dataclass(frozen=True)

@@ -41,7 +41,8 @@ MANIFEST_SCHEMA = "repro.run-manifest/1"
 #: advisory-only by :mod:`repro.telemetry.regression`.  The service
 #: loadgen's throughput/latency metrics are wall-clock by nature; its
 #: deterministic counts (arrivals, sheds, rewards) gate normally.
-WALL_CLOCK_METRICS = ("runtime_s", "requests_per_s", "p95_slot_ms")
+WALL_CLOCK_METRICS = ("runtime_s", "requests_per_s", "p50_slot_ms",
+                      "p95_slot_ms", "p99_slot_ms")
 
 
 @dataclass(frozen=True)

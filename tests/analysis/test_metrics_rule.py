@@ -1,0 +1,127 @@
+"""MET001 coverage + mutation tests against the *real* tree.
+
+Mirrors the EVT001 test strategy: copy the source-of-truth modules
+(``events.py``, ``audit.py``, ``metrics.py``) plus one instrumentation
+site into a fixture tree, then verify that un-wiring a metric - either
+dropping a kind from EVENT_METRIC_MAP or deleting the instrumentation
+site that increments the mapped name - fails the pass.
+"""
+
+from pathlib import Path
+
+import repro.core.dynamic_rr
+import repro.core.heu
+import repro.core.rounding
+import repro.service.loop
+import repro.sim.events
+import repro.sim.online_engine
+import repro.telemetry.audit
+import repro.telemetry.metrics
+from repro.analysis import run_analysis
+
+_REAL = {
+    "repro/sim/events.py": Path(repro.sim.events.__file__),
+    "repro/telemetry/audit.py": Path(repro.telemetry.audit.__file__),
+    "repro/telemetry/metrics.py": Path(repro.telemetry.metrics.__file__),
+    # Every module holding an instrumentation site for a mapped metric
+    # must ride along, or its metrics read as dead in the fixture tree.
+    "repro/service/loop.py": Path(repro.service.loop.__file__),
+    "repro/sim/online_engine.py": Path(
+        repro.sim.online_engine.__file__),
+    "repro/core/dynamic_rr.py": Path(repro.core.dynamic_rr.__file__),
+    "repro/core/rounding.py": Path(repro.core.rounding.__file__),
+    "repro/core/heu.py": Path(repro.core.heu.__file__),
+}
+
+
+def copy_tree(tmp_path, mutate=None, skip=()):
+    for relpath, source in _REAL.items():
+        if relpath in skip:
+            continue
+        text = source.read_text(encoding="utf-8")
+        if mutate is not None:
+            text = mutate(relpath, text)
+        target = tmp_path / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(text, encoding="utf-8")
+    return tmp_path
+
+
+def met_findings(root):
+    return run_analysis([root], select=["MET001"]).findings
+
+
+class TestMet001:
+    def test_removing_map_entry_fails_the_pass(self, tmp_path):
+        def drop_shed(relpath, text):
+            if relpath.endswith("metrics.py"):
+                mutated = text.replace(
+                    '    "shed": ("service_shed_total",),\n', "")
+                assert mutated != text, "map entry not found"
+                return mutated
+            return text
+
+        root = copy_tree(tmp_path, mutate=drop_shed)
+        findings = met_findings(root)
+        assert len(findings) == 1
+        assert findings[0].rule == "MET001"
+        assert "'shed'" in findings[0].message
+        assert "maps to no metric" in findings[0].message
+        assert findings[0].path.endswith("metrics.py")
+
+    def test_removing_instrumentation_site_fails_the_pass(self,
+                                                          tmp_path):
+        def unmeter_shed(relpath, text):
+            if relpath.endswith("loop.py"):
+                mutated = text.replace('"service_shed_total"',
+                                       '"service_shed_disabled"')
+                assert mutated != text, "instrumentation not found"
+                return mutated
+            return text
+
+        root = copy_tree(tmp_path, mutate=unmeter_shed)
+        findings = met_findings(root)
+        assert len(findings) == 1
+        assert "'service_shed_total'" in findings[0].message
+        assert "no instrumentation site" in findings[0].message
+
+    def test_missing_map_table_is_one_finding(self, tmp_path):
+        def rename_table(relpath, text):
+            if relpath.endswith("metrics.py"):
+                return text.replace("EVENT_METRIC_MAP",
+                                    "EVENT_METRIC_TABLE")
+            return text
+
+        root = copy_tree(tmp_path, mutate=rename_table)
+        findings = met_findings(root)
+        assert len(findings) == 1
+        assert "EVENT_METRIC_MAP" in findings[0].message
+
+    def test_incomplete_fixture_tree_is_silent(self, tmp_path):
+        sources_of_truth = ("repro/sim/events.py",
+                            "repro/telemetry/audit.py",
+                            "repro/telemetry/metrics.py")
+        for missing in sources_of_truth:
+            root = copy_tree(tmp_path / missing.replace("/", "_"),
+                             skip=(missing,))
+            assert met_findings(root) == []
+
+    def test_map_entries_do_not_cover_themselves(self, tmp_path):
+        """A name that appears only inside EVENT_METRIC_MAP (no real
+        instrumentation site) must still be flagged."""
+
+        def only_in_map(relpath, text):
+            if relpath.endswith("loop.py"):
+                return text.replace('"service_deferred_total"',
+                                    '"service_deferred_disabled"')
+            return text
+
+        root = copy_tree(tmp_path, mutate=only_in_map)
+        findings = met_findings(root)
+        assert any("'service_deferred_total'" in f.message
+                   for f in findings)
+
+    def test_shipped_source_tree_passes(self):
+        src_root = _REAL["repro/sim/events.py"].parents[2]
+        assert src_root.name == "src"
+        assert met_findings(src_root) == []

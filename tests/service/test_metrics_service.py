@@ -1,0 +1,198 @@
+"""Service-side metrics wiring: registry instrumentation through
+tick(), cumulative SlotReport tallies, live status/__repr__, and the
+METRICS_SNAPSHOT ops stream.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.service import AdmissionService
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def run_to_drain(service):
+    reports = []
+    while not service.done:
+        reports.append(service.tick())
+    service.close()
+    return reports
+
+
+class TestRegistryWiring:
+    def test_service_counters_mirror_the_registry(
+            self, make_service_config):
+        registry = MetricsRegistry()
+        service = AdmissionService(
+            make_service_config(queue_limit=4,
+                                mean_arrivals_per_slot=8.0),
+            registry=registry)
+        run_to_drain(service)
+        counters = service.counters
+        assert registry.counter("service_shed_total") == \
+            counters["shed"]
+        assert registry.counter("service_admitted_total") == \
+            counters["accepted"]
+        assert registry.counter("service_deferred_total") == \
+            counters["deferred"]
+        assert registry.counter("service_slots_total") == \
+            counters["slots"]
+        assert registry.counter("engine_completions_total") == \
+            counters["completed"]
+        assert registry.counter("engine_arrivals_total") == \
+            counters["accepted"]
+
+    def test_registry_tracks_slot_and_latency_histogram(
+            self, make_service_config):
+        registry = MetricsRegistry()
+        service = AdmissionService(make_service_config(max_arrivals=30),
+                                   registry=registry)
+        run_to_drain(service)
+        assert registry.slot == service.engine.clock.current_slot
+        latency = registry.histogram("service_slot_latency_seconds")
+        assert latency is not None
+        assert latency.count == service.counters["slots"]
+        # Deterministic companion histogram for continuity tests.
+        batch = registry.histogram("service_batch_size")
+        assert batch is not None and batch.count == latency.count
+
+    def test_dynamicrr_policy_populates_bandit_series(
+            self, make_service_config):
+        registry = MetricsRegistry()
+        service = AdmissionService(
+            make_service_config(policy="dynamicrr", max_arrivals=60),
+            registry=registry)
+        run_to_drain(service)
+        assert registry.counter("bandit_rounds_total") > 0
+        assert registry.gauge("bandit_surviving_arms") is not None
+        assert registry.gauge("bandit_threshold_mhz") is not None
+
+    def test_default_registry_is_the_ambient_null(
+            self, make_service_config):
+        service = AdmissionService(make_service_config(max_arrivals=10))
+        run_to_drain(service)
+        assert service.metrics.enabled is False
+        assert service.metrics.snapshot()["counters"] == {}
+
+
+class TestSlotReportCumulative:
+    def test_totals_accumulate_monotonically(self, make_service_config):
+        service = AdmissionService(make_service_config(
+            queue_limit=4, mean_arrivals_per_slot=8.0))
+        reports = run_to_drain(service)
+        previous = None
+        for report in reports:
+            for field in ("admitted_total", "deferred_total",
+                          "shed_total", "dropped_total"):
+                value = getattr(report, field)
+                assert value >= 0
+                if previous is not None:
+                    assert value >= getattr(previous, field)
+            previous = report
+        final = reports[-1]
+        assert final.admitted_total == service.counters["accepted"]
+        assert final.shed_total == service.counters["shed"]
+        assert final.deferred_total == service.counters["deferred"]
+        assert final.dropped_total == service.counters["dropped"]
+
+    def test_per_slot_deltas_sum_to_totals(self, make_service_config):
+        service = AdmissionService(make_service_config(
+            queue_limit=4, mean_arrivals_per_slot=8.0))
+        reports = run_to_drain(service)
+        assert sum(r.num_shed for r in reports) == \
+            reports[-1].shed_total
+        assert sum(r.num_deferred for r in reports) == \
+            reports[-1].deferred_total
+
+
+class TestLiveIntrospection:
+    def test_status_is_jsonable_and_complete(self, make_service_config):
+        service = AdmissionService(make_service_config(max_arrivals=20))
+        service.tick()
+        status = json.loads(json.dumps(service.status()))
+        assert status["policy"] == "greedy"
+        assert status["queue_limit"] == 64
+        assert status["done"] is False
+        assert set(status["counters"]) == {
+            "arrivals", "accepted", "shed", "deferred", "started",
+            "completed", "dropped", "reward", "slots"}
+        assert status["slot_latency"]["count"] == 1
+        run_to_drain(service)
+        assert service.status()["done"] is True
+
+    def test_repr_shows_live_state(self, make_service_config, tmp_path):
+        service = AdmissionService(make_service_config(
+            max_arrivals=20,
+            checkpoint_path=str(tmp_path / "r.ckpt"),
+            checkpoint_every=2))
+        text = repr(service)
+        assert "policy='greedy'" in text
+        assert "checkpoint=never" in text
+        assert "done=False" in text
+        run_to_drain(service)
+        text = repr(service)
+        assert "pending=0/64" in text
+        assert "checkpoint=@" in text
+        assert "done=True" in text
+
+
+class TestMetricsSnapshotStream:
+    def test_snapshot_cadence_and_payload(self, make_service_config,
+                                          tmp_path):
+        registry = MetricsRegistry()
+        ops_path = str(tmp_path / "ops.jsonl")
+        service = AdmissionService(
+            make_service_config(max_arrivals=40,
+                               metrics_snapshot_every=5,
+                               ops_journal_path=ops_path),
+            registry=registry)
+        run_to_drain(service)
+        slots = int(service.counters["slots"])
+        snapshots = [e for e in service.ops_events
+                     if e.kind.value == "metrics_snapshot"]
+        assert len(snapshots) == slots // 5
+        assert registry.counter("service_metrics_snapshots_total") == \
+            len(snapshots)
+        detail = dict()
+        for entry in snapshots[-1].detail:
+            if entry[0] == "counter":
+                detail[entry[1]] = entry[2]
+        # The snapshot includes its own counter (incremented first).
+        assert detail["service_metrics_snapshots_total"] == \
+            len(snapshots)
+        assert "service_slots_total" in detail
+
+    def test_ops_journal_persists_the_stream(self, make_service_config,
+                                             tmp_path):
+        ops_path = str(tmp_path / "ops.jsonl")
+        service = AdmissionService(
+            make_service_config(max_arrivals=40,
+                               metrics_snapshot_every=5,
+                               ops_journal_path=ops_path),
+            registry=MetricsRegistry())
+        run_to_drain(service)
+        with open(ops_path) as handle:
+            kinds = [json.loads(line)["kind"] for line in handle]
+        assert kinds.count("metrics_snapshot") == len(
+            [e for e in service.ops_events
+             if e.kind.value == "metrics_snapshot"])
+
+    def test_decision_journal_untouched_by_snapshots(
+            self, make_service_config, tmp_path):
+        """METRICS_SNAPSHOT is ops-side only: the decision journal
+        stays byte-identical with snapshots on."""
+        plain_config = make_service_config(
+            max_arrivals=40, journal_path=str(tmp_path / "plain.jsonl"))
+        snapped_config = make_service_config(
+            max_arrivals=40, journal_path=str(tmp_path / "snap.jsonl"),
+            metrics_snapshot_every=3,
+            ops_journal_path=str(tmp_path / "ops.jsonl"))
+        run_to_drain(AdmissionService(plain_config))
+        run_to_drain(AdmissionService(snapped_config,
+                                      registry=MetricsRegistry()))
+        plain = open(plain_config.journal_path, "rb").read()
+        snapped = open(snapped_config.journal_path, "rb").read()
+        assert plain == snapped
+        with open(snapped_config.journal_path) as handle:
+            kinds = {json.loads(line)["kind"] for line in handle}
+        assert "metrics_snapshot" not in kinds
