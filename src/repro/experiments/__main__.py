@@ -40,6 +40,23 @@ bench-diff)::
     python -m repro.experiments --figures 3 --workers 2 --journal par.jsonl
     python -m repro.experiments trace-diff serial.jsonl par.jsonl
 
+Performance attribution: ``--profile`` records a
+:class:`~repro.telemetry.ProfileDigest` per run (span-tree self/cum
+time, call counts, domain counters joined onto their owning spans)
+plus cProfile stats, merged per algorithm and embedded into any
+``--ledger`` / ``--bench-out`` manifest; ``--profile-json PATH``
+exports the digests as ``PROF_<name>.json``, ``--profile-out PATH``
+writes a collapsed-stack flamegraph (speedscope / flamegraph.pl), and
+``--profile-mem`` captures top allocation sites.  The ``perf-diff``
+subcommand compares two digest-bearing artifacts and localizes the
+worst regressed span (exit 0/1/2 like bench-diff)::
+
+    python -m repro.experiments --figures 3 --profile --bench-out BENCH_new.json
+    python -m repro.experiments perf-diff benchmarks/PROF_baseline.json BENCH_new.json
+
+Profiling is observation-only: records, journals, and manifest metrics
+are byte-identical with it on or off (see ``docs/PROFILING.md``).
+
 The streaming admission service (``python -m repro.service loadgen`` /
 ``resume``) emits the same journal format and ``BENCH_service.json``
 manifests, so ``trace-diff`` doubles as its resume byte-identity gate
@@ -55,9 +72,13 @@ import time
 from typing import Dict, List, Optional
 
 from ..telemetry import (ProgressReporter, audit_records,
-                         collect_sweep_journal, collect_sweep_trace,
-                         manifest_from_sweeps, render_summary,
-                         write_jsonl)
+                         collect_sweep_journal, collect_sweep_profiles,
+                         collect_sweep_trace, folded_from_stats,
+                         manifest_from_sweeps, merge_memory,
+                         merge_stats, render_digest,
+                         render_memory_top, render_summary,
+                         write_folded, write_jsonl,
+                         write_profile_set)
 from ..telemetry.ledger import append_ledger, write_bench
 from .executor import resolve_workers, workers_type
 from .export import export_figure
@@ -112,6 +133,26 @@ def build_parser() -> argparse.ArgumentParser:
                         help="replay every journaled run through the "
                              "invariant monitor and print the audit "
                              "(implies journaling)")
+    parser.add_argument("--profile", action="store_true",
+                        help="record a performance-attribution digest "
+                             "(span tree + domain counters) and "
+                             "cProfile stats per run; digests print "
+                             "per algorithm and embed into any "
+                             "--ledger/--bench-out manifest (records "
+                             "are unchanged)")
+    parser.add_argument("--profile-out", default=None, metavar="PATH",
+                        help="write a collapsed-stack flamegraph "
+                             "(.folded, speedscope/flamegraph.pl "
+                             "loadable) of the merged cProfile stats "
+                             "(implies --profile)")
+    parser.add_argument("--profile-json", default=None, metavar="PATH",
+                        help="export the merged per-algorithm digests "
+                             "as PROF_<name>.json (perf-diff input; "
+                             "implies --profile)")
+    parser.add_argument("--profile-mem", action="store_true",
+                        help="additionally capture tracemalloc top "
+                             "allocation sites per run and print the "
+                             "merged table")
     parser.add_argument("--progress", action="store_true",
                         help="live stderr heartbeat while sweeps run "
                              "(completed/total specs, throughput, ETA; "
@@ -136,11 +177,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     if argv and argv[0] == "trace-diff":
         from ..telemetry.tracediff import main as trace_diff_main
         return trace_diff_main(argv[1:])
+    if argv and argv[0] == "perf-diff":
+        from ..telemetry.perfdiff import main as perf_diff_main
+        return perf_diff_main(argv[1:])
     args = build_parser().parse_args(argv)
     wanted = list(_FIGURES) if "all" in args.figures else args.figures
     scale = paper_scale() if args.scale == "paper" else bench_scale()
     tracing = bool(args.trace or args.trace_summary)
     journaling = bool(args.journal or args.audit)
+    profiling = bool(args.profile or args.profile_out
+                     or args.profile_json)
     trace_events: List[Dict] = []
     journal_events: List[Dict] = []
     audited_sweeps: List = []
@@ -153,6 +199,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         driver_kwargs = {"workers": args.workers, "trace": tracing}
         if journaling:
             driver_kwargs["journal"] = True
+        if profiling:
+            driver_kwargs["profile"] = True
+        if args.profile_mem:
+            driver_kwargs["profile_mem"] = True
         if reporter is not None:
             # Only passed when live: stubbed/third-party drivers
             # without the knob keep working unless it is asked for.
@@ -200,6 +250,36 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.bench_out:
             path = write_bench(args.bench_out, manifest)
             print(f"wrote manifest {name!r} to {path}")
+
+    if profiling:
+        digests = collect_sweep_profiles(sweeps)
+        print()
+        print("Profile digests")
+        for name in sorted(digests):
+            print(f"== {name} ==")
+            print(render_digest(digests[name], top=10))
+            print()
+        if args.profile_json:
+            path = write_profile_set(args.profile_json, digests)
+            print(f"wrote {len(digests)} digest(s) to {path}")
+        if args.profile_out:
+            stats = merge_stats(
+                record.profile_stats
+                for sweep in sweeps.values()
+                for record in sweep.records
+                if record.profile_stats)
+            path = write_folded(args.profile_out,
+                                folded_from_stats(stats))
+            print(f"wrote collapsed stacks to {path}")
+    if args.profile_mem:
+        rows = merge_memory(
+            record.profile_mem
+            for sweep in sweeps.values()
+            for record in sweep.records
+            if record.profile_mem)
+        print()
+        print("Top allocation sites")
+        print(render_memory_top(rows))
 
     if args.trace:
         path = write_jsonl(args.trace, trace_events)

@@ -25,9 +25,11 @@ executions of the same spec list therefore produce *identical*
 
 from __future__ import annotations
 
+import cProfile
 import dataclasses
 import inspect
 import os
+import tracemalloc
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from contextlib import ExitStack
 from dataclasses import dataclass
@@ -41,7 +43,9 @@ from ..sim.engine import run_offline
 from ..sim.online_engine import OnlineEngine
 from ..sim.results import RunRecord, SweepResult
 from ..telemetry import ProgressReporter, Tracer, use_tracer
+from ..telemetry import profiling
 from ..telemetry.audit import Journal, use_journal
+from ..telemetry.metrics import MetricsRegistry, use_metrics
 
 #: ``progress`` knob: off, on (executor builds a stderr reporter), or
 #: a caller-configured reporter.
@@ -80,6 +84,15 @@ class RunSpec:
             :class:`~repro.telemetry.audit.Journal` and attach the
             events to the record's ``journal`` field.  Purely
             additive: metrics are identical with journaling on or off.
+        profile: run under a fresh tracer + metrics registry +
+            ``cProfile`` and attach a
+            :class:`~repro.telemetry.profiling.ProfileDigest` (span
+            attribution + domain counters) and picklable cProfile
+            stats to the record.  Purely additive: metrics, traces,
+            and journals are byte-identical with profiling on or off.
+        profile_mem: additionally capture ``tracemalloc`` top
+            allocation sites onto the record.  Purely additive, like
+            ``profile``.
     """
 
     mode: str
@@ -92,6 +105,8 @@ class RunSpec:
     slot_length_ms: float = 50.0
     trace: bool = False
     journal: bool = False
+    profile: bool = False
+    profile_mem: bool = False
 
     def validate(self) -> "RunSpec":
         """Raise on inconsistent specs; return self for chaining."""
@@ -148,24 +163,68 @@ def execute_run(spec: RunSpec) -> RunRecord:
     ``spec.journal`` it likewise executes under a fresh decision
     :class:`~repro.telemetry.audit.Journal` and carries the audit
     events home.
+
+    With ``spec.profile`` the run additionally executes under a fresh
+    tracer (shared with ``trace``), a fresh
+    :class:`~repro.telemetry.metrics.MetricsRegistry` (so solver
+    counters like ``simplex_iterations_total{phase}`` attribute to the
+    run), and ``cProfile``; the record carries a
+    :class:`~repro.telemetry.profiling.ProfileDigest` plus picklable
+    cProfile stats.  ``spec.profile_mem`` captures ``tracemalloc`` top
+    allocation sites.  All of it is observation only: the metrics,
+    trace, and journal of a profiled run are byte-identical to an
+    unprofiled one.
     """
     spec.validate()
-    if not spec.trace and not spec.journal:
+    deep = spec.profile or spec.profile_mem
+    if not spec.trace and not spec.journal and not deep:
         return _execute_untraced(spec)
-    tracer = Tracer() if spec.trace else None
+    tracer = Tracer() if (spec.trace or spec.profile) else None
     journal = Journal() if spec.journal else None
+    registry = MetricsRegistry() if spec.profile else None
+    profiler = cProfile.Profile() if spec.profile else None
+    memory_rows: Optional[List[Dict[str, object]]] = None
     with ExitStack() as stack:
         if tracer is not None:
             stack.enter_context(use_tracer(tracer))
         if journal is not None:
             stack.enter_context(use_journal(journal))
-        record = _execute_untraced(spec)
-    if tracer is not None:
+        if registry is not None:
+            stack.enter_context(use_metrics(registry))
+        own_tracemalloc = spec.profile_mem \
+            and not tracemalloc.is_tracing()
+        if own_tracemalloc:
+            tracemalloc.start()
+        try:
+            if profiler is not None:
+                profiler.enable()
+            try:
+                record = _execute_untraced(spec)
+            finally:
+                if profiler is not None:
+                    profiler.disable()
+        finally:
+            if spec.profile_mem and tracemalloc.is_tracing():
+                memory_rows = profiling.capture_memory_top(
+                    tracemalloc.take_snapshot())
+            if own_tracemalloc:
+                tracemalloc.stop()
+    if spec.trace and tracer is not None:
         record = dataclasses.replace(record,
                                      trace=tuple(tracer.events()))
     if journal is not None:
         record = dataclasses.replace(record,
                                      journal=tuple(journal.events()))
+    if spec.profile and tracer is not None and registry is not None \
+            and profiler is not None:
+        digest = profiling.digest_from_events(
+            tracer.events(), registry.snapshot()["counters"])
+        record = dataclasses.replace(
+            record, profile=digest.to_dict(),
+            profile_stats=profiling.capture_stats(profiler))
+    if memory_rows is not None:
+        record = dataclasses.replace(
+            record, profile_mem=tuple(memory_rows))
     return record
 
 
@@ -347,6 +406,8 @@ def execute_specs(specs: Sequence[RunSpec],
                   chunksize: Optional[int] = None,
                   trace: bool = False,
                   journal: bool = False,
+                  profile: bool = False,
+                  profile_mem: bool = False,
                   progress: ProgressKnob = None) -> List[RunRecord]:
     """Execute a spec list and return records in canonical spec order.
 
@@ -361,6 +422,13 @@ def execute_specs(specs: Sequence[RunSpec],
             records its own audit journal, carried home on its record
             in canonical spec order (merge with
             :func:`~repro.telemetry.audit.collect_sweep_journal`).
+        profile: force profiling on for every spec; each run carries a
+            :class:`~repro.telemetry.profiling.ProfileDigest` +
+            cProfile stats home in canonical spec order (merge with
+            :func:`~repro.telemetry.profiling.collect_sweep_profiles`).
+            Observation only: records are byte-identical with
+            profiling on or off.
+        profile_mem: force allocation-site capture on for every spec.
         progress: live heartbeat - ``True`` for the default stderr
             reporter or a pre-configured
             :class:`~repro.telemetry.ProgressReporter`.  Observation
@@ -372,6 +440,12 @@ def execute_specs(specs: Sequence[RunSpec],
                  for spec in specs]
     if journal:
         specs = [dataclasses.replace(spec, journal=True)
+                 for spec in specs]
+    if profile:
+        specs = [dataclasses.replace(spec, profile=True)
+                 for spec in specs]
+    if profile_mem:
+        specs = [dataclasses.replace(spec, profile_mem=True)
                  for spec in specs]
     for spec in specs:
         spec.validate()
@@ -390,10 +464,14 @@ def execute_sweep(specs: Sequence[RunSpec], x_label: str,
                   chunksize: Optional[int] = None,
                   trace: bool = False,
                   journal: bool = False,
+                  profile: bool = False,
+                  profile_mem: bool = False,
                   progress: ProgressKnob = None) -> SweepResult:
     """Execute a spec list and bundle the records into a sweep."""
     sweep = SweepResult(x_label)
     sweep.extend(execute_specs(specs, workers=workers,
                                chunksize=chunksize, trace=trace,
-                               journal=journal, progress=progress))
+                               journal=journal, profile=profile,
+                               profile_mem=profile_mem,
+                               progress=progress))
     return sweep

@@ -16,6 +16,10 @@ with :func:`repro.telemetry.collect_sweep_trace`); metrics are
 identical with tracing on or off.  ``journal`` likewise records a
 decision audit journal per run (:mod:`repro.telemetry.audit`, merge
 with :func:`repro.telemetry.audit.collect_sweep_journal`) without
+changing any metric.  ``profile`` / ``profile_mem`` record a
+performance-attribution digest + cProfile stats (and allocation
+sites) per run (:mod:`repro.telemetry.profiling`, merge with
+:func:`repro.telemetry.collect_sweep_profiles`) - again without
 changing any metric.  ``progress`` (True or a
 :class:`~repro.telemetry.ProgressReporter`) adds a live stderr
 heartbeat while the sweep runs - observation only, records unchanged.
@@ -47,6 +51,8 @@ def figure3(scale: Optional[ExperimentScale] = None,
             workers: Optional[int] = 1,
             trace: bool = False,
             journal: bool = False,
+            profile: bool = False,
+            profile_mem: bool = False,
             progress: ProgressKnob = None) -> SweepResult:
     """Fig. 3: offline algorithms vs number of requests.
 
@@ -65,6 +71,8 @@ def figure3(scale: Optional[ExperimentScale] = None,
         workers=workers,
         trace=trace,
         journal=journal,
+        profile=profile,
+        profile_mem=profile_mem,
         progress=progress,
     )
 
@@ -73,6 +81,8 @@ def figure4(scale: Optional[ExperimentScale] = None,
             workers: Optional[int] = 1,
             trace: bool = False,
             journal: bool = False,
+            profile: bool = False,
+            profile_mem: bool = False,
             progress: ProgressKnob = None) -> SweepResult:
     """Fig. 4: online algorithms vs number of requests.
 
@@ -91,6 +101,8 @@ def figure4(scale: Optional[ExperimentScale] = None,
         workers=workers,
         trace=trace,
         journal=journal,
+        profile=profile,
+        profile_mem=profile_mem,
         progress=progress,
     )
 
@@ -100,6 +112,8 @@ def figure5(scale: Optional[ExperimentScale] = None,
             workers: Optional[int] = 1,
             trace: bool = False,
             journal: bool = False,
+            profile: bool = False,
+            profile_mem: bool = False,
             progress: ProgressKnob = None) -> SweepResult:
     """Fig. 5: all algorithms vs number of base stations.
 
@@ -119,6 +133,8 @@ def figure5(scale: Optional[ExperimentScale] = None,
         workers=workers,
         trace=trace,
         journal=journal,
+        profile=profile,
+        profile_mem=profile_mem,
         progress=progress,
     )
     if include_online:
@@ -133,6 +149,8 @@ def figure5(scale: Optional[ExperimentScale] = None,
             workers=workers,
             trace=trace,
             journal=journal,
+            profile=profile,
+            profile_mem=profile_mem,
             progress=progress,
         )
         sweep.extend(online.records)
@@ -143,6 +161,8 @@ def figure6(scale: Optional[ExperimentScale] = None,
             workers: Optional[int] = 1,
             trace: bool = False,
             journal: bool = False,
+            profile: bool = False,
+            profile_mem: bool = False,
             progress: ProgressKnob = None) -> SweepResult:
     """Fig. 6: online algorithms vs the maximum data rate of a request.
 
@@ -161,5 +181,7 @@ def figure6(scale: Optional[ExperimentScale] = None,
         workers=workers,
         trace=trace,
         journal=journal,
+        profile=profile,
+        profile_mem=profile_mem,
         progress=progress,
     )

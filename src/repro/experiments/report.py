@@ -25,9 +25,12 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..sim.results import SweepResult
 from ..telemetry import (INVARIANTS, ProgressReporter, audit_records,
-                         collect_sweep_journal, collect_sweep_trace,
-                         manifest_from_sweeps, render_summary,
-                         write_jsonl)
+                         collect_sweep_journal, collect_sweep_profiles,
+                         collect_sweep_trace, folded_from_stats,
+                         manifest_from_sweeps, merge_memory,
+                         merge_stats, render_digest,
+                         render_memory_top, render_summary,
+                         write_folded, write_jsonl)
 from ..telemetry.ledger import append_ledger, write_bench
 from .executor import ProgressKnob, resolve_progress, resolve_workers, \
     workers_type
@@ -245,6 +248,9 @@ def build_report(scale: Optional[ExperimentScale] = None,
                  trace_sink: Optional[List[Dict]] = None,
                  journal: bool = False,
                  journal_sink: Optional[List[Dict]] = None,
+                 profile: bool = False,
+                 profile_mem: bool = False,
+                 stats_sink: Optional[List] = None,
                  progress: ProgressKnob = None,
                  manifest_sink: Optional[List] = None) -> str:
     """Run the sweeps and return the full Markdown report.
@@ -272,6 +278,18 @@ def build_report(scale: Optional[ExperimentScale] = None,
             kwarg (the built-in figure drivers do).
         journal_sink: optional list that receives the merged journal
             events (for JSONL export / trace-diff by the caller).
+        profile: run every sweep with performance profiling
+            (:mod:`repro.telemetry.profiling`) and append the "Profile
+            digests" section - per-algorithm span attribution with the
+            joined domain counters.  The report's manifest (when
+            ``manifest_sink`` is given) carries the digests in its
+            ``profiles`` section.  Drivers must accept a ``profile``
+            kwarg (the built-in figure drivers do).
+        profile_mem: additionally capture allocation sites per run and
+            append the "Top allocation sites" table.
+        stats_sink: optional list that receives the merged cProfile
+            stats mapping (for ``.folded`` flamegraph export by the
+            caller).
         progress: live stderr heartbeat while sweeps run (``True`` or
             a :class:`~repro.telemetry.ProgressReporter`); records are
             unchanged.
@@ -299,6 +317,10 @@ def build_report(scale: Optional[ExperimentScale] = None,
             driver_kwargs["trace"] = True
         if journal:
             driver_kwargs["journal"] = True
+        if profile:
+            driver_kwargs["profile"] = True
+        if profile_mem:
+            driver_kwargs["profile_mem"] = True
         if reporter is not None:
             # Only the knobs in use are passed, so third-party drivers
             # without the newer kwargs keep working untraced.
@@ -335,6 +357,28 @@ def build_report(scale: Optional[ExperimentScale] = None,
         audit = invariant_audit_markdown(sweeps)
         if audit is not None:
             parts.append(audit)
+    if profile:
+        digests = collect_sweep_profiles(sweeps)
+        digest_parts = ["## Profile digests"]
+        for name in sorted(digests):
+            digest_parts.append(f"### {name}")
+            digest_parts.append(render_digest(digests[name], top=10,
+                                              markdown=True))
+        parts.append("\n\n".join(digest_parts))
+        if stats_sink is not None:
+            stats_sink.append(merge_stats(
+                record.profile_stats
+                for sweep in sweeps.values()
+                for record in sweep.records
+                if record.profile_stats))
+    if profile_mem:
+        rows = merge_memory(
+            record.profile_mem
+            for sweep in sweeps.values()
+            for record in sweep.records
+            if record.profile_mem)
+        parts.append("## Top allocation sites\n\n"
+                     + render_memory_top(rows, markdown=True))
     if manifest_sink is not None and sweeps:
         manifest_sink.append(manifest_from_sweeps(
             "report", sweeps,
@@ -381,6 +425,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--audit", action="store_true",
                         help="append the Invariant audit section "
                              "without writing a journal file")
+    parser.add_argument("--profile", action="store_true",
+                        help="profile every run and append the "
+                             "Profile digests section (records are "
+                             "unchanged)")
+    parser.add_argument("--profile-out", default=None, metavar="FILE",
+                        help="write a collapsed-stack flamegraph "
+                             "(.folded) of the merged cProfile stats "
+                             "(implies --profile)")
+    parser.add_argument("--profile-mem", action="store_true",
+                        help="additionally capture allocation sites "
+                             "and append the Top allocation sites "
+                             "table")
     parser.add_argument("--progress", action="store_true",
                         help="live stderr heartbeat while sweeps run")
     parser.add_argument("--ledger", default=None, metavar="PATH",
@@ -393,9 +449,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     scale = paper_scale() if args.scale == "paper" else bench_scale()
     tracing = bool(args.trace or args.trace_summary)
     journaling = bool(args.journal or args.audit)
+    profiling = bool(args.profile or args.profile_out)
     trace_sink: List[Dict] = []
     journal_sink: List[Dict] = []
     manifest_sink: List = []
+    stats_sink: List = []
     text = build_report(scale,
                         include_theorems=not args.no_theorems,
                         workers=args.workers,
@@ -404,6 +462,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                         trace_sink=trace_sink,
                         journal=journaling,
                         journal_sink=journal_sink,
+                        profile=profiling,
+                        profile_mem=args.profile_mem,
+                        stats_sink=stats_sink
+                        if args.profile_out else None,
                         progress=ProgressReporter() if args.progress
                         else None,
                         manifest_sink=manifest_sink
@@ -414,6 +476,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.journal:
         path = write_jsonl(args.journal, journal_sink)
         print(f"wrote journal ({len(journal_sink)} events) to {path}")
+    if args.profile_out and stats_sink:
+        path = write_folded(args.profile_out,
+                            folded_from_stats(stats_sink[0]))
+        print(f"wrote collapsed stacks to {path}")
     if manifest_sink:
         manifest = manifest_sink[0]
         if args.ledger:

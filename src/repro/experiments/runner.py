@@ -80,6 +80,8 @@ def run_offline_sweep(algorithm_factories: Sequence[OfflineFactory],
                       chunksize: Optional[int] = None,
                       trace: bool = False,
                       journal: bool = False,
+                      profile: bool = False,
+                      profile_mem: bool = False,
                       progress: ProgressKnob = None) -> SweepResult:
     """Run a batch-algorithm sweep (Figs. 3 and 5).
 
@@ -101,6 +103,10 @@ def run_offline_sweep(algorithm_factories: Sequence[OfflineFactory],
         journal: record a decision audit journal per run (see
             :mod:`repro.telemetry.audit`) and attach it to each record
             (off by default; metrics are unchanged either way).
+        profile: record a profile digest + cProfile stats per run (see
+            :mod:`repro.telemetry.profiling`) and attach them to each
+            record (off by default; metrics are unchanged either way).
+        profile_mem: additionally record top allocation sites per run.
         progress: live stderr heartbeat - ``True`` or a configured
             :class:`~repro.telemetry.ProgressReporter` (observation
             only; records are identical with progress on or off).
@@ -113,7 +119,8 @@ def run_offline_sweep(algorithm_factories: Sequence[OfflineFactory],
                                 num_seeds=num_seeds)
     return execute_sweep(specs, x_label, workers=workers,
                          chunksize=chunksize, trace=trace,
-                         journal=journal, progress=progress)
+                         journal=journal, profile=profile,
+                         profile_mem=profile_mem, progress=progress)
 
 
 def run_online_sweep(policy_factories: Sequence[OnlineFactory],
@@ -127,14 +134,16 @@ def run_online_sweep(policy_factories: Sequence[OnlineFactory],
                      chunksize: Optional[int] = None,
                      trace: bool = False,
                      journal: bool = False,
+                     profile: bool = False,
+                     profile_mem: bool = False,
                      progress: ProgressKnob = None) -> SweepResult:
     """Run an online-policy sweep (Figs. 4 and 6).
 
     Every policy sees the same arrival sequence per (x, seed); requests
     are re-drawn fresh for each policy so realization state never leaks
     between runs.  Accepts the same ``workers`` / ``chunksize`` /
-    ``trace`` / ``journal`` / ``progress`` knobs as
-    :func:`run_offline_sweep`, with
+    ``trace`` / ``journal`` / ``profile`` / ``profile_mem`` /
+    ``progress`` knobs as :func:`run_offline_sweep`, with
     the same determinism guarantee.
     """
     specs = build_online_specs(policy_factories, x_values, make_config,
@@ -142,4 +151,5 @@ def run_online_sweep(policy_factories: Sequence[OnlineFactory],
                                num_seeds=num_seeds)
     return execute_sweep(specs, x_label, workers=workers,
                          chunksize=chunksize, trace=trace,
-                         journal=journal, progress=progress)
+                         journal=journal, profile=profile,
+                         profile_mem=profile_mem, progress=progress)

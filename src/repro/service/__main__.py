@@ -34,6 +34,22 @@ from .console import run_status, run_watch
 from .loadgen import run_loadgen, run_resume
 
 
+def _add_profile_flags(sub: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--profile*`` knobs to a drive subcommand."""
+    sub.add_argument("--profile", action="store_true",
+                     help="capture a span-attribution digest + cProfile "
+                          "stats for the serve loop (digest lands in the "
+                          "summary and the bench manifest's profiles)")
+    sub.add_argument("--profile-out", default=None, metavar="PATH",
+                     help="write collapsed stacks (flamegraph.pl / "
+                          "speedscope loadable) here; implies --profile")
+    sub.add_argument("--profile-mem", action="store_true",
+                     help="trace allocations with tracemalloc: the serve "
+                          "loop publishes service_alloc_{current,peak}_kb "
+                          "gauges and the summary gains top allocation "
+                          "sites")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.service",
@@ -84,6 +100,7 @@ def _build_parser() -> argparse.ArgumentParser:
     load.add_argument("--no-metrics", action="store_true",
                       help="run with the zero-overhead null registry "
                            "instead of a live MetricsRegistry")
+    _add_profile_flags(load)
 
     res = sub.add_parser(
         "resume",
@@ -101,6 +118,7 @@ def _build_parser() -> argparse.ArgumentParser:
     res.add_argument("--no-metrics", action="store_true",
                      help="resume with the null registry (the "
                           "checkpoint's metric series are dropped)")
+    _add_profile_flags(res)
 
     stat = sub.add_parser(
         "status",
@@ -149,12 +167,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             kill_at_slot=args.kill_at_slot,
             bench_path=args.bench, name=args.name,
             metrics=not args.no_metrics,
-            metrics_port=args.metrics_port)
+            metrics_port=args.metrics_port,
+            profile=args.profile, profile_out=args.profile_out,
+            profile_mem=args.profile_mem)
     else:
         summary = run_resume(args.checkpoint, bench_path=args.bench,
                              name=args.name,
                              metrics=not args.no_metrics,
-                             metrics_port=args.metrics_port)
+                             metrics_port=args.metrics_port,
+                             profile=args.profile,
+                             profile_out=args.profile_out,
+                             profile_mem=args.profile_mem)
     print(json.dumps(summary, sort_keys=True, indent=2))
     return 0
 

@@ -100,6 +100,14 @@ def render_status(payload: Dict[str, Any],
                             1000.0 * latency.get("p99", 0.0),
                             latency.get("count", 0)))
 
+    alloc_current = gauges.get("service_alloc_current_kb")
+    alloc_peak = gauges.get("service_alloc_peak_kb")
+    if alloc_current is not None or alloc_peak is not None:
+        lines.append(
+            "alloc    current={:.0f}KiB peak={:.0f}KiB "
+            "(tracemalloc watermark)".format(alloc_current or 0.0,
+                                             alloc_peak or 0.0))
+
     bandit = {name: value for name, value in sorted(gauges.items())
               if name.startswith("bandit_")}
     if bandit:

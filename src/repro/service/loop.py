@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import asyncio
 import time
+import tracemalloc
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, Optional
@@ -54,6 +55,10 @@ SERVICE_POLICIES = ("greedy", "dynamicrr", "random")
 #: Cumulative counter keys, in reporting order.
 COUNTER_KEYS = ("arrivals", "accepted", "shed", "deferred", "started",
                 "completed", "dropped", "reward", "slots")
+
+#: Slot cadence of the allocation-watermark gauges (only published
+#: while ``tracemalloc`` is tracing, i.e. under ``--profile-mem``).
+_ALLOC_SAMPLE_SLOTS = 64
 
 
 @dataclass(frozen=True)
@@ -388,6 +393,18 @@ class AdmissionService:
         if metrics.enabled:
             metrics.observe("service_slot_latency_seconds",
                             tick_seconds, slot=slot)
+            # Allocation watermarks, published only while a profiler
+            # (loadgen --profile-mem) has tracemalloc running; sampled
+            # sparsely - the snapshot-free watermark read is cheap, but
+            # there is no reason to touch it every slot.  Flat gauges
+            # across a long run are the service's flat-RSS claim, live.
+            if slot % _ALLOC_SAMPLE_SLOTS == 0 \
+                    and tracemalloc.is_tracing():
+                current_b, peak_b = tracemalloc.get_traced_memory()
+                metrics.set_gauge("service_alloc_current_kb",
+                                  current_b / 1024.0)
+                metrics.set_gauge("service_alloc_peak_kb",
+                                  peak_b / 1024.0)
         if self._stream.exhausted and outcome.pending_after == 0 \
                 and outcome.active_after == 0:
             self.done = True

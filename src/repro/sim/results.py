@@ -36,6 +36,18 @@ class RunRecord:
             journaling enabled; None otherwise.  Journals are
             wall-clock-free, so they participate in determinism
             comparisons as-is.
+        profile: serialized
+            :class:`~repro.telemetry.profiling.ProfileDigest` of the
+            run when it executed with profiling enabled; None
+            otherwise.  The digest's calls/counters half is
+            deterministic; its ``*_s`` fields are wall clock.
+        profile_stats: merged picklable cProfile statistics (see
+            :func:`~repro.telemetry.profiling.capture_stats`) when
+            profiled; None otherwise.
+        profile_mem: top allocation sites (see
+            :func:`~repro.telemetry.profiling.capture_memory_top`)
+            when the run executed with memory profiling; None
+            otherwise.
     """
 
     algorithm: str
@@ -44,6 +56,9 @@ class RunRecord:
     metrics: Mapping[str, float]
     trace: Optional[Tuple[Dict[str, Any], ...]] = None
     journal: Optional[Tuple[Dict[str, Any], ...]] = None
+    profile: Optional[Dict[str, Any]] = None
+    profile_stats: Optional[Dict[str, Any]] = None
+    profile_mem: Optional[Tuple[Dict[str, Any], ...]] = None
 
 
 class SweepResult:

@@ -37,6 +37,14 @@ checking the paper's invariants over that stream in ``strict`` or
 ``collect`` mode, and - via :mod:`~repro.telemetry.tracediff` - the
 ``trace-diff`` CLI that localizes the first divergent event between
 two journals (``python -m repro.experiments trace-diff A B``).
+
+:mod:`~repro.telemetry.profiling` is the performance-attribution
+layer: a canonical :class:`ProfileDigest` per run (span-tree self/cum
+time + call counts + domain counters joined onto their owning spans),
+opt-in ``cProfile``/``tracemalloc`` deep capture with collapsed-stack
+flamegraph export, and - via :mod:`~repro.telemetry.perfdiff` - the
+``perf-diff`` CLI that localizes the worst regressed span between two
+digests (``python -m repro.experiments perf-diff OLD NEW``).
 """
 
 from .audit import (INVARIANTS, NULL_JOURNAL, AuditOutcome,
@@ -53,6 +61,15 @@ from .ledger import (MANIFEST_SCHEMA, WALL_CLOCK_METRICS, RunManifest,
 from .metrics import (EVENT_METRIC_MAP, NULL_REGISTRY, MetricsRegistry,
                       NullRegistry, StreamingHistogram, get_metrics,
                       set_metrics, use_metrics)
+from .perfdiff import diff_profile_sets
+from .profiling import (COUNTER_OWNERS, DIGEST_SCHEMA,
+                        PROFILE_SET_SCHEMA, ProfileDigest, SpanProfile,
+                        canonical_digest, collect_sweep_profiles,
+                        digest_from_events, folded_from_digest,
+                        folded_from_stats, load_profile_set,
+                        merge_digests, merge_memory, merge_stats,
+                        render_digest, render_memory_top,
+                        write_folded, write_profile_set)
 from .progress import ProgressReporter
 from .regression import (DEFAULT_METRIC_TOL, DEFAULT_WALL_TOL, Delta,
                          DiffReport, diff_ledgers, diff_manifests)
@@ -63,7 +80,12 @@ from .tracer import (NULL_TRACER, NullTracer, Tracer, get_tracer,
 
 __all__ = [
     "AuditOutcome",
+    "COUNTER_OWNERS",
     "DEFAULT_METRIC_TOL",
+    "DIGEST_SCHEMA",
+    "PROFILE_SET_SCHEMA",
+    "ProfileDigest",
+    "SpanProfile",
     "DEFAULT_WALL_TOL",
     "Delta",
     "DiffReport",
@@ -90,22 +112,34 @@ __all__ = [
     "Violation",
     "append_ledger",
     "audit_records",
+    "canonical_digest",
     "canonical_events",
     "collect_sweep_journal",
+    "collect_sweep_profiles",
     "collect_sweep_trace",
     "config_hash",
+    "digest_from_events",
     "get_journal",
     "get_metrics",
     "diff_ledgers",
     "diff_manifests",
+    "diff_profile_sets",
+    "folded_from_digest",
+    "folded_from_stats",
     "get_tracer",
     "git_revision",
     "latest_by_name",
     "load_manifests",
+    "load_profile_set",
     "manifest_from_sweeps",
+    "merge_digests",
+    "merge_memory",
+    "merge_stats",
     "peak_rss_kb",
     "read_jsonl",
     "read_ledger",
+    "render_digest",
+    "render_memory_top",
     "render_summary",
     "set_journal",
     "set_metrics",
@@ -115,5 +149,7 @@ __all__ = [
     "use_metrics",
     "use_tracer",
     "write_bench",
+    "write_folded",
     "write_jsonl",
+    "write_profile_set",
 ]

@@ -61,6 +61,12 @@ class NullJournal:
         """A null journal never has events."""
         return []
 
+    def __enter__(self) -> "NullJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Nothing to close."""
+
     def __len__(self) -> int:
         return 0
 
@@ -188,6 +194,20 @@ class Journal:
             self.flush()
             self._handle.close()
             self._handle = None
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Flush and close - *also* when the block raised.
+
+        A streaming journal used as a context manager therefore leaves
+        a parseable JSONL prefix of everything recorded before the
+        crash: each line is complete (whole-line writes, flushed), so
+        ``trace-diff`` and checkpoint resume-truncation accept the
+        file as-is.
+        """
+        self.close()
 
     def events(self) -> List[Dict[str, Any]]:
         """The journal as a list of event dicts (shallow copies).

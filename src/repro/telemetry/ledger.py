@@ -70,6 +70,11 @@ class RunManifest:
             records.  ``runtime_s`` rides along but is wall-clock (see
             :data:`WALL_CLOCK_METRICS`).
         extra: free-form labels (scale preset, figure list, ...).
+        profiles: algorithm -> serialized
+            :class:`~repro.telemetry.profiling.ProfileDigest` when the
+            run executed with profiling enabled; empty otherwise.
+            ``perf-diff`` consumes this section.  Its calls/counters
+            half is deterministic; its ``*_s`` fields are wall clock.
     """
 
     name: str
@@ -85,6 +90,8 @@ class RunManifest:
     phases: Mapping[str, float]
     metrics: Mapping[str, Mapping[str, float]]
     extra: Mapping[str, Any] = field(default_factory=dict)
+    profiles: Mapping[str, Mapping[str, Any]] = field(
+        default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
         """The manifest as a JSON-ready dict (schema field included)."""
@@ -94,6 +101,8 @@ class RunManifest:
         out["metrics"] = {algo: dict(row)
                           for algo, row in self.metrics.items()}
         out["extra"] = dict(self.extra)
+        out["profiles"] = {algo: dict(digest)
+                           for algo, digest in self.profiles.items()}
         out["schema"] = MANIFEST_SCHEMA
         return out
 
@@ -122,6 +131,9 @@ class RunManifest:
                                      for m, v in row.items()}
                          for algo, row in data.get("metrics", {}).items()},
                 extra=dict(data.get("extra", {})),
+                profiles={str(algo): dict(digest)
+                          for algo, digest
+                          in data.get("profiles", {}).items()},
             )
         except (KeyError, TypeError, ValueError) as error:
             raise ConfigurationError(
@@ -223,7 +235,9 @@ def manifest_from_sweeps(name: str,
                          config: Any = None,
                          workers: int = 1,
                          phases: Optional[Mapping[str, float]] = None,
-                         extra: Optional[Mapping[str, Any]] = None
+                         extra: Optional[Mapping[str, Any]] = None,
+                         profiles: Optional[
+                             Mapping[str, Mapping[str, Any]]] = None
                          ) -> RunManifest:
     """Condense one or more sweeps into a :class:`RunManifest`.
 
@@ -239,6 +253,12 @@ def manifest_from_sweeps(name: str,
         workers: worker processes the sweeps executed with.
         phases: phase -> wall-clock seconds (caller-measured).
         extra: free-form labels.
+        profiles: algorithm -> serialized profile digest.  When None
+            (the default) the records themselves are consulted: runs
+            executed with profiling enabled carry digests, which merge
+            per algorithm with the same ``<group>/<algorithm>``
+            namespacing as ``metrics``; unprofiled runs yield an empty
+            section.
     """
     if not sweeps:
         raise ConfigurationError("manifest needs at least one sweep")
@@ -252,6 +272,11 @@ def manifest_from_sweeps(name: str,
         for algo, row in _mean_metrics(records).items():
             key = f"{group}/{algo}" if namespaced else algo
             metrics[key] = row
+    if profiles is None:
+        from .profiling import collect_sweep_profiles
+
+        profiles = {algo: digest.to_dict() for algo, digest
+                    in collect_sweep_profiles(sweeps).items()}
     import numpy as np
 
     return RunManifest(
@@ -269,6 +294,8 @@ def manifest_from_sweeps(name: str,
         phases=dict(phases or {}),
         metrics=metrics,
         extra=dict(extra or {}),
+        profiles={str(algo): dict(digest)
+                  for algo, digest in profiles.items()},
     )
 
 

@@ -94,13 +94,23 @@ class DiffReport:
         return bool(self.compared_runs) and not self.regressions
 
     def render(self) -> str:
-        """The human-readable diff report."""
+        """The human-readable diff report.
+
+        Deterministic metrics print in key order; the advisory
+        wall-clock block after them is sorted by relative magnitude
+        (largest ``|rel_delta|`` first, key as tiebreak) so the
+        biggest timing shift is always the first ``~`` line - the one
+        worth pasting into ``perf-diff`` for span-level attribution.
+        """
         if not self.compared_runs:
             return "bench-diff: no common run names to compare"
         lines: List[str] = []
         for run in self.compared_runs:
             lines.append(f"run {run!r}:")
-            rows = [d for d in self.deltas if d.run == run]
+            mine = [d for d in self.deltas if d.run == run]
+            rows = ([d for d in mine if not d.wall_clock]
+                    + sorted((d for d in mine if d.wall_clock),
+                             key=lambda d: (-abs(d.rel_delta), d.key)))
             width = max((len(d.key) for d in rows), default=3)
             for d in rows:
                 mark = "REGRESSION" if d.regressed else (

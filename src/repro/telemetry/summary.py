@@ -45,8 +45,20 @@ class SpanStats:
 
     @property
     def mean_s(self) -> float:
-        """Mean wall time per span (0 when never opened)."""
-        return self.total_s / self.count if self.count else 0.0
+        """Mean wall time per call (0 when never opened)."""
+        if not self.durations:
+            return 0.0
+        return sum(self.durations) / len(self.durations)
+
+    @property
+    def min_s(self) -> float:
+        """Fastest single call (0 when never opened)."""
+        return min(self.durations) if self.durations else 0.0
+
+    @property
+    def max_s(self) -> float:
+        """Slowest single call (0 when never opened)."""
+        return max(self.durations) if self.durations else 0.0
 
     @property
     def p95_s(self) -> float:
@@ -87,13 +99,38 @@ def _run_key(event: Dict[str, Any]) -> Tuple[Any, ...]:
     return tuple(event.get(key) for key in RUN_KEY_FIELDS)
 
 
+def _has_same_name_ancestor(
+        event: Dict[str, Any],
+        by_seq: Dict[Tuple[Any, ...], Dict[str, Any]]) -> bool:
+    """True when a span of the same name encloses ``event``."""
+    name = event["name"]
+    run = _run_key(event)
+    parent = event.get("parent")
+    hops = 0
+    while parent is not None and hops < len(by_seq) + 1:
+        ancestor = by_seq.get(run + (parent,))
+        if ancestor is None:
+            return False
+        if ancestor["name"] == name:
+            return True
+        parent = ancestor.get("parent")
+        hops += 1
+    return False
+
+
 def summarize_events(events: Iterable[Dict[str, Any]]) -> TraceSummary:
     """Aggregate a trace event stream.
 
     Span self time subtracts each span's *direct* children from its
     duration, resolving parent links per run (merged traces reuse
-    ``seq`` across runs).  Counter and value events with the same name
-    are totalled / concatenated across runs.
+    ``seq`` across runs).  Re-entrant spans - a name nested inside
+    itself, e.g. a recursive ``lp_solve`` - accumulate ``total_s``
+    only at their outermost occurrence (the outer duration already
+    contains the inner one), so a name's total and its share of the
+    run can never exceed wall time; ``count`` and the per-call
+    duration distribution (mean / p95 / min / max) still see every
+    call.  Counter and value events with the same name are totalled /
+    concatenated across runs.
     """
     spans: Dict[str, SpanStats] = {}
     counters: Dict[str, float] = {}
@@ -111,7 +148,9 @@ def summarize_events(events: Iterable[Dict[str, Any]]) -> TraceSummary:
                               []).extend(event["values"])
 
     child_s: Dict[Tuple[Any, ...], float] = {}
+    by_seq: Dict[Tuple[Any, ...], Dict[str, Any]] = {}
     for event in span_events:
+        by_seq[_run_key(event) + (event["seq"],)] = event
         if event.get("parent") is not None:
             key = _run_key(event) + (event["parent"],)
             child_s[key] = (child_s.get(key, 0.0)
@@ -122,7 +161,8 @@ def summarize_events(events: Iterable[Dict[str, Any]]) -> TraceSummary:
         stats = spans.setdefault(event["name"], SpanStats(event["name"]))
         duration = event.get("duration_s", 0.0)
         stats.count += 1
-        stats.total_s += duration
+        if not _has_same_name_ancestor(event, by_seq):
+            stats.total_s += duration
         stats.durations.append(duration)
         key = _run_key(event) + (event["seq"],)
         stats.self_s += max(0.0, duration - child_s.get(key, 0.0))
@@ -152,15 +192,15 @@ def render_summary(events: Iterable[Dict[str, Any]],
         markdown: emit a Markdown table instead of aligned text.
 
     Returns:
-        A table of spans (count, total / mean / p95 / self wall time,
-        share of total) sorted by total time, followed by counters and
-        value series when present.
+        A table of spans (call count, total / mean / p95 / min / max /
+        self wall time, share of total) sorted by total time, followed
+        by counters and value series when present.
     """
     summary = summarize_events(events)
     denominator = total_s if total_s and total_s > 0 \
         else summary.top_level_s
     header = ["span", "count", "total_ms", "mean_ms", "p95_ms",
-              "self_ms", "%"]
+              "min_ms", "max_ms", "self_ms", "%"]
     rows: List[List[str]] = []
     ordered = sorted(summary.spans.values(),
                      key=lambda s: (-s.total_s, s.name))
@@ -171,6 +211,8 @@ def render_summary(events: Iterable[Dict[str, Any]],
                      f"{stats.total_s * 1e3:.2f}",
                      f"{stats.mean_s * 1e3:.3f}",
                      f"{stats.p95_s * 1e3:.3f}",
+                     f"{stats.min_s * 1e3:.3f}",
+                     f"{stats.max_s * 1e3:.3f}",
                      f"{stats.self_s * 1e3:.2f}",
                      f"{share:.1f}"])
     widths = [max(len(header[i]), *(len(r[i]) for r in rows))

@@ -1,0 +1,148 @@
+"""Profiling through the sweep executor: inertness and determinism.
+
+The acceptance properties of the performance-attribution layer:
+
+* profiling is *inert* - records (and their metrics) are identical
+  with profiling on or off, serially and across the process pool, and
+  journal bytes do not change when profiling rides along;
+* the digest is *deterministic* - its canonical half (span paths,
+  call counts, domain counters) is equal between serial and parallel
+  execution of the same specs.
+"""
+
+import json
+
+from repro.baselines.greedy import GreedyOffline, GreedyOnline
+from repro.core.appro import Appro
+from repro.core.dynamic_rr import DynamicRR
+from repro.experiments.executor import (OFFLINE, ONLINE, RunSpec,
+                                        execute_run, execute_specs)
+from repro.experiments.settings import base_config
+from repro.telemetry import canonical_digest, get_tracer, NULL_TRACER
+from repro.telemetry.profiling import ProfileDigest
+
+
+def tiny_config(x=0, seed=0):
+    cfg = base_config(seed)
+    return cfg.with_overrides(
+        network=cfg.network.__class__(num_base_stations=6))
+
+
+def record_key(record):
+    return (record.algorithm, record.x, record.seed,
+            tuple(sorted((k, v) for k, v in record.metrics.items()
+                         if k != "runtime_s")))
+
+
+def offline_spec(factory=GreedyOffline, num_requests=8, **knobs):
+    return RunSpec(mode=OFFLINE, factory=factory, x=8.0, seed=1,
+                   config=tiny_config(8, 1),
+                   num_requests=num_requests, **knobs)
+
+
+def online_spec(factory=GreedyOnline, **knobs):
+    return RunSpec(mode=ONLINE, factory=factory, x=6.0, seed=0,
+                   config=tiny_config(6, 0), num_requests=6,
+                   horizon_slots=10, **knobs)
+
+
+class TestProfileIsInert:
+    def test_unprofiled_record_has_no_profile(self):
+        record = execute_run(offline_spec())
+        assert record.profile is None
+        assert record.profile_stats is None
+        assert record.profile_mem is None
+
+    def test_metrics_identical_with_and_without_profiling(self):
+        plain = execute_run(offline_spec(factory=Appro))
+        profiled = execute_run(offline_spec(factory=Appro,
+                                            profile=True))
+        assert record_key(plain) == record_key(profiled)
+
+    def test_online_metrics_identical_with_profiling(self):
+        plain = execute_run(online_spec(factory=DynamicRR))
+        profiled = execute_run(online_spec(factory=DynamicRR,
+                                           profile=True))
+        assert record_key(plain) == record_key(profiled)
+
+    def test_profile_does_not_switch_on_trace(self):
+        record = execute_run(offline_spec(profile=True))
+        assert record.trace is None
+        assert record.journal is None
+        assert record.profile is not None
+
+    def test_journal_bytes_identical_with_profiling(self):
+        def journal_bytes(record):
+            return "".join(
+                json.dumps(event, sort_keys=True) + "\n"
+                for event in record.journal).encode()
+
+        plain = execute_run(offline_spec(factory=Appro, journal=True))
+        profiled = execute_run(offline_spec(factory=Appro,
+                                            journal=True,
+                                            profile=True,
+                                            profile_mem=True))
+        assert journal_bytes(plain) == journal_bytes(profiled)
+
+    def test_tracer_restored_after_profiled_run(self):
+        execute_run(offline_spec(profile=True))
+        assert get_tracer() is NULL_TRACER
+
+
+class TestDigestContents:
+    def test_appro_digest_spans_and_counters(self):
+        record = execute_run(offline_spec(factory=Appro,
+                                          num_requests=10,
+                                          profile=True))
+        digest = ProfileDigest.from_dict(record.profile)
+        assert "offline_run" in digest.spans
+        assert any(path.endswith("lp_solve")
+                   for path in digest.spans)
+        assert any(series.startswith("lp_solves_total")
+                   for series in digest.counters)
+        # Registry counters join the same namespace.
+        assert any(series.startswith("rounding_")
+                   for series in digest.counters)
+
+    def test_profile_stats_ride_home(self):
+        record = execute_run(offline_spec(factory=Appro,
+                                          profile=True))
+        assert record.profile_stats
+        assert all(isinstance(k, str)
+                   for k in record.profile_stats)
+
+    def test_profile_mem_rows(self):
+        record = execute_run(offline_spec(profile=True,
+                                          profile_mem=True))
+        assert record.profile_mem
+        assert all({"site", "size_kb", "count"} <= set(row)
+                   for row in record.profile_mem)
+
+    def test_profile_mem_alone_skips_digest(self):
+        record = execute_run(offline_spec(profile_mem=True))
+        assert record.profile is None
+        assert record.profile_mem
+
+
+class TestSerialParallelProfileEquivalence:
+    def specs(self, **knobs):
+        return [offline_spec(factory=Appro, **knobs),
+                online_spec(**knobs),
+                online_spec(factory=DynamicRR, **knobs)]
+
+    def test_canonical_digests_identical(self):
+        serial = execute_specs(self.specs(), workers=1, profile=True)
+        parallel = execute_specs(self.specs(), workers=2, profile=True)
+        assert ([record_key(r) for r in serial]
+                == [record_key(r) for r in parallel])
+        for left, right in zip(serial, parallel):
+            assert left.profile and right.profile
+            assert (canonical_digest(left.profile)
+                    == canonical_digest(right.profile))
+
+    def test_profiled_journal_bytes_identical_across_backends(self):
+        serial = execute_specs(self.specs(journal=True), workers=1)
+        profiled = execute_specs(self.specs(journal=True),
+                                 workers=2, profile=True)
+        for left, right in zip(serial, profiled):
+            assert left.journal == right.journal

@@ -173,6 +173,33 @@ class TestRenderReport:
                               [make_manifest("b")])
         assert "no common run names" in report.render()
 
+    def test_wall_clock_rows_sorted_by_relative_magnitude(self):
+        # phase.fig3 shifts 1.5 -> 1.65 (+10%); runtime_s shifts
+        # 0.5 -> 1.0 (+100%); RSS is unchanged.  The advisory block
+        # must lead with the biggest relative mover, regardless of the
+        # keys' alphabetical order.
+        base = make_manifest(runtime=0.5, phases={"fig3": 1.5})
+        new = perturbed(base, runtime=1.0, phases={"fig3": 1.65})
+        text = diff_manifests(base, new).render()
+        lines = [line.strip() for line in text.splitlines()]
+        wall = [line for line in lines
+                if line.endswith("~")]
+        assert wall[0].startswith("Greedy.runtime_s")
+        assert wall[1].startswith("phase.fig3")
+        assert wall[2].startswith("peak_rss_kb")
+        # Per-key old -> new values ride along on every row.
+        assert "0.5" in wall[0] and "->" in wall[0] and "1" in wall[0]
+
+    def test_deterministic_rows_precede_wall_clock(self):
+        base = make_manifest()
+        new = perturbed(base, runtime=5.0)
+        lines = diff_manifests(base, new).render().splitlines()
+        reward_at = next(i for i, line in enumerate(lines)
+                         if "total_reward" in line)
+        runtime_at = next(i for i, line in enumerate(lines)
+                          if "runtime_s" in line)
+        assert reward_at < runtime_at
+
 
 class TestCli:
     def bench(self, tmp_path, filename, manifest):

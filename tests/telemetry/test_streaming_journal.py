@@ -104,6 +104,88 @@ class TestAppendMode:
                     append=True, already_recorded=-1)
 
 
+class TestCrashConsistency:
+    """A streaming journal interrupted mid-run must leave a parseable
+    JSONL prefix that downstream consumers (trace-diff, checkpoint
+    resume-truncation) accept as-is."""
+
+    def test_context_manager_flushes_on_exception(self, tmp_path):
+        path = tmp_path / "crash.jsonl"
+        events = make_events(9)
+        with pytest.raises(RuntimeError):
+            with Journal(stream_path=str(path), flush_every=4) as journal:
+                for event in events:
+                    journal.record(event)
+                raise RuntimeError("simulated crash")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 9  # the unflushed tail was not lost
+        parsed = [json.loads(line) for line in lines]
+        assert [p["request"] for p in parsed] == list(range(9))
+
+    def test_crash_prefix_accepted_by_trace_diff(self, tmp_path):
+        from repro.telemetry.tracediff import (EXIT_DIVERGED, EXIT_OK,
+                                               main as trace_diff)
+        full = tmp_path / "full.jsonl"
+        with Journal(stream_path=str(full), flush_every=3) as journal:
+            for event in make_events(12):
+                journal.record(event)
+
+        crashed = tmp_path / "crashed.jsonl"
+        with pytest.raises(RuntimeError):
+            with Journal(stream_path=str(crashed),
+                         flush_every=3) as journal:
+                for event in make_events(12):
+                    journal.record(event)
+                raise RuntimeError("simulated crash")
+        # Identical streams: the flushed crash file is a *complete*
+        # copy here (everything recorded pre-crash survived).
+        assert trace_diff([str(full), str(crashed)]) == EXIT_OK
+
+        # A genuine prefix (crash before the last records) still
+        # parses; trace-diff localizes the truncation, not a parse
+        # error (exit 1, not 2).
+        prefix = tmp_path / "prefix.jsonl"
+        with pytest.raises(RuntimeError):
+            with Journal(stream_path=str(prefix),
+                         flush_every=3) as journal:
+                for event in make_events(7):
+                    journal.record(event)
+                raise RuntimeError("simulated crash")
+        assert trace_diff([str(full), str(prefix)]) == EXIT_DIVERGED
+
+    def test_crash_prefix_accepted_by_resume_truncation(self, tmp_path):
+        from repro.service.checkpoint import truncate_journal
+        path = tmp_path / "j.jsonl"
+        journal = Journal(stream_path=str(path), flush_every=2)
+        for event in make_events(5):
+            journal.record(event)
+        cursor = journal.byte_position()  # checkpoint taken here
+        with pytest.raises(RuntimeError):
+            with journal:
+                for event in make_events(3):
+                    journal.record(event)
+                raise RuntimeError("simulated crash")
+        assert path.stat().st_size > cursor  # ran past the checkpoint
+        truncate_journal(str(path), cursor)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 5
+        assert all(json.loads(line) for line in lines)
+
+    def test_exit_without_exception_also_closes(self, tmp_path):
+        path = tmp_path / "clean.jsonl"
+        with Journal(stream_path=str(path), flush_every=100) as journal:
+            journal.record(make_events(1)[0])
+            assert journal.streaming
+        assert not journal.streaming  # closed, handle released
+        assert len(path.read_text().splitlines()) == 1
+
+    def test_null_journal_context_manager(self):
+        from repro.telemetry.audit import NULL_JOURNAL
+        with NULL_JOURNAL as journal:
+            journal.record({"kind": "arrival"})
+        assert journal.events() == []
+
+
 class TestInMemoryUnchanged:
     """The default (no stream_path) behaviour is exactly the old one."""
 

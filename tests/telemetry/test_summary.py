@@ -86,6 +86,73 @@ class TestSummarizeEvents:
         assert summarize_events([]).attributed_fraction(None) == 0.0
 
 
+def reentrant_trace():
+    # outer lp_solve: 0 -> 10; nested lp_solve (recursive refinement
+    # pass): 2 -> 6; its nested child (different name): 3 -> 4.
+    tracer = Tracer(clock=StepClock(0.0, 2.0, 3.0, 4.0, 6.0, 10.0))
+    with tracer.span("lp_solve"):
+        with tracer.span("lp_solve"):
+            with tracer.span("pivot"):
+                pass
+    return tracer.events()
+
+
+class TestReentrantSpans:
+    """A name nested inside itself must not double-count total time."""
+
+    def test_total_counts_outermost_occurrence_only(self):
+        summary = summarize_events(reentrant_trace())
+        stats = summary.spans["lp_solve"]
+        # Naive aggregation would report 10 + 4 = 14s for a 10s run.
+        assert stats.total_s == pytest.approx(10.0)
+        assert summary.top_level_s == pytest.approx(10.0)
+
+    def test_count_and_distribution_see_every_call(self):
+        summary = summarize_events(reentrant_trace())
+        stats = summary.spans["lp_solve"]
+        assert stats.count == 2
+        assert sorted(stats.durations) == pytest.approx([4.0, 10.0])
+        assert stats.mean_s == pytest.approx(7.0)
+        assert stats.min_s == pytest.approx(4.0)
+        assert stats.max_s == pytest.approx(10.0)
+
+    def test_self_time_still_sums_to_wall_time(self):
+        summary = summarize_events(reentrant_trace())
+        # outer self 10-4=6, inner self 4-1=3, pivot self 1.
+        assert summary.spans["lp_solve"].self_s == pytest.approx(9.0)
+        assert summary.spans["pivot"].self_s == pytest.approx(1.0)
+        total_self = sum(s.self_s for s in summary.spans.values())
+        assert total_self == pytest.approx(summary.top_level_s)
+
+    def test_share_never_exceeds_100_percent(self):
+        text = render_summary(reentrant_trace())
+        row = next(line for line in text.splitlines()
+                   if line.startswith("lp_solve"))
+        assert row.rstrip().endswith("100.0")
+
+    def test_deep_same_name_chain(self):
+        tracer = Tracer(clock=StepClock(0.0, 1.0, 2.0, 3.0, 4.0, 5.0))
+        with tracer.span("r"):
+            with tracer.span("r"):
+                with tracer.span("r"):
+                    pass
+        summary = summarize_events(tracer.events())
+        stats = summary.spans["r"]
+        assert stats.count == 3
+        assert stats.total_s == pytest.approx(5.0)
+        assert summary.top_level_s == pytest.approx(5.0)
+
+    def test_siblings_with_same_name_both_count(self):
+        # Two same-name spans side by side are NOT re-entrant.
+        tracer = Tracer(clock=StepClock(0.0, 1.0, 2.0, 3.0))
+        with tracer.span("s"):
+            pass
+        with tracer.span("s"):
+            pass
+        summary = summarize_events(tracer.events())
+        assert summary.spans["s"].total_s == pytest.approx(2.0)
+
+
 class TestPercentileLinear:
     """The p95 estimator is pinned to linear interpolation so the
     summary cannot drift if a future NumPy changes the default."""
@@ -134,6 +201,19 @@ class TestRenderSummary:
         text = render_summary(nested_trace(), markdown=True)
         assert text.splitlines()[0].startswith("| span |")
         assert "|---" in text.splitlines()[1]
+
+    def test_min_max_columns(self):
+        tracer = Tracer(clock=StepClock(0.0, 1.0, 1.0, 4.0))
+        with tracer.span("s"):
+            pass
+        with tracer.span("s"):
+            pass
+        text = render_summary(tracer.events())
+        header = text.splitlines()[0]
+        assert "min_ms" in header and "max_ms" in header
+        row = next(line for line in text.splitlines()
+                   if line.startswith("s "))
+        assert "1000.000" in row and "3000.000" in row
 
     def test_total_override_changes_share(self):
         text = render_summary(nested_trace(), total_s=20.0)
