@@ -16,6 +16,12 @@ UNIT001    ``*_mhz``/``*_mbps`` only mix via ``repro.units``
 PKL001     no lambdas/closures/local classes in RunSpec/Event payloads
 EVT001     every EventKind has a timeline glyph and an audit check
 MET001     every audited EventKind increments a registered metric
+DET010     no wall-clock/entropy *value* reaching a serialization
+           sink through any call chain (whole-program taint)
+CONC001    no module-level global written from worker-reachable code
+CONC002    no blocking call reachable from ``async def``
+PKL010     no unpicklable type in a RunSpec/ServiceCheckpoint closure
+UNIT010    unit families tracked through calls and returns
 =========  ==========================================================
 
 Run it with ``python -m repro.analysis src`` (exit 0 clean / 1 new
@@ -30,28 +36,40 @@ from __future__ import annotations
 # Importing the rule modules populates the registry.
 from . import determinism as _determinism  # noqa: F401
 from . import events_rule as _events_rule  # noqa: F401
+from . import interprocedural as _interprocedural  # noqa: F401
 from . import metrics_rule as _metrics_rule  # noqa: F401
 from . import numerics as _numerics  # noqa: F401
 from . import pickles as _pickles  # noqa: F401
-from .baseline import (apply_baseline, load_baseline, save_baseline)
+from .baseline import (apply_baseline, load_baseline,
+                       refreeze_baseline, save_baseline)
+from .cache import SummaryCache
 from .cli import main
+from .dataflow import ProjectContext, TaintAnalysis, build_context
 from .findings import Finding, sort_findings
-from .framework import (RULES, AnalysisReport, ModuleInfo, ProjectRule,
-                        Rule, analyze_source, module_from_source,
-                        register, run_analysis)
+from .framework import (RULES, AnalysisReport, DataflowRule,
+                        ModuleInfo, ProjectRule, Rule, analyze_source,
+                        cache_version, module_from_source, register,
+                        run_analysis)
 
 __all__ = [
     "AnalysisReport",
+    "DataflowRule",
     "Finding",
     "ModuleInfo",
+    "ProjectContext",
     "ProjectRule",
     "RULES",
     "Rule",
+    "SummaryCache",
+    "TaintAnalysis",
     "analyze_source",
     "apply_baseline",
+    "build_context",
+    "cache_version",
     "load_baseline",
     "main",
     "module_from_source",
+    "refreeze_baseline",
     "register",
     "run_analysis",
     "save_baseline",

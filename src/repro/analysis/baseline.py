@@ -41,6 +41,32 @@ def save_baseline(path: Union[str, Path],
     return target
 
 
+def refreeze_baseline(path: Union[str, Path],
+                      findings: Sequence[Finding]
+                      ) -> Tuple[Path, int]:
+    """Rewrite the baseline from current findings, pruning stale debt.
+
+    Returns ``(path, pruned)`` where *pruned* counts the baseline
+    capacity (entry multiplicity included) that no current finding
+    consumes - frozen findings that have since been fixed.  A missing
+    or unreadable previous baseline prunes nothing.
+    """
+    pruned = 0
+    target = Path(path)
+    if target.exists():
+        previous: "Counter[Fingerprint]"
+        try:
+            previous = load_baseline(target)
+        except ConfigurationError:
+            previous = Counter()
+        remaining: "Counter[Fingerprint]" = Counter(previous)
+        remaining.subtract(Counter(f.fingerprint for f in findings))
+        pruned = sum(count for count in remaining.values()
+                     if count > 0)
+    save_baseline(target, findings)
+    return target, pruned
+
+
 def load_baseline(path: Union[str, Path]) -> "Counter[Fingerprint]":
     """Read a baseline file into a fingerprint multiset.
 

@@ -1,0 +1,101 @@
+"""Incremental result cache for the whole-program analysis pass.
+
+The expensive per-file work - parsing aside - is summary extraction
+(:func:`repro.analysis.symbols.summarize_module`).  Summaries are
+*file-local by construction*, so caching them keyed on the file's
+content hash is exactly sound: an edit anywhere else in the tree
+cannot change this file's summary.  The cheap global stages (symbol
+table, call graph, taint fixpoint) always re-run over the mixed
+cached/fresh summaries, which is what keeps interprocedural findings
+correct when an edit in one file changes what its callers should
+report - the edited file is re-extracted, every caller's conclusions
+are recomputed from the refreshed summary set.
+
+The cache version folds in :data:`~repro.analysis.symbols.EXTRACTOR_VERSION`
+plus every registered dataflow rule's ``(id, version)`` pair, so
+bumping either invalidates the whole cache - the "(file content hash,
+rule version)" key the CI gate relies on.  Unknown schema or version
+mismatches are never errors: the cache silently starts empty.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, Optional, Union
+
+from .symbols import ModuleSummary
+
+#: Schema marker written into every cache file.
+CACHE_SCHEMA = "repro.analysis-cache/1"
+
+
+class SummaryCache:
+    """Content-hash-keyed persistence for module summaries.
+
+    Args:
+        path: cache file location (JSON).  A missing, unreadable, or
+            version-mismatched file simply starts the cache empty.
+        version: invalidation token (extractor + rule versions);
+            entries written under any other token are discarded.
+    """
+
+    def __init__(self, path: Union[str, Path], version: str) -> None:
+        self.path = Path(path)
+        self.version = version
+        self.hits = 0
+        self.misses = 0
+        self._entries: Dict[str, Dict[str, Any]] = {}
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            data = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError, ValueError):
+            return
+        if not isinstance(data, dict) \
+                or data.get("schema") != CACHE_SCHEMA \
+                or data.get("version") != self.version:
+            return
+        entries = data.get("entries")
+        if isinstance(entries, dict):
+            for relpath, entry in entries.items():
+                if isinstance(entry, dict) and "digest" in entry \
+                        and "summary" in entry:
+                    self._entries[str(relpath)] = entry
+
+    def get(self, relpath: str,
+            digest: str) -> Optional[ModuleSummary]:
+        """The cached summary for this exact content, if any."""
+        entry = self._entries.get(relpath)
+        if entry is not None and entry.get("digest") == digest:
+            try:
+                summary = ModuleSummary.from_dict(entry["summary"])
+            except (KeyError, TypeError, ValueError):
+                self.misses += 1
+                return None
+            self.hits += 1
+            return summary
+        self.misses += 1
+        return None
+
+    def put(self, relpath: str, digest: str,
+            summary: ModuleSummary) -> None:
+        self._entries[relpath] = {"digest": digest,
+                                  "summary": summary.to_dict()}
+
+    def save(self, keep: Optional[Iterable[str]] = None) -> None:
+        """Persist the cache, pruning entries for vanished files."""
+        entries = self._entries
+        if keep is not None:
+            keep_set = set(keep)
+            entries = {relpath: entry
+                       for relpath, entry in entries.items()
+                       if relpath in keep_set}
+        payload = {"schema": CACHE_SCHEMA, "version": self.version,
+                   "entries": {relpath: entries[relpath]
+                               for relpath in sorted(entries)}}
+        self.path.write_text(
+            json.dumps(payload, indent=None, sort_keys=True,
+                       separators=(",", ":")) + "\n",
+            encoding="utf-8")

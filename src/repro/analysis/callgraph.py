@@ -1,0 +1,443 @@
+"""Project symbol table and call graph over the module summaries.
+
+:class:`SymbolTable` resolves the dotted callee chains recorded by
+:mod:`repro.analysis.symbols` against the whole scanned tree:
+``repro.*`` imports (including re-export chasing through package
+``__init__`` files), attribute calls on known module aliases, and
+method calls on project classes whose receiver type is visible (a
+``ClassName(...)`` constructor assignment, a parameter annotation, or a
+typed ``self`` attribute).  Anything it cannot pin down is
+*over-approximated*: an unresolved ``x.meth()`` is treated as possibly
+calling every project method named ``meth`` (dunders excluded) - edges
+the reachability rules follow but that are marked so reports can say
+how confident they are.
+
+:class:`CallGraph` is the resulting node/edge set, with one node per
+project function (``"relpath::qualname"`` keys), per-call-site
+resolutions for the dataflow pass, BFS reachability with parent
+chains, and a deterministic Graphviz DOT export (the CI failure
+artifact).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import (Deque, Dict, FrozenSet, Iterable, List, Optional,
+                    Set, Tuple)
+
+from .symbols import FunctionSummary, ModuleSummary
+
+
+def node_key(relpath: str, qualname: str) -> str:
+    """Canonical ``relpath::qualname`` node id of one function."""
+    return f"{relpath}::{qualname}"
+
+
+def split_node_key(key: str) -> Tuple[str, str]:
+    relpath, _, qualname = key.partition("::")
+    return relpath, qualname
+
+
+@dataclass(frozen=True)
+class Resolution:
+    """What one callee chain resolves to.
+
+    Attributes:
+        kind: ``"func"`` (project functions/methods), ``"class"``
+            (project class constructor - ``functions`` holds its
+            ``__init__`` when defined), ``"overapprox"`` (unresolved
+            method call widened to every same-named project method),
+            ``"external"`` (fully-qualified non-project callee), or
+            ``"unknown"``.
+        functions: resolved function node keys.
+        class_key: ``relpath::ClassName`` for class constructors.
+        qualified: the fully-qualified name for external callees.
+        bound: True when the call is receiver-bound (positional
+            arguments map to parameters *after* ``self``/``cls``).
+    """
+
+    kind: str
+    functions: Tuple[str, ...] = ()
+    qualified: Optional[str] = None
+    class_key: Optional[str] = None
+    bound: bool = False
+
+
+_UNKNOWN = Resolution(kind="unknown")
+
+
+class SymbolTable:
+    """Cross-module name resolution over all scanned summaries."""
+
+    def __init__(self, summaries: Dict[str, ModuleSummary]) -> None:
+        self.summaries = summaries
+        self.by_module: Dict[str, ModuleSummary] = {
+            summary.module: summary for summary in summaries.values()}
+        #: method name -> node keys of every project method so named.
+        self.method_index: Dict[str, List[str]] = {}
+        #: class short name -> [(relpath, class name)].
+        self.class_index: Dict[str, List[Tuple[str, str]]] = {}
+        for relpath in sorted(summaries):
+            summary = summaries[relpath]
+            for qualname, function in sorted(
+                    summary.functions.items()):
+                if "." in qualname:
+                    method = qualname.rsplit(".", 1)[1]
+                    if not method.startswith("__"):
+                        self.method_index.setdefault(method, []).append(
+                            node_key(relpath, qualname))
+            for name in sorted(summary.classes):
+                self.class_index.setdefault(name, []).append(
+                    (relpath, name))
+        self._attr_types_memo: Dict[
+            Tuple[str, str], Dict[str, List[Tuple[str, str]]]] = {}
+        #: Re-entrancy guard: chains currently being resolved.  A
+        #: self-referential type chain (``x = x.narrow(...)``) would
+        #: otherwise recurse through ``_receiver_class`` forever.
+        self._resolving: Set[Tuple[str, Optional[str], str]] = set()
+
+    # -- function/class lookups ---------------------------------------
+    def function(self, key: str) -> Optional[FunctionSummary]:
+        relpath, qualname = split_node_key(key)
+        summary = self.summaries.get(relpath)
+        if summary is None:
+            return None
+        return summary.functions.get(qualname)
+
+    def lookup_method(self, relpath: str, class_name: str,
+                      method: str,
+                      _seen: Optional[Set[Tuple[str, str]]] = None
+                      ) -> Optional[str]:
+        """Node key of ``class_name.method``, chasing base classes."""
+        seen = _seen if _seen is not None else set()
+        if (relpath, class_name) in seen:
+            return None
+        seen.add((relpath, class_name))
+        summary = self.summaries.get(relpath)
+        if summary is None:
+            return None
+        cls = summary.classes.get(class_name)
+        if cls is None:
+            return None
+        qualname = f"{class_name}.{method}"
+        if qualname in summary.functions:
+            return node_key(relpath, qualname)
+        for base_chain in cls.bases:
+            base = self.resolve_class_chain(summary, None, base_chain)
+            if base is not None:
+                found = self.lookup_method(base[0], base[1], method,
+                                           _seen=seen)
+                if found is not None:
+                    return found
+        return None
+
+    def class_attr_types(self, relpath: str, class_name: str
+                         ) -> Dict[str, List[Tuple[str, str]]]:
+        """attr name -> project classes its values may be instances of.
+
+        Merged from every ``self.attr = ClassName(...)`` /
+        annotated-parameter store across the class's methods plus the
+        class body's annotated fields.
+        """
+        memo_key = (relpath, class_name)
+        cached = self._attr_types_memo.get(memo_key)
+        if cached is not None:
+            return cached
+        self._attr_types_memo[memo_key] = {}  # cycle guard
+        out: Dict[str, List[Tuple[str, str]]] = {}
+        summary = self.summaries.get(relpath)
+        cls = summary.classes.get(class_name) if summary else None
+        if summary is None or cls is None:
+            return out
+        prefix = f"{class_name}."
+        for qualname in sorted(summary.functions):
+            if not qualname.startswith(prefix):
+                continue
+            for row in summary.functions[qualname].attr_types:
+                attr, chain = str(row[0]), str(row[1])
+                ref = self.resolve_class_chain(summary, None, chain)
+                if ref is not None and ref not in out.setdefault(
+                        attr, []):
+                    out[attr].append(ref)
+        for attr, chains in sorted(cls.fields.items()):
+            for chain in chains:
+                ref = self.resolve_class_chain(summary, None, chain)
+                if ref is not None and ref not in out.setdefault(
+                        attr, []):
+                    out[attr].append(ref)
+        self._attr_types_memo[memo_key] = out
+        return out
+
+    # -- resolution ----------------------------------------------------
+    def resolve_qualified(self, qualified: str,
+                          _seen: Optional[Set[str]] = None
+                          ) -> Resolution:
+        """Resolve a fully-qualified dotted name, chasing re-exports."""
+        seen = _seen if _seen is not None else set()
+        if qualified in seen:
+            return Resolution(kind="external", qualified=qualified)
+        seen.add(qualified)
+        parts = qualified.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            module_name = ".".join(parts[:cut])
+            summary = self.by_module.get(module_name)
+            if summary is None:
+                continue
+            rest = parts[cut:]
+            head = rest[0]
+            if head in summary.classes:
+                if len(rest) == 1:
+                    return self._class_resolution(summary.relpath, head)
+                if len(rest) == 2:
+                    found = self.lookup_method(summary.relpath, head,
+                                               rest[1])
+                    if found is not None:
+                        return Resolution(kind="func",
+                                          functions=(found,))
+                return _UNKNOWN
+            if head in summary.functions and len(rest) == 1:
+                return Resolution(
+                    kind="func",
+                    functions=(node_key(summary.relpath, head),))
+            if head in summary.imports:
+                target = ".".join([summary.imports[head]] + rest[1:])
+                return self.resolve_qualified(target, _seen=seen)
+            return Resolution(kind="external", qualified=qualified)
+        return Resolution(kind="external", qualified=qualified)
+
+    def _class_resolution(self, relpath: str,
+                          class_name: str) -> Resolution:
+        init = self.lookup_method(relpath, class_name, "__init__")
+        return Resolution(
+            kind="class",
+            functions=(init,) if init is not None else (),
+            class_key=node_key(relpath, class_name), bound=True)
+
+    def resolve_class_chain(self, summary: ModuleSummary,
+                            function: Optional[FunctionSummary],
+                            chain: str
+                            ) -> Optional[Tuple[str, str]]:
+        """``(relpath, class name)`` a type chain resolves to, if any."""
+        resolution = self.resolve_chain(summary, function, chain)
+        if resolution.kind == "class" \
+                and resolution.class_key is not None:
+            return split_node_key(resolution.class_key)
+        return None
+
+    def _receiver_class(self, summary: ModuleSummary,
+                        function: Optional[FunctionSummary],
+                        parts: List[str]
+                        ) -> Optional[Tuple[str, str]]:
+        """Resolve a receiver chain (all but the method) to a class."""
+        head = parts[0]
+        current: Optional[Tuple[str, str]] = None
+        rest: List[str] = []
+        if head == "self" and function is not None \
+                and function.class_name is not None:
+            current = (summary.relpath, function.class_name)
+            rest = parts[1:]
+        elif function is not None and head in function.var_types:
+            for chain in function.var_types[head]:
+                ref = self.resolve_class_chain(summary, function, chain)
+                if ref is not None:
+                    current = ref
+                    break
+            rest = parts[1:]
+        elif function is not None and head in function.var_attrs \
+                and function.class_name is not None:
+            attr = function.var_attrs[head]
+            refs = self.class_attr_types(summary.relpath,
+                                         function.class_name)
+            candidates = refs.get(attr, [])
+            current = candidates[0] if candidates else None
+            rest = parts[1:]
+        elif function is not None:
+            index = function.param_index(head)
+            if index is not None:
+                for chain in function.param_chains[index]:
+                    ref = self.resolve_class_chain(summary, function,
+                                                   chain)
+                    if ref is not None:
+                        current = ref
+                        break
+                rest = parts[1:]
+            else:
+                return None
+        else:
+            return None
+        for attr in rest:
+            if current is None:
+                return None
+            refs = self.class_attr_types(current[0], current[1])
+            candidates = refs.get(attr, [])
+            current = candidates[0] if candidates else None
+        return current
+
+    def resolve_chain(self, summary: ModuleSummary,
+                      function: Optional[FunctionSummary],
+                      chain: Optional[str]) -> Resolution:
+        """Resolve a callee chain as written inside ``function``."""
+        if chain is None:
+            return _UNKNOWN
+        guard = (summary.relpath,
+                 function.qualname if function is not None else None,
+                 chain)
+        if guard in self._resolving:
+            return _UNKNOWN
+        self._resolving.add(guard)
+        try:
+            return self._resolve_chain(summary, function, chain)
+        finally:
+            self._resolving.discard(guard)
+
+    def _resolve_chain(self, summary: ModuleSummary,
+                       function: Optional[FunctionSummary],
+                       chain: str) -> Resolution:
+        parts = chain.split(".")
+        if len(parts) == 1:
+            name = parts[0]
+            if name in summary.functions and "." not in name:
+                return Resolution(
+                    kind="func",
+                    functions=(node_key(summary.relpath, name),))
+            if name in summary.classes:
+                return self._class_resolution(summary.relpath, name)
+            if name in summary.imports:
+                return self.resolve_qualified(summary.imports[name])
+            return _UNKNOWN
+        method = parts[-1]
+        # Typed receiver (self, locals, annotated params, attributes).
+        receiver = self._receiver_class(summary, function, parts[:-1])
+        if receiver is not None:
+            found = self.lookup_method(receiver[0], receiver[1], method)
+            if found is not None:
+                return Resolution(kind="func", functions=(found,),
+                                  bound=True)
+            return _UNKNOWN
+        # Class-qualified call (``ClassName.method(...)``).
+        head = parts[0]
+        if head in summary.classes and len(parts) == 2:
+            found = self.lookup_method(summary.relpath, head, method)
+            if found is not None:
+                return Resolution(kind="func", functions=(found,),
+                                  bound=False)
+        # Module-alias call (``alias.attr...``).
+        if head in summary.imports:
+            return self.resolve_qualified(
+                ".".join([summary.imports[head]] + parts[1:]))
+        # Unresolved method receiver: widen to all same-named methods.
+        if method in self.method_index:
+            return Resolution(
+                kind="overapprox",
+                functions=tuple(self.method_index[method]), bound=True)
+        return _UNKNOWN
+
+
+@dataclass
+class CallGraph:
+    """Nodes, edges, and per-call-site resolutions of the project."""
+
+    nodes: List[str] = field(default_factory=list)
+    #: src node key -> [(dst node key, overapprox?)], deterministic.
+    edges: Dict[str, List[Tuple[str, bool]]] = field(
+        default_factory=dict)
+    #: (src node key, call-site index) -> resolution.
+    resolutions: Dict[Tuple[str, int], Resolution] = field(
+        default_factory=dict)
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(out) for out in self.edges.values())
+
+    def resolution(self, src: str, call_index: int) -> Resolution:
+        return self.resolutions.get((src, call_index), _UNKNOWN)
+
+    def reachable(self, starts: Iterable[str],
+                  include_overapprox: bool = True
+                  ) -> Dict[str, Optional[str]]:
+        """BFS closure: reached node -> parent node (None for roots)."""
+        parents: Dict[str, Optional[str]] = {}
+        queue: Deque[str] = deque()
+        for start in sorted(set(starts)):
+            if start not in parents:
+                parents[start] = None
+                queue.append(start)
+        while queue:
+            current = queue.popleft()
+            for target, overapprox in self.edges.get(current, []):
+                if overapprox and not include_overapprox:
+                    continue
+                if target not in parents:
+                    parents[target] = current
+                    queue.append(target)
+        return parents
+
+    @staticmethod
+    def chain_to(parents: Dict[str, Optional[str]], node: str,
+                 limit: int = 8) -> List[str]:
+        """Root-first call chain leading to ``node``."""
+        chain: List[str] = []
+        cursor: Optional[str] = node
+        while cursor is not None and len(chain) <= limit:
+            chain.append(cursor)
+            cursor = parents.get(cursor)
+        return chain[::-1]
+
+    def to_dot(self) -> str:
+        """Deterministic Graphviz DOT form (the CI failure artifact)."""
+        lines = ["digraph callgraph {", "  rankdir=LR;",
+                 '  node [shape=box, fontsize=10];']
+        for node in sorted(self.nodes):
+            lines.append(f'  "{node}";')
+        for src in sorted(self.edges):
+            seen: Set[Tuple[str, bool]] = set()
+            for dst, overapprox in self.edges[src]:
+                if (dst, overapprox) in seen:
+                    continue
+                seen.add((dst, overapprox))
+                style = " [style=dashed]" if overapprox else ""
+                lines.append(f'  "{src}" -> "{dst}"{style};')
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+
+def build_callgraph(summaries: Dict[str, ModuleSummary],
+                    table: SymbolTable) -> CallGraph:
+    """Resolve every call site and assemble the project call graph."""
+    graph = CallGraph()
+    for relpath in sorted(summaries):
+        summary = summaries[relpath]
+        for qualname in sorted(summary.functions):
+            graph.nodes.append(node_key(relpath, qualname))
+    node_set: FrozenSet[str] = frozenset(graph.nodes)
+    for relpath in sorted(summaries):
+        summary = summaries[relpath]
+        for qualname in sorted(summary.functions):
+            src = node_key(relpath, qualname)
+            function = summary.functions[qualname]
+            out: List[Tuple[str, bool]] = []
+            for site in function.calls:
+                resolution = table.resolve_chain(summary, function,
+                                                 site.chain)
+                graph.resolutions[(src, site.index)] = resolution
+                overapprox = resolution.kind == "overapprox"
+                for target in resolution.functions:
+                    if target in node_set:
+                        out.append((target, overapprox))
+            graph.edges[src] = out
+    return graph
+
+
+def pool_entry_points(summaries: Dict[str, ModuleSummary],
+                      table: SymbolTable) -> List[str]:
+    """Node keys of functions handed to ``pool.submit``/``pool.map``."""
+    entries: List[str] = []
+    for relpath in sorted(summaries):
+        summary = summaries[relpath]
+        for name in summary.pool_targets:
+            resolution = table.resolve_chain(summary, None, name)
+            for target in resolution.functions:
+                if target not in entries:
+                    entries.append(target)
+    return entries

@@ -20,13 +20,19 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..exceptions import ConfigurationError
-from .baseline import (apply_baseline, load_baseline, save_baseline)
+from .baseline import (apply_baseline, load_baseline,
+                       refreeze_baseline)
 from .findings import Finding
 from .framework import RULES, AnalysisReport, run_analysis
+
+#: Summary-cache file picked up (and written) by default; delete it or
+#: pass ``--no-cache`` for a cold run.
+DEFAULT_CACHE = ".repro-analysis-cache.json"
 
 EXIT_OK = 0
 EXIT_FINDINGS = 1
@@ -74,6 +80,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the JSON findings report to FILE (the CI "
              "artifact)")
     parser.add_argument(
+        "--cache", metavar="FILE", default=DEFAULT_CACHE,
+        help=f"summary cache for the whole-program pass (default: "
+             f"{DEFAULT_CACHE}; keyed on file content hashes and "
+             f"rule versions)")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="neither read nor write the summary cache (cold run)")
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print a scan-statistics line (files, cache hits, "
+             "call-graph size, wall time) to stderr")
+    parser.add_argument(
+        "--dot", metavar="FILE",
+        help="write the project call graph in Graphviz DOT form to "
+             "FILE (requires at least one whole-program rule active)")
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit")
     return parser
@@ -110,19 +132,38 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.list_rules:
         print(_list_rules())
         return EXIT_OK
+    started = time.perf_counter()  # repro: noqa DET001 -- advisory scan timing for --stats, never serialized
     try:
         report = run_analysis(
             [Path(p) for p in args.paths],
             select=_split_rule_list(args.select),
-            ignore=_split_rule_list(args.ignore))
+            ignore=_split_rule_list(args.ignore),
+            cache_path=None if args.no_cache else args.cache)
     except ConfigurationError as error:
         print(f"analysis error: {error}", file=sys.stderr)
         return EXIT_ERROR
+    elapsed = time.perf_counter() - started  # repro: noqa DET001 -- advisory scan timing for --stats, never serialized
+
+    if args.stats:
+        print(f"stats: {report.files_scanned} file(s) scanned, "
+              f"{report.cache_hits} cache hit(s) / "
+              f"{report.cache_misses} miss(es), call graph "
+              f"{report.graph_nodes} node(s) / "
+              f"{report.graph_edges} edge(s), {elapsed:.2f}s wall",
+              file=sys.stderr)
+    if args.dot:
+        if report.context is None:
+            print("analysis error: --dot needs a whole-program rule "
+                  "active (none selected)", file=sys.stderr)
+            return EXIT_ERROR
+        Path(args.dot).write_text(report.context.graph.to_dot(),
+                                  encoding="utf-8")
 
     if args.write_baseline:
-        save_baseline(args.baseline, report.findings)
+        _, pruned = refreeze_baseline(args.baseline, report.findings)
         print(f"baseline: froze {len(report.findings)} finding(s) "
-              f"into {args.baseline}")
+              f"into {args.baseline} ({pruned} stale entr"
+              f"{'y' if pruned == 1 else 'ies'} pruned)")
         return EXIT_OK
 
     baselined = 0

@@ -44,8 +44,16 @@ class Finding:
         """Line-number-free identity used for baseline matching."""
         return (self.rule, self.path, self.snippet)
 
-    def sort_key(self) -> Tuple[str, int, int, str]:
-        return (self.path, self.line, self.col, self.rule)
+    def sort_key(self) -> Tuple[str, int, int, str, str, str]:
+        """Total order over findings.
+
+        ``snippet`` and ``message`` break ties between two findings
+        from the same rule at the same location (e.g. two distinct
+        taint witnesses into one call), so ``--format json`` output is
+        byte-stable run to run.
+        """
+        return (self.path, self.line, self.col, self.rule,
+                self.snippet, self.message)
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready form (the CI artifact row)."""
@@ -60,5 +68,6 @@ class Finding:
 
 
 def sort_findings(findings: Sequence[Finding]) -> List[Finding]:
-    """Findings in canonical report order (path, line, col, rule)."""
+    """Findings in canonical report order (path, line, col, rule,
+    snippet, message)."""
     return sorted(findings, key=Finding.sort_key)

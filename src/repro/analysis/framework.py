@@ -19,14 +19,19 @@ text after ``--`` is a free-form justification (encouraged, unchecked).
 from __future__ import annotations
 
 import ast
+import hashlib
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import (Dict, Iterator, List, Optional, Sequence, Set,
-                    Tuple, Type)
+from typing import (TYPE_CHECKING, Dict, Iterator, List, Optional,
+                    Sequence, Set, Tuple, Type, Union)
 
 from ..exceptions import ConfigurationError
 from .findings import Finding, sort_findings
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .cache import SummaryCache
+    from .dataflow import ProjectContext
 
 #: Sentinel noqa entry meaning "every rule suppressed on this line".
 ALL_RULES = "*"
@@ -50,12 +55,14 @@ class ModuleInfo:
         lines: raw source lines (1-based access via :meth:`line`).
         noqa: line number -> set of suppressed rule ids
             (:data:`ALL_RULES` means all).
+        digest: sha256 of the raw source - the incremental cache key.
     """
 
     relpath: str
     tree: ast.Module
     lines: Tuple[str, ...]
     noqa: Dict[int, Set[str]] = field(default_factory=dict)
+    digest: str = ""
 
     def line(self, lineno: int) -> str:
         """The stripped source line at ``lineno`` (1-based)."""
@@ -102,8 +109,9 @@ def module_from_source(source: str, relpath: str) -> ModuleInfo:
         raise ConfigurationError(
             f"{relpath}: cannot parse: {error}") from error
     lines = tuple(source.splitlines())
+    digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
     return ModuleInfo(relpath=relpath, tree=tree, lines=lines,
-                      noqa=parse_noqa(lines))
+                      noqa=parse_noqa(lines), digest=digest)
 
 
 class Rule:
@@ -147,6 +155,38 @@ class ProjectRule(Rule):
         """Yield findings after seeing every scanned module."""
         raise NotImplementedError
         yield  # pragma: no cover
+
+
+class DataflowRule(Rule):
+    """A rule over the whole-program call-graph/dataflow context.
+
+    The framework builds one :class:`~repro.analysis.dataflow.ProjectContext`
+    per scan (summaries, symbol table, call graph) and hands it to
+    every registered dataflow rule; each rule layers its own taint or
+    reachability query on top.  ``version`` participates in the
+    incremental cache key - bump it when the rule's semantics change.
+    """
+
+    #: Cache-invalidation version of this rule's semantics.
+    version: int = 1
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        return iter(())
+
+    def check_context(self, context: "ProjectContext"
+                      ) -> Iterator[Finding]:
+        """Yield findings from the built whole-program context."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def context_finding(self, context: "ProjectContext", relpath: str,
+                        lineno: int, message: str, col: int = 0,
+                        hint: Optional[str] = None) -> Finding:
+        """Build a finding anchored at a (relpath, line) location."""
+        return Finding(rule=self.rule_id, path=relpath, line=lineno,
+                       col=col, message=message,
+                       hint=self.hint if hint is None else hint,
+                       snippet=context.snippet(relpath, lineno))
 
 
 #: rule id -> rule class, in catalogue order.
@@ -212,11 +252,23 @@ class AnalysisReport:
         findings: surviving findings in canonical order.
         files_scanned: number of python files parsed.
         suppressed: findings silenced by ``# repro: noqa`` pragmas.
+        cache_hits: module summaries served from the incremental
+            cache (0 when no dataflow rule ran or no cache was given).
+        cache_misses: module summaries extracted fresh this scan.
+        graph_nodes: project functions in the call graph.
+        graph_edges: resolved + widened call edges.
+        context: the built whole-program context (None when no
+            dataflow rule ran) - the CLI's DOT export reads it.
     """
 
     findings: List[Finding]
     files_scanned: int
     suppressed: int
+    cache_hits: int = 0
+    cache_misses: int = 0
+    graph_nodes: int = 0
+    graph_edges: int = 0
+    context: Optional["ProjectContext"] = None
 
 
 def iter_python_files(root: Path) -> List[Path]:
@@ -241,9 +293,32 @@ def load_modules(paths: Sequence[Path]) -> List[ModuleInfo]:
     return modules
 
 
+def cache_version() -> str:
+    """Invalidation token: extractor version + dataflow rule versions.
+
+    Summaries are rule-independent, but the committed CI cache key is
+    "(file content hash, rule version)": bumping any dataflow rule's
+    ``version`` - or the extractor - discards every cached entry.
+    """
+    from .symbols import EXTRACTOR_VERSION
+
+    parts = [f"extractor={EXTRACTOR_VERSION}"]
+    for rule_id, cls in sorted(RULES.items()):
+        if issubclass(cls, DataflowRule):
+            parts.append(f"{rule_id}={cls.version}")
+    return ";".join(parts)
+
+
 def run_rules(modules: Sequence[ModuleInfo],
-              rules: Sequence[Rule]) -> AnalysisReport:
-    """Run rules over parsed modules, applying noqa suppression."""
+              rules: Sequence[Rule],
+              cache: Optional["SummaryCache"] = None
+              ) -> AnalysisReport:
+    """Run rules over parsed modules, applying noqa suppression.
+
+    The whole-program context (summaries, call graph) is built once,
+    lazily, iff any :class:`DataflowRule` is active; ``cache`` (when
+    given) serves unchanged modules' summaries by content hash.
+    """
     kept: List[Finding] = []
     suppressed = 0
     by_relpath = {module.relpath: module for module in modules}
@@ -257,8 +332,18 @@ def run_rules(modules: Sequence[ModuleInfo],
         else:
             kept.append(finding)
 
+    context: Optional["ProjectContext"] = None
+    if any(isinstance(rule, DataflowRule) for rule in rules):
+        from .dataflow import build_context
+
+        context = build_context(modules, cache=cache)
+
     for rule in rules:
-        if isinstance(rule, ProjectRule):
+        if isinstance(rule, DataflowRule):
+            assert context is not None
+            for finding in rule.check_context(context):
+                admit(finding)
+        elif isinstance(rule, ProjectRule):
             for finding in rule.check_project(modules):
                 admit(finding)
         else:
@@ -267,17 +352,41 @@ def run_rules(modules: Sequence[ModuleInfo],
                     continue
                 for finding in rule.check(module):
                     admit(finding)
-    return AnalysisReport(findings=sort_findings(kept),
-                          files_scanned=len(modules),
-                          suppressed=suppressed)
+    report = AnalysisReport(findings=sort_findings(kept),
+                            files_scanned=len(modules),
+                            suppressed=suppressed)
+    if context is not None:
+        report.cache_hits = context.cache_hits
+        report.cache_misses = context.cache_misses
+        report.graph_nodes = len(context.graph.nodes)
+        report.graph_edges = context.graph.edge_count
+        report.context = context
+    return report
 
 
 def run_analysis(paths: Sequence[Path],
                  select: Optional[Sequence[str]] = None,
-                 ignore: Optional[Sequence[str]] = None
+                 ignore: Optional[Sequence[str]] = None,
+                 cache_path: Optional[Union[str, Path]] = None
                  ) -> AnalysisReport:
-    """Scan source roots with the (subset of the) registered rules."""
-    return run_rules(load_modules(paths), resolve_rules(select, ignore))
+    """Scan source roots with the (subset of the) registered rules.
+
+    ``cache_path`` enables the incremental summary cache: unchanged
+    files (by content hash) skip extraction, and the file is
+    rewritten - pruned to the scanned set - after the run.
+    """
+    modules = load_modules(paths)
+    rules = resolve_rules(select, ignore)
+    cache: Optional["SummaryCache"] = None
+    if cache_path is not None \
+            and any(isinstance(rule, DataflowRule) for rule in rules):
+        from .cache import SummaryCache
+
+        cache = SummaryCache(cache_path, version=cache_version())
+    report = run_rules(modules, rules, cache=cache)
+    if cache is not None:
+        cache.save(keep=[module.relpath for module in modules])
+    return report
 
 
 def analyze_source(source: str, relpath: str = "module.py",

@@ -6,7 +6,9 @@ import pytest
 
 from repro.analysis import analyze_source
 from repro.analysis.baseline import (BASELINE_SCHEMA, apply_baseline,
-                                     load_baseline, save_baseline)
+                                     load_baseline,
+                                     refreeze_baseline,
+                                     save_baseline)
 from repro.exceptions import ConfigurationError
 
 VIOLATING = (
@@ -97,3 +99,40 @@ class TestBaselineErrors:
             "findings": [{"rule": "DET001"}]}), encoding="utf-8")
         with pytest.raises(ConfigurationError):
             load_baseline(path)
+
+
+class TestRefreeze:
+    def test_refreeze_prunes_fixed_findings_and_counts_them(
+            self, tmp_path):
+        path = tmp_path / "base.json"
+        # freeze two findings, then fix one and refreeze
+        save_baseline(path, findings_for(VIOLATING))
+        one_left = findings_for(
+            "import time\n"
+            "def stamp():\n"
+            "    return time.time()\n")
+        _, pruned = refreeze_baseline(path, one_left)
+        assert pruned == 1
+        assert sum(load_baseline(path).values()) == 1
+
+    def test_refreeze_without_previous_baseline_prunes_nothing(
+            self, tmp_path):
+        path = tmp_path / "base.json"
+        _, pruned = refreeze_baseline(path, findings_for(VIOLATING))
+        assert pruned == 0
+        assert sum(load_baseline(path).values()) == 2
+
+    def test_refreeze_over_corrupt_baseline_prunes_nothing(
+            self, tmp_path):
+        path = tmp_path / "base.json"
+        path.write_text("not json", encoding="utf-8")
+        _, pruned = refreeze_baseline(path, findings_for(VIOLATING))
+        assert pruned == 0
+        assert sum(load_baseline(path).values()) == 2
+
+    def test_unchanged_findings_prune_nothing(self, tmp_path):
+        path = tmp_path / "base.json"
+        findings = findings_for(VIOLATING)
+        save_baseline(path, findings)
+        _, pruned = refreeze_baseline(path, findings)
+        assert pruned == 0

@@ -1,0 +1,119 @@
+"""Incremental-cache semantics for the whole-program pass.
+
+The cache stores *file-local* module summaries keyed on content hash;
+the global stages (symbol table, call graph, taint) always re-run.
+That split is what these tests pin down: an edit to one file
+re-extracts only that file (N-1 hits), yet still refreshes
+interprocedural findings in its unchanged callers.
+"""
+
+import json
+
+from repro.analysis.cli import main
+from repro.analysis.framework import cache_version, run_analysis
+
+CLEAN_HELPER = ("def helper(slot):\n"
+                "    return slot\n")
+
+TAINTED_HELPER = ("import time\n"
+                  "def helper(slot):\n"
+                  "    return time.time()\n")
+
+CALLER = ("from repro.helper import helper\n"
+          "class Event:\n"
+          "    pass\n"
+          "def emit(slot):\n"
+          "    return Event(at=helper(slot))\n")
+
+
+def write_tree(tmp_path, helper_source):
+    (tmp_path / "repro").mkdir(parents=True, exist_ok=True)
+    (tmp_path / "repro" / "helper.py").write_text(
+        helper_source, encoding="utf-8")
+    (tmp_path / "repro" / "caller.py").write_text(
+        CALLER, encoding="utf-8")
+
+
+def scan(tmp_path, cache_path):
+    return run_analysis([tmp_path], select=["DET010"],
+                        cache_path=cache_path)
+
+
+class TestCacheCounters:
+    def test_cold_then_warm_hit_counts(self, tmp_path):
+        write_tree(tmp_path, CLEAN_HELPER)
+        cache = tmp_path / "cache.json"
+        cold = scan(tmp_path, cache)
+        assert (cold.cache_hits, cold.cache_misses) == (0, 2)
+        warm = scan(tmp_path, cache)
+        assert (warm.cache_hits, warm.cache_misses) == (2, 0)
+
+    def test_editing_one_file_reextracts_only_it(self, tmp_path):
+        write_tree(tmp_path, CLEAN_HELPER)
+        cache = tmp_path / "cache.json"
+        scan(tmp_path, cache)
+        (tmp_path / "repro" / "helper.py").write_text(
+            CLEAN_HELPER + "\n# trailing comment\n",
+            encoding="utf-8")
+        report = scan(tmp_path, cache)
+        assert (report.cache_hits, report.cache_misses) == (1, 1)
+
+
+class TestCacheSoundness:
+    def test_edited_callee_refreshes_caller_findings(self, tmp_path):
+        # caller.py never changes, but editing helper.py to return
+        # wall-clock must surface a DET010 finding *in caller.py*.
+        write_tree(tmp_path, CLEAN_HELPER)
+        cache = tmp_path / "cache.json"
+        assert scan(tmp_path, cache).findings == []
+        write_tree(tmp_path, TAINTED_HELPER)
+        report = scan(tmp_path, cache)
+        assert report.cache_hits == 1  # caller.py summary reused
+        assert len(report.findings) == 1
+        assert report.findings[0].path == "repro/caller.py"
+        # ...and fixing it clears the finding again.
+        write_tree(tmp_path, CLEAN_HELPER)
+        assert scan(tmp_path, cache).findings == []
+
+    def test_version_mismatch_discards_entries(self, tmp_path):
+        write_tree(tmp_path, CLEAN_HELPER)
+        cache = tmp_path / "cache.json"
+        scan(tmp_path, cache)
+        data = json.loads(cache.read_text(encoding="utf-8"))
+        assert data["version"] == cache_version()
+        data["version"] = "extractor=0"
+        cache.write_text(json.dumps(data), encoding="utf-8")
+        report = scan(tmp_path, cache)
+        assert (report.cache_hits, report.cache_misses) == (0, 2)
+
+    def test_corrupt_cache_file_starts_empty(self, tmp_path):
+        write_tree(tmp_path, CLEAN_HELPER)
+        cache = tmp_path / "cache.json"
+        cache.write_text("{not json", encoding="utf-8")
+        report = scan(tmp_path, cache)
+        assert report.cache_misses == 2
+        assert report.findings == []
+
+    def test_vanished_files_are_pruned_on_save(self, tmp_path):
+        write_tree(tmp_path, CLEAN_HELPER)
+        cache = tmp_path / "cache.json"
+        scan(tmp_path, cache)
+        (tmp_path / "repro" / "caller.py").unlink()
+        scan(tmp_path, cache)
+        data = json.loads(cache.read_text(encoding="utf-8"))
+        assert sorted(data["entries"]) == ["repro/helper.py"]
+
+
+class TestJsonStability:
+    def test_json_report_is_byte_stable_across_runs(self, tmp_path,
+                                                    capsys):
+        # two findings on one line exercise the extended sort key
+        write_tree(tmp_path, TAINTED_HELPER)
+        args = [str(tmp_path), "--no-baseline", "--no-cache",
+                "--format", "json"]
+        main(args)
+        first = capsys.readouterr().out
+        main(args)
+        second = capsys.readouterr().out
+        assert first == second
+        assert json.loads(first)["findings"]

@@ -1,0 +1,142 @@
+"""Symbol table, call-graph construction, reachability, and DOT."""
+
+from repro.analysis.callgraph import (SymbolTable, build_callgraph,
+                                      node_key, pool_entry_points,
+                                      split_node_key)
+from repro.analysis.framework import module_from_source
+from repro.analysis.symbols import summarize_module
+
+
+def build(files):
+    summaries = {
+        relpath: summarize_module(module_from_source(source, relpath))
+        for relpath, source in files.items()}
+    table = SymbolTable(summaries)
+    return summaries, table, build_callgraph(summaries, table)
+
+
+class TestResolution:
+    def test_same_module_function_call(self):
+        _, _, graph = build({"repro/a.py": (
+            "def helper():\n    return 1\n"
+            "def top():\n    return helper()\n")})
+        assert (node_key("repro/a.py", "helper"), False) \
+            in graph.edges[node_key("repro/a.py", "top")]
+
+    def test_cross_module_imported_function(self):
+        _, _, graph = build({
+            "repro/a.py": "def helper():\n    return 1\n",
+            "repro/b.py": (
+                "from repro.a import helper\n"
+                "def top():\n    return helper()\n")})
+        assert (node_key("repro/a.py", "helper"), False) \
+            in graph.edges[node_key("repro/b.py", "top")]
+
+    def test_module_alias_attribute_call(self):
+        _, _, graph = build({
+            "repro/a.py": "def helper():\n    return 1\n",
+            "repro/b.py": (
+                "from repro import a\n"
+                "def top():\n    return a.helper()\n")})
+        assert (node_key("repro/a.py", "helper"), False) \
+            in graph.edges[node_key("repro/b.py", "top")]
+
+    def test_self_method_call_binds(self):
+        files = {"repro/a.py": (
+            "class Engine:\n"
+            "    def step(self):\n        return self._advance(1)\n"
+            "    def _advance(self, n):\n        return n\n")}
+        summaries, table, graph = build(files)
+        src = node_key("repro/a.py", "Engine.step")
+        assert (node_key("repro/a.py", "Engine._advance"), False) \
+            in graph.edges[src]
+        resolution = graph.resolution(src, 0)
+        assert resolution.bound
+
+    def test_annotated_parameter_receiver(self):
+        _, _, graph = build({
+            "repro/a.py": (
+                "class Engine:\n"
+                "    def run(self):\n        return 1\n"),
+            "repro/b.py": (
+                "from repro.a import Engine\n"
+                "def drive(engine: Engine):\n"
+                "    return engine.run()\n")})
+        assert (node_key("repro/a.py", "Engine.run"), False) \
+            in graph.edges[node_key("repro/b.py", "drive")]
+
+    def test_unresolved_method_widens_to_namesakes(self):
+        files = {"repro/a.py": (
+            "class Engine:\n"
+            "    def run(self):\n        return 1\n"
+            "def drive(thing):\n"
+            "    return thing.run()\n")}
+        _, _, graph = build(files)
+        src = node_key("repro/a.py", "drive")
+        assert (node_key("repro/a.py", "Engine.run"), True) \
+            in graph.edges[src]
+        assert graph.resolution(src, 0).kind == "overapprox"
+
+    def test_external_call_resolves_qualified(self):
+        files = {"repro/a.py": (
+            "import time\n"
+            "def stamp():\n    return time.time()\n")}
+        _, _, graph = build(files)
+        resolution = graph.resolution(node_key("repro/a.py", "stamp"),
+                                      0)
+        assert resolution.kind == "external"
+        assert resolution.qualified == "time.time"
+
+    def test_self_referential_type_chain_terminates(self):
+        # x = x.narrow() must not recurse forever during resolution.
+        _, _, graph = build({"repro/a.py": (
+            "def weird(x):\n"
+            "    x = x.narrow()\n"
+            "    return x.narrow()\n")})
+        assert graph.nodes
+
+
+class TestReachability:
+    FILES = {
+        "repro/a.py": (
+            "def leaf():\n    return 1\n"
+            "def mid():\n    return leaf()\n"
+            "def entry():\n    return mid()\n"
+            "def unrelated():\n    return 2\n")}
+
+    def test_transitive_closure_and_parents(self):
+        _, _, graph = build(self.FILES)
+        entry = node_key("repro/a.py", "entry")
+        parents = graph.reachable([entry])
+        assert node_key("repro/a.py", "leaf") in parents
+        assert node_key("repro/a.py", "unrelated") not in parents
+        chain = graph.chain_to(parents,
+                               node_key("repro/a.py", "leaf"))
+        assert [split_node_key(k)[1] for k in chain] \
+            == ["entry", "mid", "leaf"]
+
+    def test_pool_entry_points_found(self):
+        files = {"repro/a.py": (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "def work(x):\n    return x\n"
+            "def main(xs):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return list(pool.map(work, xs))\n")}
+        summaries, table, _ = build(files)
+        assert pool_entry_points(summaries, table) \
+            == [node_key("repro/a.py", "work")]
+
+
+class TestDot:
+    def test_dot_output_is_deterministic_and_marks_widened(self):
+        files = {"repro/a.py": (
+            "class Engine:\n"
+            "    def run(self):\n        return 1\n"
+            "def drive(thing):\n"
+            "    return thing.run()\n")}
+        _, _, graph1 = build(files)
+        _, _, graph2 = build(files)
+        dot = graph1.to_dot()
+        assert dot == graph2.to_dot()
+        assert dot.startswith("digraph callgraph {")
+        assert "style=dashed" in dot

@@ -115,12 +115,70 @@ class TestReportFormats:
         payload = json.loads(artifact.read_text(encoding="utf-8"))
         assert payload["findings"][0]["rule"] == "DET001"
 
-    def test_list_rules_catalogues_all_seven(self, capsys):
+    def test_list_rules_catalogues_all_rules(self, capsys):
         assert main(["--list-rules"]) == EXIT_OK
         out = capsys.readouterr().out
         for rule_id in ("DET001", "DET002", "DET003", "NUM001",
-                        "UNIT001", "PKL001", "EVT001"):
+                        "UNIT001", "PKL001", "EVT001", "MET001",
+                        "DET010", "CONC001", "CONC002", "PKL010",
+                        "UNIT010"):
             assert rule_id in out
+
+
+class TestWholeProgramFlags:
+    def test_stats_line_on_stderr(self, tmp_path, capsys):
+        write_module(tmp_path, CLEAN)
+        main([str(tmp_path), "--no-baseline", "--no-cache",
+              "--stats"])
+        err = capsys.readouterr().err
+        assert "stats:" in err
+        assert "cache hit(s)" in err
+        assert "call graph" in err
+        assert "wall" in err
+
+    def test_cache_round_trip_reported_in_stats(self, tmp_path,
+                                                capsys):
+        write_module(tmp_path, CLEAN)
+        cache = tmp_path / "cache.json"
+        main([str(tmp_path), "--no-baseline", "--cache", str(cache),
+              "--stats"])
+        assert "0 cache hit(s) / 1 miss(es)" in \
+            capsys.readouterr().err
+        main([str(tmp_path), "--no-baseline", "--cache", str(cache),
+              "--stats"])
+        assert "1 cache hit(s) / 0 miss(es)" in \
+            capsys.readouterr().err
+
+    def test_dot_artifact_written(self, tmp_path, capsys):
+        write_module(tmp_path, CLEAN)
+        dot = tmp_path / "callgraph.dot"
+        main([str(tmp_path), "--no-baseline", "--no-cache", "--dot",
+              str(dot)])
+        capsys.readouterr()
+        assert dot.read_text(
+            encoding="utf-8").startswith("digraph callgraph {")
+
+    def test_dot_without_dataflow_rules_exits_2(self, tmp_path,
+                                                capsys):
+        write_module(tmp_path, CLEAN)
+        code = main([str(tmp_path), "--no-baseline", "--no-cache",
+                     "--select", "DET001", "--dot",
+                     str(tmp_path / "g.dot")])
+        capsys.readouterr()
+        assert code == EXIT_ERROR
+
+    def test_write_baseline_reports_pruned_count(self, tmp_path,
+                                                 capsys):
+        write_module(tmp_path, VIOLATING)
+        baseline = tmp_path / "base.json"
+        main([str(tmp_path), "--baseline", str(baseline),
+              "--write-baseline"])
+        assert "(0 stale entries pruned)" in \
+            capsys.readouterr().out
+        write_module(tmp_path, CLEAN)
+        main([str(tmp_path), "--baseline", str(baseline),
+              "--write-baseline"])
+        assert "(1 stale entry pruned)" in capsys.readouterr().out
 
 
 class TestShippedTree:
